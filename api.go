@@ -1,0 +1,353 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/anneal"
+	"repro/internal/arch"
+	"repro/internal/deadline"
+	"repro/internal/experiment"
+	"repro/internal/feas"
+	"repro/internal/gen"
+	"repro/internal/optsched"
+	"repro/internal/periodic"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+	"repro/internal/wcet"
+)
+
+// Core model types.
+type (
+	// Time is a point or span of discrete system time, in time units.
+	Time = rtime.Time
+	// Window is a task execution window [Arrival, Deadline).
+	Window = rtime.Window
+	// Graph is an application task graph (build, then Freeze).
+	Graph = taskgraph.Graph
+	// Task is one node of a task graph.
+	Task = taskgraph.Task
+	// Arc is one precedence constraint with an optional message.
+	Arc = taskgraph.Arc
+	// Platform is the multiprocessor architecture.
+	Platform = arch.Platform
+	// Class is one processor class e_k ∈ E.
+	Class = arch.Class
+	// Bus is the shared-bus interconnect model.
+	Bus = arch.Bus
+	// Network refines the bus with dedicated per-pair links (§3.1's
+	// arbitrary topology).
+	Network = arch.Network
+)
+
+// Deadline distribution types.
+type (
+	// Metric is a critical-path metric for the slicing technique.
+	Metric = slicing.Metric
+	// Params are the adaptive-metric tunables.
+	Params = slicing.Params
+	// Assignment is a per-task window assignment.
+	Assignment = slicing.Assignment
+	// Distributor is any deadline-assignment strategy (slicing or the
+	// overlapping-window baselines).
+	Distributor = deadline.Distributor
+	// WCETStrategy selects how per-class WCETs are collapsed into an
+	// estimate before assignment is known.
+	WCETStrategy = wcet.Strategy
+)
+
+// Scheduling and simulation types.
+type (
+	// Schedule is a non-preemptive multiprocessor schedule.
+	Schedule = sched.Schedule
+	// Placement is one task's (processor, start, finish).
+	Placement = sched.Placement
+	// PreemptiveSchedule is the outcome of the preemptive EDF dispatcher.
+	PreemptiveSchedule = sched.PreemptiveSchedule
+	// ExactResult is the outcome of the exact branch-and-bound search.
+	ExactResult = optsched.Result
+	// ExactOptions bounds the exact search.
+	ExactOptions = optsched.Options
+	// Report is the outcome of replaying a schedule.
+	Report = sim.Report
+)
+
+// Workload generation and experiment types.
+type (
+	// WorkloadConfig parameterizes the random workload generator (§5.2).
+	WorkloadConfig = gen.Config
+	// Workload is one generated (graph, platform) instance.
+	Workload = gen.Workload
+	// ExperimentOptions configures figure regeneration.
+	ExperimentOptions = experiment.Options
+	// FigureTable is the harness rendering of one paper figure.
+	FigureTable = experiment.Table
+	// Expansion is a periodic task set unrolled over its planning cycle.
+	Expansion = periodic.Expansion
+)
+
+// Unset marks an unassigned timing attribute (e.g. an ineligible WCET
+// entry).
+const Unset = rtime.Unset
+
+// WCET estimation strategies (§5.3).
+const (
+	WCETAvg = wcet.AVG
+	WCETMax = wcet.MAX
+	WCETMin = wcet.MIN
+)
+
+// NewGraph returns an empty task graph over numClasses processor
+// classes.
+func NewGraph(numClasses int) *Graph { return taskgraph.NewGraph(numClasses) }
+
+// NewPlatform builds a heterogeneous platform with the given classes,
+// one processor per classOf entry, and a shared bus charging
+// busDelayPerItem time units per transmitted data item.
+func NewPlatform(classes []Class, classOf []int, busDelayPerItem Time) (*Platform, error) {
+	return arch.New(arch.Unrelated, classes, classOf, arch.Bus{DelayPerItem: busDelayPerItem})
+}
+
+// HomogeneousPlatform builds an m-processor single-class platform.
+func HomogeneousPlatform(m int) *Platform { return arch.Homogeneous(m) }
+
+// NewNetwork creates an m-processor topology whose pairs fall back to
+// the shared bus until SetLink installs dedicated links.
+func NewNetwork(m int) *Network { return arch.NewNetwork(m) }
+
+// The paper's four critical-path metrics (§4.5).
+func PURE() Metric   { return slicing.PURE() }
+func NORM() Metric   { return slicing.NORM() }
+func AdaptG() Metric { return slicing.AdaptG() }
+func AdaptL() Metric { return slicing.AdaptL() }
+
+// AdaptR is the resource-aware extension of ADAPT-L (the paper's §7.3
+// future-work direction); it degenerates to ADAPT-L when no task
+// declares exclusive resources.
+func AdaptR() Metric { return slicing.AdaptR() }
+
+// Metrics returns the paper's four metrics in presentation order (the
+// extension metrics AdaptR and AdaptN are separate constructors).
+func Metrics() []Metric { return slicing.Metrics() }
+
+// MetricByName resolves "PURE", "NORM", "ADAPT-G", "ADAPT-L", or the
+// extension metrics "ADAPT-R" and "ADAPT-N".
+func MetricByName(name string) (Metric, error) { return slicing.ByName(name) }
+
+// DefaultParams returns the paper's §6 adaptive parameters; see also
+// CalibratedParams.
+func DefaultParams() Params { return slicing.DefaultParams() }
+
+// CalibratedParams returns the adaptivity factors calibrated for this
+// implementation (see EXPERIMENTS.md).
+func CalibratedParams() Params { return slicing.CalibratedParams() }
+
+// Estimates computes the estimated WCET c̄ of every task under the given
+// strategy.
+func Estimates(g *Graph, p *Platform, s WCETStrategy) ([]Time, error) {
+	return wcet.Estimates(g, p, s)
+}
+
+// Distribute runs the slicing technique (Figure 1) over the graph.
+func Distribute(g *Graph, est []Time, m int, metric Metric, params Params) (*Assignment, error) {
+	return slicing.Distribute(g, est, m, metric, params)
+}
+
+// Dispatch schedules the assignment with the paper's non-preemptive
+// time-driven EDF dispatcher.
+func Dispatch(g *Graph, p *Platform, asg *Assignment) (*Schedule, error) {
+	return sched.Dispatch(g, p, asg)
+}
+
+// PlanEDF schedules the assignment with the offline greedy EDF list
+// scheduler.
+func PlanEDF(g *Graph, p *Platform, asg *Assignment) (*Schedule, error) {
+	return sched.EDF(g, p, asg)
+}
+
+// InsertEDF schedules with the insertion-based (backfilling) offline EDF
+// variant.
+func InsertEDF(g *Graph, p *Platform, asg *Assignment) (*Schedule, error) {
+	return sched.InsertEDF(g, p, asg)
+}
+
+// DispatchPreemptive schedules with the global preemptive EDF dispatcher
+// with migration (§7.3 extension).
+func DispatchPreemptive(g *Graph, p *Platform, asg *Assignment) (*PreemptiveSchedule, error) {
+	return sched.DispatchPreemptive(g, p, asg)
+}
+
+// DispatchPolicy selects the ready-task rule of the time-driven
+// dispatcher.
+type DispatchPolicy = sched.Policy
+
+// Dispatch policies (§7.3's policy axis).
+const (
+	PolicyEDF  = sched.EDFPolicy
+	PolicyDM   = sched.DMPolicy
+	PolicyFIFO = sched.FIFOPolicy
+	PolicyLLF  = sched.LLFPolicy
+)
+
+// DispatchWith runs the time-driven dispatcher under an alternative
+// ready-task policy.
+func DispatchWith(g *Graph, p *Platform, asg *Assignment, policy DispatchPolicy) (*Schedule, error) {
+	return sched.DispatchWith(g, p, asg, policy)
+}
+
+// DispatchActual simulates execution times below the worst-case bound:
+// task i runs for ceil(frac[i]·WCET) units. Early completions can both
+// rescue and — via the Graham anomaly — break a schedule.
+func DispatchActual(g *Graph, p *Platform, asg *Assignment, frac []float64) (*Schedule, error) {
+	return sched.DispatchActual(g, p, asg, frac)
+}
+
+// ExactSchedule runs the exact branch-and-bound search over active
+// schedules — the optimality yardstick for the heuristics; practical up
+// to roughly 20 tasks.
+func ExactSchedule(g *Graph, p *Platform, asg *Assignment, opt ExactOptions) (*ExactResult, error) {
+	return optsched.Schedule(g, p, asg, opt)
+}
+
+// TraceLog is a time-ordered execution event log.
+type TraceLog = trace.Log
+
+// TraceSchedule derives the event log (starts, finishes, messages,
+// misses) of a non-preemptive schedule.
+func TraceSchedule(g *Graph, p *Platform, asg *Assignment, s *Schedule) TraceLog {
+	return trace.FromSchedule(g, p, asg, s)
+}
+
+// AnnealOptions tunes the virtual-cost search.
+type AnnealOptions = anneal.Options
+
+// AnnealResult reports the searched assignment and its outcome.
+type AnnealResult = anneal.Result
+
+// AnnealVirtualCosts searches the virtual-cost space the ADAPT metrics
+// live in by simulated annealing, starting from ADAPT-L's closed-form
+// choice — an upper bound on what any metric of that family can achieve
+// on this workload.
+func AnnealVirtualCosts(g *Graph, p *Platform, est []Time, params Params, opt AnnealOptions) (*AnnealResult, error) {
+	return anneal.Search(g, p, est, params, opt)
+}
+
+// Explain writes a round-by-round narrative of a deadline distribution.
+func Explain(w io.Writer, g *Graph, est []Time, asg *Assignment) error {
+	return slicing.Explain(w, g, est, asg)
+}
+
+// FeasViolation is one failed necessary feasibility condition.
+type FeasViolation = feas.Violation
+
+// CheckFeasibility runs fast necessary conditions (own-window capacity,
+// processor demand, resource demand) against a window assignment; any
+// violation proves the assignment unschedulable by every scheduler.
+func CheckFeasibility(g *Graph, p *Platform, asg *Assignment) ([]FeasViolation, error) {
+	return feas.Check(g, p, asg)
+}
+
+// Replay re-executes a schedule and verifies it; serializedBus switches
+// the shared bus from the nominal-delay model to exclusive FCFS use.
+func Replay(g *Graph, p *Platform, asg *Assignment, s *Schedule, serializedBus bool) (*Report, error) {
+	return sim.Replay(g, p, asg, s, sim.Options{SerializedBus: serializedBus})
+}
+
+// DefaultWorkloadConfig returns the paper's §5 workload setup for m
+// processors.
+func DefaultWorkloadConfig(m int) WorkloadConfig { return gen.Default(m) }
+
+// Generate builds one random workload.
+func Generate(cfg WorkloadConfig) (*Workload, error) { return gen.Generate(cfg) }
+
+// SubSeed derives the idx-th independent per-graph seed from a master
+// seed.
+func SubSeed(master int64, idx int) int64 { return gen.SubSeed(master, idx) }
+
+// ExpandPeriodic unrolls a periodic task graph over its planning cycle
+// (§3.3).
+func ExpandPeriodic(g *Graph) (*Expansion, error) { return periodic.Expand(g) }
+
+// Figure regenerates one of the paper's evaluation figures (2–6).
+func Figure(n int, opts ExperimentOptions) (FigureTable, error) {
+	f, ok := experiment.Figures[n]
+	if !ok {
+		return FigureTable{}, fmt.Errorf("repro: no figure %d (have 2..6)", n)
+	}
+	return f(opts), nil
+}
+
+// DefaultExperimentOptions mirrors the paper's 1024 workloads per data
+// point.
+func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
+
+// Result bundles the artifacts of one pipeline run.
+type Result struct {
+	// Estimates are the c̄ values used for deadline distribution.
+	Estimates []Time
+	// Assignment is the window assignment produced by the distributor.
+	Assignment *Assignment
+	// Schedule is the constructed schedule.
+	Schedule *Schedule
+	// Report is the replay verification of the schedule.
+	Report *Report
+}
+
+// Pipeline is the generate-to-verify flow with pluggable policies.
+type Pipeline struct {
+	// Metric is the critical-path metric (default ADAPT-L).
+	Metric Metric
+	// Params are the adaptive parameters (default CalibratedParams).
+	Params Params
+	// WCET is the estimation strategy (default WCET-AVG).
+	WCET WCETStrategy
+	// UsePlanner selects the offline greedy scheduler instead of the
+	// time-driven dispatcher.
+	UsePlanner bool
+	// SerializedBus verifies the schedule under exclusive bus use.
+	SerializedBus bool
+}
+
+// DefaultPipeline returns the paper's default policy set with this
+// implementation's calibrated parameters.
+func DefaultPipeline() Pipeline {
+	return Pipeline{Metric: slicing.AdaptL(), Params: slicing.CalibratedParams(), WCET: wcet.AVG}
+}
+
+// Run executes estimate → slice → schedule → replay on one workload.
+func (pl Pipeline) Run(g *Graph, p *Platform) (*Result, error) {
+	metric := pl.Metric
+	if metric == nil {
+		metric = slicing.AdaptL()
+	}
+	params := pl.Params
+	if params == (Params{}) {
+		params = slicing.CalibratedParams()
+	}
+	est, err := wcet.Estimates(g, p, pl.WCET)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := slicing.Distribute(g, est, p.M(), metric, params)
+	if err != nil {
+		return nil, err
+	}
+	var s *Schedule
+	if pl.UsePlanner {
+		s, err = sched.EDF(g, p, asg)
+	} else {
+		s, err = sched.Dispatch(g, p, asg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sim.Replay(g, p, asg, s, sim.Options{SerializedBus: pl.SerializedBus})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Estimates: est, Assignment: asg, Schedule: s, Report: rep}, nil
+}

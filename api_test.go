@@ -1,0 +1,243 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestPipelineOnGeneratedWorkload(t *testing.T) {
+	cfg := DefaultWorkloadConfig(4)
+	cfg.Seed = 101
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultPipeline().Run(w.Graph, w.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != w.Graph.NumTasks() {
+		t.Error("estimates missing")
+	}
+	if err := res.Assignment.Validate(w.Graph); err != nil {
+		t.Errorf("assignment invalid: %v", err)
+	}
+	if !res.Report.Valid {
+		t.Errorf("replay violations: %v", res.Report.Violations)
+	}
+	if res.Schedule.Feasible != (len(res.Report.DeadlineMisses) == 0) {
+		t.Error("scheduler and replay disagree on feasibility")
+	}
+}
+
+func TestPipelineZeroValueDefaults(t *testing.T) {
+	// A zero Pipeline must fall back to sensible policies rather than
+	// crash on the nil metric.
+	w, err := Generate(DefaultWorkloadConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pipe Pipeline
+	if _, err := pipe.Run(w.Graph, w.Platform); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineVariants(t *testing.T) {
+	cfg := DefaultWorkloadConfig(3)
+	cfg.Seed = 7
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pipe := range []Pipeline{
+		{Metric: PURE(), Params: DefaultParams(), WCET: WCETMax},
+		{Metric: NORM(), Params: DefaultParams(), WCET: WCETMin, UsePlanner: true},
+		{Metric: AdaptG(), Params: CalibratedParams(), SerializedBus: true},
+	} {
+		res, err := pipe.Run(w.Graph, w.Platform)
+		if err != nil {
+			t.Fatalf("%+v: %v", pipe, err)
+		}
+		if res.Schedule == nil || res.Report == nil {
+			t.Fatalf("%+v: missing artifacts", pipe)
+		}
+	}
+}
+
+func TestHandBuiltGraphThroughAPI(t *testing.T) {
+	g := NewGraph(2)
+	sensor := g.MustAddTask("sensor", []Time{5, 7}, 0)
+	filter := g.MustAddTask("filter", []Time{20, 14}, 0)
+	act := g.MustAddTask("actuate", []Time{6, Unset}, 0)
+	g.MustAddArc(sensor.ID, filter.ID, 2)
+	g.MustAddArc(filter.ID, act.ID, 1)
+	act.ETEDeadline = 90
+	g.MustFreeze()
+
+	p, err := NewPlatform([]Class{{Name: "dsp"}, {Name: "cpu"}}, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultPipeline().Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedule.Feasible {
+		t.Errorf("3-task pipeline with deadline 90 should schedule: %+v", res.Schedule.Placements)
+	}
+	// The actuator is only eligible on the dsp class.
+	if got := res.Schedule.Placements[act.ID].Proc; got != 0 {
+		t.Errorf("actuator on processor %d, want 0", got)
+	}
+}
+
+func TestMetricHelpers(t *testing.T) {
+	if len(Metrics()) != 4 {
+		t.Error("Metrics should return four metrics")
+	}
+	m, err := MetricByName("ADAPT-L")
+	if err != nil || m.Name() != "ADAPT-L" {
+		t.Errorf("MetricByName failed: %v", err)
+	}
+	if _, err := MetricByName("nope"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	opts := DefaultExperimentOptions()
+	opts.NumGraphs = 2
+	table, err := Figure(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Series) != 4 {
+		t.Errorf("figure 2 has %d series", len(table.Series))
+	}
+	if _, err := Figure(99, opts); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestPeriodicThroughAPI(t *testing.T) {
+	g := NewGraph(1)
+	a := g.MustAddTask("a", []Time{10}, 0)
+	b := g.MustAddTask("b", []Time{10}, 0)
+	a.Period, b.Period = 50, 50
+	g.MustAddArc(a.ID, b.ID, 1)
+	c := g.MustAddTask("c", []Time{10}, 0)
+	c.Period = 100
+	b.ETEDeadline = 45
+	c.ETEDeadline = 95
+	g.MustFreeze()
+
+	e, err := ExpandPeriodic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Graph.NumTasks() != 5 {
+		t.Fatalf("expanded to %d tasks, want 5", e.Graph.NumTasks())
+	}
+	res, err := DefaultPipeline().Run(e.Graph, HomogeneousPlatform(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedule.Feasible {
+		t.Errorf("periodic expansion should schedule: missed %v", res.Schedule.Missed)
+	}
+}
+
+func TestSubSeedExported(t *testing.T) {
+	if SubSeed(1, 2) == SubSeed(1, 3) {
+		t.Error("SubSeed collision")
+	}
+}
+
+func TestExtensionSchedulersThroughAPI(t *testing.T) {
+	cfg := DefaultWorkloadConfig(3)
+	cfg.Seed = 55
+	cfg.OLR = 0.6
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimates(w.Graph, w.Platform, WCETAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := Distribute(w.Graph, est, w.Platform.M(), AdaptL(), CalibratedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertEDF(w.Graph, w.Platform, asg); err != nil {
+		t.Errorf("InsertEDF: %v", err)
+	}
+	pre, err := DispatchPreemptive(w.Graph, w.Platform, asg)
+	if err != nil {
+		t.Fatalf("DispatchPreemptive: %v", err)
+	}
+	if len(pre.Slices) == 0 {
+		t.Error("preemptive schedule has no slices")
+	}
+}
+
+func TestExactScheduleThroughAPI(t *testing.T) {
+	g := NewGraph(1)
+	g.MustAddTask("a", []Time{5}, 0)
+	g.MustAddTask("b", []Time{5}, 0)
+	g.MustAddArc(0, 1, 0)
+	g.Task(1).ETEDeadline = 20
+	g.MustFreeze()
+	p := HomogeneousPlatform(1)
+	est, err := Estimates(g, p, WCETAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := Distribute(g, est, 1, PURE(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExactSchedule(g, p, asg, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || !res.Schedule.Feasible {
+		t.Errorf("trivial exact search failed: %+v", res)
+	}
+}
+
+func TestAdaptRThroughAPI(t *testing.T) {
+	if AdaptR().Name() != "ADAPT-R" {
+		t.Error("AdaptR name wrong")
+	}
+	if m, err := MetricByName("ADAPT-R"); err != nil || m.Name() != "ADAPT-R" {
+		t.Errorf("MetricByName(ADAPT-R): %v", err)
+	}
+}
+
+func TestResourceWorkloadThroughAPI(t *testing.T) {
+	cfg := DefaultWorkloadConfig(3)
+	cfg.Seed = 66
+	cfg.NumResources = 2
+	cfg.ResourceProb = 0.3
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasRes := false
+	for _, tk := range w.Graph.Tasks() {
+		if len(tk.Resources) > 0 {
+			hasRes = true
+		}
+	}
+	if !hasRes {
+		t.Fatal("no resources generated")
+	}
+	res, err := Pipeline{Metric: AdaptR(), Params: CalibratedParams()}.Run(w.Graph, w.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Valid {
+		t.Errorf("replay violations: %v", res.Report.Violations)
+	}
+}

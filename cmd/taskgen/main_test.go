@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graphio"
+)
+
+func TestRunStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-seed", "3"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	g, p, err := graphio.ReadWorkload(&out)
+	if err != nil {
+		t.Fatalf("output is not a workload: %v", err)
+	}
+	if p == nil || g.NumTasks() < 40 {
+		t.Errorf("workload shape wrong: %d tasks", g.NumTasks())
+	}
+}
+
+func TestRunDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-n", "3", "-out", dir, "-shape", "in-tree", "-pin", "0.5"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for i := 0; i < 3; i++ {
+		path := filepath.Join(dir, "workload-000"+string(rune('0'+i))+".json")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := graphio.ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(g.Outputs()) != 1 {
+			t.Errorf("in-tree should have one output, got %d", len(g.Outputs()))
+		}
+	}
+	if strings.Count(errBuf.String(), "wrote ") != 3 {
+		t.Errorf("progress lines: %q", errBuf.String())
+	}
+}
+
+func TestRunBadShape(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-shape", "mobius"}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown shape") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-olr", "0"}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,31 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	Jan Jonsson, "A Robust Adaptive Metric for Deadline Assignment in
+//	Heterogeneous Distributed Real-Time Systems", IPPS 1999.
+//
+// It implements the slicing technique for distributing end-to-end
+// deadlines over precedence-constrained task graphs on heterogeneous
+// multiprocessors under relaxed locality constraints, together with the
+// four critical-path metrics the paper evaluates (PURE, NORM, ADAPT-G,
+// and the paper's contribution ADAPT-L), the WCET estimation strategies
+// (AVG/MAX/MIN), a non-preemptive time-driven EDF dispatcher, a
+// discrete-event replay simulator, a random workload generator matching
+// the paper's §5 setup, and the experiment harness that regenerates
+// every figure of the evaluation.
+//
+// This root package is the public API: it re-exports the stable types
+// and provides the Pipeline convenience for the common
+// generate → estimate → slice → schedule → replay flow. The underlying
+// packages live in internal/ and are documented individually; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// # Quick start
+//
+//	w, _ := repro.Generate(repro.DefaultWorkloadConfig(3))
+//	pipe := repro.DefaultPipeline()
+//	result, _ := pipe.Run(w.Graph, w.Platform)
+//	fmt.Println(result.Schedule.Feasible)
+//
+// See examples/ for complete programs.
+package repro

@@ -1,0 +1,113 @@
+package anneal
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/wcet"
+)
+
+func TestSearchNeverWorseThanStart(t *testing.T) {
+	cfg := gen.Default(3)
+	cfg.Seed = 12
+	cfg.OLR = 0.5
+	w := gen.MustGenerate(cfg)
+	est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(w.Graph, w.Platform, est, slicing.CalibratedParams(),
+		Options{Iterations: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost > res.StartCost {
+		t.Errorf("annealing worsened the objective: %.1f → %.1f", res.StartCost, res.BestCost)
+	}
+	if res.Evaluations < 2 {
+		t.Errorf("only %d evaluations", res.Evaluations)
+	}
+	// The returned artifacts are consistent: re-dispatching the returned
+	// assignment reproduces the returned schedule's feasibility.
+	s2, err := sched.Dispatch(w.Graph, w.Platform, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Feasible != res.Schedule.Feasible {
+		t.Error("returned assignment and schedule disagree")
+	}
+	if err := res.Assignment.Validate(w.Graph); err != nil {
+		t.Errorf("annealed assignment invalid: %v", err)
+	}
+}
+
+func TestSearchRescuesFailingWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many pipelines")
+	}
+	// Find workloads ADAPT-L fails and count how many annealing rescues:
+	// the headroom above the closed-form metric.
+	rescued, failing := 0, 0
+	for idx := 0; idx < 40 && failing < 12; idx++ {
+		cfg := gen.Default(3)
+		cfg.Seed = gen.SubSeed(21, idx)
+		cfg.OLR = 0.5
+		w := gen.MustGenerate(cfg)
+		est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asg, err := slicing.Distribute(w.Graph, est, 3, slicing.AdaptL(), slicing.CalibratedParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Feasible {
+			continue
+		}
+		failing++
+		res, err := Search(w.Graph, w.Platform, est, slicing.CalibratedParams(),
+			Options{Iterations: 250, Seed: gen.SubSeed(22, idx)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedule.Feasible {
+			rescued++
+		}
+	}
+	t.Logf("annealing rescued %d of %d ADAPT-L failures", rescued, failing)
+	if failing == 0 {
+		t.Skip("no failing workloads at this point")
+	}
+	if rescued == 0 {
+		t.Error("searched virtual costs should rescue at least one failure (headroom exists)")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	cfg := gen.Default(3)
+	cfg.Seed = 5
+	cfg.OLR = 0.5
+	w := gen.MustGenerate(cfg)
+	est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Search(w.Graph, w.Platform, est, slicing.CalibratedParams(), Options{Iterations: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(w.Graph, w.Platform, est, slicing.CalibratedParams(), Options{Iterations: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestCost != b.BestCost || a.Evaluations != b.Evaluations {
+		t.Errorf("same seed diverged: (%v, %d) vs (%v, %d)",
+			a.BestCost, a.Evaluations, b.BestCost, b.Evaluations)
+	}
+}

@@ -1,0 +1,210 @@
+// Package arch models the multiprocessor architecture of the paper
+// (§3.1): a set P of schedulable processors, each belonging to a
+// processor class e(p) ∈ E that determines its hardware configuration,
+// and an interconnection network.
+//
+// The experimental platform of the paper is a shared time-multiplexed
+// bus whose communication cost between two processors is one time unit
+// per transmitted data item; communication between co-located tasks is
+// free (shared memory). Communication is asynchronous: it overlaps with
+// computation, so in the scheduler a message only delays the *receiver's*
+// earliest start time, never the sender's processor.
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/rtime"
+)
+
+// Kind classifies the processor set per Graham et al. [16]: identical,
+// uniform (per-class speed scaling), or unrelated (arbitrary per-task,
+// per-class WCETs). The kind is descriptive — the scheduler always works
+// from the per-class WCET arrays — but the generator uses it to decide
+// how per-class execution times are drawn.
+type Kind int
+
+const (
+	// Identical processors: every task runs in the same time anywhere.
+	Identical Kind = iota
+	// Uniform processors: class k scales a basic execution time by a
+	// speed factor.
+	Uniform
+	// Unrelated processors: per-class times are independent; this is the
+	// paper's experimental setting (per-class times drawn independently,
+	// plus per-class ineligibility).
+	Unrelated
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Identical:
+		return "identical"
+	case Uniform:
+		return "uniform"
+	case Unrelated:
+		return "unrelated"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Class describes one processor class e_k ∈ E.
+type Class struct {
+	// Name is a human-readable label.
+	Name string
+	// Speed is the relative speed used when the platform is generated
+	// under the Uniform kind: execution time = basic time / Speed. It is
+	// informational for Identical and Unrelated platforms.
+	Speed float64
+}
+
+// Bus models the time-multiplexed shared-bus interconnection network.
+type Bus struct {
+	// DelayPerItem is the nominal worst-case communication delay per
+	// transmitted data item (1 time unit in the paper's platform).
+	DelayPerItem rtime.Time
+}
+
+// Cost returns the nominal worst-case communication cost of a message of
+// the given size between two distinct processors. Messages between
+// co-located tasks cost nothing (§3.1).
+func (b Bus) Cost(items rtime.Time, sameProcessor bool) rtime.Time {
+	if sameProcessor || items <= 0 {
+		return 0
+	}
+	return items * b.DelayPerItem
+}
+
+// Processor is one schedulable processor p_q with its class index into
+// Platform.Classes.
+type Processor struct {
+	ID    int
+	Class int
+}
+
+// Platform is the complete architecture: classes, processors, and the
+// interconnection network.
+type Platform struct {
+	Kind    Kind
+	Classes []Class
+	Procs   []Processor
+	Bus     Bus
+	// Net optionally refines the shared bus with dedicated links; nil
+	// means every remote pair uses the bus (the paper's experimental
+	// platform).
+	Net *Network
+}
+
+// New builds a platform with m processors whose classes are given by
+// classOf (values index into classes). It validates the shape.
+func New(kind Kind, classes []Class, classOf []int, bus Bus) (*Platform, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("arch: platform needs at least one processor class")
+	}
+	if len(classOf) == 0 {
+		return nil, fmt.Errorf("arch: platform needs at least one processor")
+	}
+	if bus.DelayPerItem < 0 {
+		return nil, fmt.Errorf("arch: negative bus delay %d", bus.DelayPerItem)
+	}
+	p := &Platform{Kind: kind, Classes: classes, Bus: bus}
+	for q, k := range classOf {
+		if k < 0 || k >= len(classes) {
+			return nil, fmt.Errorf("arch: processor %d references missing class %d", q, k)
+		}
+		p.Procs = append(p.Procs, Processor{ID: q, Class: k})
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(kind Kind, classes []Class, classOf []int, bus Bus) *Platform {
+	p, err := New(kind, classes, classOf, bus)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Homogeneous builds an m-processor platform with a single class and unit
+// bus delay — the degenerate configuration of the earlier homogeneous
+// work [12], useful for tests and comparisons.
+func Homogeneous(m int) *Platform {
+	classOf := make([]int, m)
+	return MustNew(Identical, []Class{{Name: "cpu", Speed: 1}}, classOf, Bus{DelayPerItem: 1})
+}
+
+// M returns the number of processors, the paper's m.
+func (p *Platform) M() int { return len(p.Procs) }
+
+// NumClasses returns |E|.
+func (p *Platform) NumClasses() int { return len(p.Classes) }
+
+// ClassOf returns the class index of processor q.
+func (p *Platform) ClassOf(q int) int { return p.Procs[q].Class }
+
+// ClassesPresent returns, for each class index, whether at least one
+// processor of that class exists. A task only eligible on absent classes
+// can never be scheduled.
+func (p *Platform) ClassesPresent() []bool {
+	present := make([]bool, len(p.Classes))
+	for _, pr := range p.Procs {
+		present[pr.Class] = true
+	}
+	return present
+}
+
+// String summarises the platform.
+func (p *Platform) String() string {
+	return fmt.Sprintf("%s platform: m=%d, |E|=%d, bus=%d/item",
+		p.Kind, p.M(), p.NumClasses(), p.Bus.DelayPerItem)
+}
+
+// Network models an arbitrary interconnection topology (§3.1: "an
+// arbitrary topology that may include dedicated as well as shared
+// links"): the nominal per-item delay between every ordered pair of
+// processors. A dedicated point-to-point link gets its own (typically
+// lower) delay; pairs without an entry fall back to the shared bus.
+type Network struct {
+	// delay[f][t] is the per-item delay from processor f to t; values
+	// < 0 mean "use the shared-bus delay".
+	delay [][]rtime.Time
+}
+
+// NewNetwork creates an m-processor topology where every pair initially
+// falls back to the shared bus.
+func NewNetwork(m int) *Network {
+	d := make([][]rtime.Time, m)
+	for i := range d {
+		d[i] = make([]rtime.Time, m)
+		for j := range d[i] {
+			d[i][j] = -1
+		}
+	}
+	return &Network{delay: d}
+}
+
+// SetLink installs a dedicated link with the given per-item delay in
+// both directions. A zero delay models shared-memory-like coupling.
+func (n *Network) SetLink(a, b int, perItem rtime.Time) *Network {
+	n.delay[a][b] = perItem
+	n.delay[b][a] = perItem
+	return n
+}
+
+// CommCost returns the nominal worst-case cost of moving a message
+// between two processors, honoring dedicated links when the platform
+// has a Network and falling back to the shared bus otherwise.
+// Co-located communication is free (§3.1).
+func (p *Platform) CommCost(from, to int, items rtime.Time) rtime.Time {
+	if from == to || items <= 0 {
+		return 0
+	}
+	if p.Net != nil && from >= 0 && from < len(p.Net.delay) && to >= 0 && to < len(p.Net.delay) {
+		if d := p.Net.delay[from][to]; d >= 0 {
+			return items * d
+		}
+	}
+	return items * p.Bus.DelayPerItem
+}

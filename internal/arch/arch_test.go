@@ -1,0 +1,134 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rtime"
+)
+
+func TestNewValidation(t *testing.T) {
+	classes := []Class{{Name: "a", Speed: 1}}
+	if _, err := New(Identical, nil, []int{0}, Bus{1}); err == nil {
+		t.Error("no classes accepted")
+	}
+	if _, err := New(Identical, classes, nil, Bus{1}); err == nil {
+		t.Error("no processors accepted")
+	}
+	if _, err := New(Identical, classes, []int{1}, Bus{1}); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+	if _, err := New(Identical, classes, []int{0}, Bus{-1}); err == nil {
+		t.Error("negative bus delay accepted")
+	}
+	p, err := New(Identical, classes, []int{0, 0, 0}, Bus{1})
+	if err != nil {
+		t.Fatalf("valid platform rejected: %v", err)
+	}
+	if p.M() != 3 || p.NumClasses() != 1 {
+		t.Errorf("shape = (%d, %d)", p.M(), p.NumClasses())
+	}
+}
+
+func TestBusCost(t *testing.T) {
+	b := Bus{DelayPerItem: 1}
+	if b.Cost(5, false) != 5 {
+		t.Error("remote message cost wrong")
+	}
+	if b.Cost(5, true) != 0 {
+		t.Error("co-located message should be free")
+	}
+	if b.Cost(0, false) != 0 {
+		t.Error("empty message should be free")
+	}
+	b2 := Bus{DelayPerItem: 3}
+	if b2.Cost(4, false) != 12 {
+		t.Error("delay-per-item scaling wrong")
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	p := Homogeneous(4)
+	if p.M() != 4 || p.NumClasses() != 1 || p.Kind != Identical {
+		t.Errorf("Homogeneous(4) = %v", p)
+	}
+	for q := 0; q < 4; q++ {
+		if p.ClassOf(q) != 0 {
+			t.Errorf("ClassOf(%d) = %d", q, p.ClassOf(q))
+		}
+	}
+}
+
+func TestClassesPresent(t *testing.T) {
+	classes := []Class{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	p := MustNew(Unrelated, classes, []int{0, 2, 0}, Bus{1})
+	present := p.ClassesPresent()
+	want := []bool{true, false, true}
+	for i := range want {
+		if present[i] != want[i] {
+			t.Errorf("present[%d] = %v, want %v", i, present[i], want[i])
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Identical.String() != "identical" || Uniform.String() != "uniform" ||
+		Unrelated.String() != "unrelated" {
+		t.Error("Kind strings wrong")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind should include number")
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	p := Homogeneous(2)
+	s := p.String()
+	if !strings.Contains(s, "m=2") || !strings.Contains(s, "identical") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestProcessorIDs(t *testing.T) {
+	p := MustNew(Unrelated, []Class{{}, {}}, []int{1, 0, 1}, Bus{2})
+	for q, pr := range p.Procs {
+		if pr.ID != q {
+			t.Errorf("Procs[%d].ID = %d", q, pr.ID)
+		}
+	}
+	_ = rtime.Time(0)
+}
+
+func TestCommCostFallsBackToBus(t *testing.T) {
+	p := Homogeneous(3)
+	if got := p.CommCost(0, 1, 5); got != 5 {
+		t.Errorf("bus fallback = %d, want 5", got)
+	}
+	if p.CommCost(1, 1, 5) != 0 {
+		t.Error("co-located should be free")
+	}
+	if p.CommCost(0, 1, 0) != 0 {
+		t.Error("empty message should be free")
+	}
+	if p.CommCost(-1, 1, 5) != 5 {
+		t.Error("out-of-range proc should fall back to bus")
+	}
+}
+
+func TestNetworkDedicatedLinks(t *testing.T) {
+	p := Homogeneous(3)
+	p.Net = NewNetwork(3).SetLink(0, 1, 0) // shared-memory-like coupling
+	if got := p.CommCost(0, 1, 7); got != 0 {
+		t.Errorf("dedicated link cost = %d, want 0", got)
+	}
+	if got := p.CommCost(1, 0, 7); got != 0 {
+		t.Error("links are bidirectional")
+	}
+	if got := p.CommCost(0, 2, 7); got != 7 {
+		t.Errorf("unlinked pair = %d, want bus 7", got)
+	}
+	p.Net.SetLink(0, 2, 3)
+	if got := p.CommCost(0, 2, 7); got != 21 {
+		t.Errorf("slow link = %d, want 21", got)
+	}
+}

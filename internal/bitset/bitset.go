@@ -1,0 +1,129 @@
+// Package bitset implements a fixed-capacity bit set used for reachability
+// computations over task graphs (transitive closure, parallel sets). It is
+// allocation-conscious: a Set is a plain []uint64 and all per-element
+// operations are branch-free word operations, which keeps the O(n³/64)
+// transitive-closure pass cheap even for graphs far larger than the
+// 40–60-task workloads of the paper.
+package bitset
+
+import "math/bits"
+
+// Set is a bit set over the universe [0, capacity). The zero value of the
+// slice type is an empty set of capacity 0; use New for a sized set.
+type Set []uint64
+
+const wordBits = 64
+
+// New returns an empty set able to hold elements in [0, n).
+func New(n int) Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return make(Set, (n+wordBits-1)/wordBits)
+}
+
+// Cap returns the capacity of the set in elements (a multiple of 64).
+func (s Set) Cap() int { return len(s) * wordBits }
+
+// Add inserts i into the set. i must be within capacity.
+func (s Set) Add(i int) { s[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Remove deletes i from the set. i must be within capacity.
+func (s Set) Remove(i int) { s[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Has reports whether i is in the set. i must be within capacity.
+func (s Set) Has(i int) bool { return s[i/wordBits]&(1<<(uint(i)%wordBits)) != 0 }
+
+// Count returns the number of elements in the set.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// UnionWith adds every element of o to s. The sets must have equal
+// capacity.
+func (s Set) UnionWith(o Set) {
+	checkLen(s, o)
+	for i, w := range o {
+		s[i] |= w
+	}
+}
+
+// IntersectWith removes every element of s not in o. The sets must have
+// equal capacity.
+func (s Set) IntersectWith(o Set) {
+	checkLen(s, o)
+	for i, w := range o {
+		s[i] &= w
+	}
+}
+
+// DifferenceWith removes every element of o from s. The sets must have
+// equal capacity.
+func (s Set) DifferenceWith(o Set) {
+	checkLen(s, o)
+	for i, w := range o {
+		s[i] &^= w
+	}
+}
+
+// Intersects reports whether s and o share at least one element. The sets
+// must have equal capacity.
+func (s Set) Intersects(o Set) bool {
+	checkLen(s, o)
+	for i, w := range o {
+		if s[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Clear removes every element.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Equal reports whether s and o contain exactly the same elements. The
+// sets must have equal capacity.
+func (s Set) Equal(o Set) bool {
+	checkLen(s, o)
+	for i, w := range o {
+		if s[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Elements appends the members of the set to dst in increasing order and
+// returns the extended slice.
+func (s Set) Elements(dst []int) []int {
+	for wi, w := range s {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, base+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return dst
+}
+
+func checkLen(a, b Set) {
+	if len(a) != len(b) {
+		panic("bitset: capacity mismatch")
+	}
+}

@@ -1,0 +1,209 @@
+package bitset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Count() != 0 {
+		t.Errorf("new set has %d elements", s.Count())
+	}
+	if s.Cap() < 100 {
+		t.Errorf("capacity %d < 100", s.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		if s.Has(i) {
+			t.Fatalf("new set contains %d", i)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Errorf("Add(%d) not visible", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d, want 8", s.Count())
+	}
+	s.Add(63) // idempotent
+	if s.Count() != 8 {
+		t.Errorf("duplicate Add changed count to %d", s.Count())
+	}
+	s.Remove(63)
+	if s.Has(63) {
+		t.Error("Remove(63) not visible")
+	}
+	s.Remove(63) // idempotent
+	if s.Count() != 7 {
+		t.Errorf("Count after remove = %d, want 7", s.Count())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Add(1)
+	a.Add(65)
+	b.Add(65)
+	b.Add(3)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Elements(nil); !equalInts(got, []int{1, 3, 65}) {
+		t.Errorf("union = %v", got)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Elements(nil); !equalInts(got, []int{65}) {
+		t.Errorf("intersection = %v", got)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got := d.Elements(nil); !equalInts(got, []int{1}) {
+		t.Errorf("difference = %v", got)
+	}
+
+	if !a.Intersects(b) {
+		t.Error("a and b share 65 but Intersects is false")
+	}
+	c := New(70)
+	c.Add(2)
+	if a.Intersects(c) {
+		t.Error("disjoint sets report intersection")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched UnionWith should panic")
+		}
+	}()
+	New(64).UnionWith(New(128))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(10)
+	a.Add(5)
+	b := a.Clone()
+	b.Add(7)
+	if a.Has(7) {
+		t.Error("mutating clone affected original")
+	}
+	if !b.Has(5) {
+		t.Error("clone lost element")
+	}
+}
+
+func TestClearAndEqual(t *testing.T) {
+	a := New(64)
+	a.Add(10)
+	a.Add(20)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Error("Clear left elements")
+	}
+	if a.Equal(b) {
+		t.Error("cleared set equal to populated set")
+	}
+}
+
+func TestElementsOrdered(t *testing.T) {
+	s := New(200)
+	want := []int{199, 0, 64, 63, 128, 5}
+	for _, i := range want {
+		s.Add(i)
+	}
+	sort.Ints(want)
+	if got := s.Elements(nil); !equalInts(got, want) {
+		t.Errorf("Elements = %v, want %v", got, want)
+	}
+}
+
+func TestElementsAppends(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	got := s.Elements([]int{-1})
+	if !equalInts(got, []int{-1, 3}) {
+		t.Errorf("Elements did not append: %v", got)
+	}
+}
+
+// Property: a set built from arbitrary inserts reports exactly the
+// distinct inserted elements.
+func TestAddHasProperty(t *testing.T) {
+	f := func(xs []uint8) bool {
+		s := New(256)
+		seen := map[int]bool{}
+		for _, x := range xs {
+			s.Add(int(x))
+			seen[int(x)] = true
+		}
+		if s.Count() != len(seen) {
+			return false
+		}
+		for i := 0; i < 256; i++ {
+			if s.Has(i) != seen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan-ish identity |A∪B| + |A∩B| == |A| + |B|.
+func TestInclusionExclusionProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		i := a.Clone()
+		i.IntersectWith(b)
+		return u.Count()+i.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

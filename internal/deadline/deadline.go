@@ -1,0 +1,158 @@
+// Package deadline provides deadline-assignment baselines from the
+// related-work lineage of the paper (§2), against which the slicing
+// technique can be ablated:
+//
+//   - UD (ultimate deadline) and ED (effective deadline) are the
+//     classical strategies of Kao & Garcia-Molina: every task inherits,
+//     respectively, the raw end-to-end deadline of its downstream output
+//     or that deadline discounted by the downstream workload.
+//
+// Both produce *overlapping* execution windows — a task may start as
+// soon as its predecessors allow — so, unlike slicing, they neither
+// decouple the scheduling of sequential tasks (implication I1) nor
+// eliminate precedence-induced release jitter (implication I2). The
+// ablation benchmarks quantify what those properties are worth.
+//
+// The package also defines the Distributor interface that unifies these
+// baselines with the slicing pipeline, so schedulers and experiments can
+// treat any deadline-assignment strategy uniformly.
+package deadline
+
+import (
+	"fmt"
+
+	"repro/internal/rtime"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+// Distributor assigns an execution window to every task of a graph.
+type Distributor interface {
+	// Name identifies the strategy in tables and benchmarks.
+	Name() string
+	// Distribute computes the window assignment for graph g with WCET
+	// estimates est on an m-processor system.
+	Distribute(g *taskgraph.Graph, est []rtime.Time, m int) (*slicing.Assignment, error)
+}
+
+// Sliced adapts the slicing technique to the Distributor interface.
+type Sliced struct {
+	Metric slicing.Metric
+	Params slicing.Params
+}
+
+// Name implements Distributor.
+func (s Sliced) Name() string { return "SLICE/" + s.Metric.Name() }
+
+// Distribute implements Distributor.
+func (s Sliced) Distribute(g *taskgraph.Graph, est []rtime.Time, m int) (*slicing.Assignment, error) {
+	return slicing.Distribute(g, est, m, s.Metric, s.Params)
+}
+
+// UD is the ultimate-deadline strategy: every task's absolute deadline
+// is the end-to-end deadline of its downstream output (the earliest one,
+// when several outputs are reachable); its arrival is the earliest time
+// its ancestors could possibly let it start (ASAP bound). Windows of
+// sequential tasks overlap almost entirely.
+type UD struct{}
+
+// Name implements Distributor.
+func (UD) Name() string { return "UD" }
+
+// Distribute implements Distributor.
+func (UD) Distribute(g *taskgraph.Graph, est []rtime.Time, m int) (*slicing.Assignment, error) {
+	return overlapping(g, est, func(v int, ld []rtime.Time) rtime.Time {
+		// Ultimate deadline: no discount for downstream work.
+		best := rtime.Infinity
+		if ete := g.Task(v).ETEDeadline; ete.IsSet() {
+			best = ete
+		}
+		for _, u := range g.Succs(v) {
+			if ld[u] < best {
+				best = ld[u]
+			}
+		}
+		return best
+	}, "UD")
+}
+
+// ED is the effective-deadline strategy: like UD, but each task's
+// deadline is discounted by the estimated workload that must still
+// execute after it (the longest downstream chain), i.e. the ALAP bound.
+type ED struct{}
+
+// Name implements Distributor.
+func (ED) Name() string { return "ED" }
+
+// Distribute implements Distributor.
+func (ED) Distribute(g *taskgraph.Graph, est []rtime.Time, m int) (*slicing.Assignment, error) {
+	return overlapping(g, est, func(v int, ld []rtime.Time) rtime.Time {
+		best := rtime.Infinity
+		if ete := g.Task(v).ETEDeadline; ete.IsSet() {
+			best = ete
+		}
+		for _, u := range g.Succs(v) {
+			if t := ld[u] - est[u]; t < best {
+				best = t
+			}
+		}
+		return best
+	}, "ED")
+}
+
+// overlapping builds an assignment with ASAP arrivals and deadlines
+// defined by the supplied backward rule.
+func overlapping(g *taskgraph.Graph, est []rtime.Time,
+	rule func(v int, ld []rtime.Time) rtime.Time, name string) (*slicing.Assignment, error) {
+
+	if !g.Frozen() {
+		return nil, fmt.Errorf("deadline: graph must be frozen")
+	}
+	n := g.NumTasks()
+	if len(est) != n {
+		return nil, fmt.Errorf("deadline: %d estimates for %d tasks", len(est), n)
+	}
+	for _, out := range g.Outputs() {
+		if !g.Task(out).ETEDeadline.IsSet() {
+			return nil, fmt.Errorf("deadline: output task %d has no end-to-end deadline", out)
+		}
+	}
+	asg := &slicing.Assignment{
+		Arrival:     make([]rtime.Time, n),
+		AbsDeadline: make([]rtime.Time, n),
+		RelDeadline: make([]rtime.Time, n),
+		Virtual:     append([]rtime.Time(nil), est...),
+		MetricName:  name,
+	}
+	topo := g.TopoOrder()
+	// ASAP arrivals.
+	for _, v := range topo {
+		a := g.Task(v).Phase
+		for _, p := range g.Preds(v) {
+			if t := asg.Arrival[p] + est[p]; t > a {
+				a = t
+			}
+		}
+		asg.Arrival[v] = a
+	}
+	// Backward deadlines.
+	for i := n - 1; i >= 0; i-- {
+		v := topo[i]
+		asg.AbsDeadline[v] = rule(v, asg.AbsDeadline)
+	}
+	for v := 0; v < n; v++ {
+		rel := asg.AbsDeadline[v] - asg.Arrival[v]
+		if rel < 0 {
+			rel = 0
+			asg.OverConstrained = true
+		}
+		if rel == 0 {
+			asg.OverConstrained = true
+		}
+		asg.RelDeadline[v] = rel
+	}
+	return asg, nil
+}
+
+// Baselines returns the overlapping-window baselines.
+func Baselines() []Distributor { return []Distributor{UD{}, ED{}} }

@@ -1,0 +1,221 @@
+// Package experiment is the evaluation harness that regenerates the
+// paper's figures: it fans workloads out over a worker pool, runs the
+// slice→schedule pipeline on each, and aggregates success ratios and the
+// secondary quality measures (§4.2).
+//
+// The harness plays the role of the GAST framework [19] the paper used:
+// deterministic workload generation, a parameter sweep per figure, and
+// per-cell aggregation. Each data point evaluates Config.NumGraphs
+// independent workloads; workload i of a point derives its seed from the
+// master seed with gen.SubSeed, so every metric and strategy sees the
+// *same* workload sample — paired comparisons, as in the paper.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/feas"
+	"repro/internal/gen"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/stats"
+	"repro/internal/wcet"
+)
+
+// Config describes one data point: a workload distribution and a
+// pipeline configuration to evaluate on it.
+type Config struct {
+	// Gen is the workload generator configuration (Gen.Seed is ignored;
+	// per-graph seeds derive from MasterSeed).
+	Gen gen.Config
+	// Metric is the critical-path metric under evaluation.
+	Metric slicing.Metric
+	// Params are the adaptive-metric parameters (§6 defaults normally).
+	Params slicing.Params
+	// WCET is the estimation strategy (§5.3).
+	WCET wcet.Strategy
+	// NumGraphs is the sample size per point (paper: 1024).
+	NumGraphs int
+	// MasterSeed makes the whole experiment reproducible.
+	MasterSeed int64
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Scheduler selects the baseline scheduler variant.
+	Scheduler Scheduler
+	// Classify additionally runs the feas necessary-condition check on
+	// every assignment, filling Point.ProvablyInfeasible. It roughly
+	// doubles the per-workload cost (O(n²) boundary intervals), so it is
+	// off by default.
+	Classify bool
+}
+
+// Scheduler selects how the assigned windows are scheduled.
+type Scheduler int
+
+const (
+	// TimeDriven uses sched.Dispatch, the paper's non-preemptive
+	// time-driven run-time dispatcher (the default).
+	TimeDriven Scheduler = iota
+	// Planner uses sched.EDF, the offline greedy list scheduler with
+	// per-processor reservation.
+	Planner
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	switch s {
+	case TimeDriven:
+		return "time-driven"
+	case Planner:
+		return "planner"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// Point aggregates one data point.
+type Point struct {
+	// Success counts workloads whose schedule met every assigned
+	// deadline — the paper's success ratio.
+	Success stats.Ratio
+	// OverConstrained counts workloads where slicing produced an empty
+	// window (guaranteed failures).
+	OverConstrained int
+	// ProvablyInfeasible counts workloads whose assignment fails a
+	// necessary feasibility condition (filled only when Config.Classify
+	// is set); these failures are the metric's fault, not the
+	// scheduler's.
+	ProvablyInfeasible int
+	// Lateness accumulates the maximum task lateness of each schedule
+	// (§4.2's secondary measure; negative values are margin).
+	Lateness stats.Running
+	// MinLaxity accumulates the minimum task laxity of each assignment.
+	MinLaxity stats.Running
+	// Errors counts pipeline failures (generator or slicer errors);
+	// always 0 in a healthy configuration.
+	Errors int
+}
+
+// Run evaluates one data point.
+func Run(cfg Config) Point {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.NumGraphs {
+		workers = cfg.NumGraphs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		point   Point
+		indices = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Point
+			for idx := range indices {
+				runOne(cfg, idx, &local)
+			}
+			mu.Lock()
+			point.Success.Succ += local.Success.Succ
+			point.Success.Total += local.Success.Total
+			point.OverConstrained += local.OverConstrained
+			point.ProvablyInfeasible += local.ProvablyInfeasible
+			point.Errors += local.Errors
+			point.Lateness.Merge(local.Lateness)
+			point.MinLaxity.Merge(local.MinLaxity)
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < cfg.NumGraphs; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	return point
+}
+
+// runOne runs the full pipeline — generate, estimate, slice, schedule —
+// for workload idx and folds the outcome into p.
+func runOne(cfg Config, idx int, p *Point) {
+	gcfg := cfg.Gen
+	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
+	w, err := gen.Generate(gcfg)
+	if err != nil {
+		p.Errors++
+		return
+	}
+	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
+	if err != nil {
+		p.Errors++
+		return
+	}
+	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
+	if err != nil {
+		p.Errors++
+		return
+	}
+	if asg.OverConstrained {
+		p.OverConstrained++
+	}
+	if cfg.Classify {
+		if bad, err := feas.Infeasible(w.Graph, w.Platform, asg); err == nil && bad {
+			p.ProvablyInfeasible++
+		}
+	}
+	var s *sched.Schedule
+	if cfg.Scheduler == Planner {
+		s, err = sched.EDF(w.Graph, w.Platform, asg)
+	} else {
+		s, err = sched.Dispatch(w.Graph, w.Platform, asg)
+	}
+	if err != nil {
+		p.Errors++
+		return
+	}
+	p.Success.Add(s.Feasible)
+	p.Lateness.Add(float64(s.MaxLateness))
+	p.MinLaxity.Add(float64(asg.MinLaxity(est)))
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table is the harness rendering of one paper figure: a sweep on the X
+// axis with one series per configuration.
+type Table struct {
+	Title   string
+	XLabel  string
+	XValues []string
+	Series  []Series
+}
+
+// SuccessRow returns the success ratios of one series as floats.
+func (t *Table) SuccessRow(series int) []float64 {
+	out := make([]float64, len(t.Series[series].Points))
+	for i, p := range t.Series[series].Points {
+		out[i] = p.Success.Value()
+	}
+	return out
+}
+
+// SeriesByName returns the index of the named series, or an error.
+func (t *Table) SeriesByName(name string) (int, error) {
+	for i, s := range t.Series {
+		if s.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: no series %q in table %q", name, t.Title)
+}

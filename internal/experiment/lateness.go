@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/slicing"
+	"repro/internal/wcet"
+)
+
+// LatenessStudy reproduces the evaluation style of the paper's
+// predecessor [12] and of §4.2's secondary quality measure: when E-T-E
+// deadlines are loose enough that nearly every workload schedules, the
+// metrics are compared on the *maximum task lateness* instead — how far
+// from infeasibility the schedule stays (more negative is better, i.e.
+// more margin for additional background workload).
+//
+// The study sweeps OLR over the loose region for a three-processor
+// system and reports the mean max lateness of each metric.
+func LatenessStudy(o Options) Table {
+	t := Table{
+		Title:  "Lateness study: mean max lateness vs. OLR (m=3, ETD=25%) — §4.2 secondary measure",
+		XLabel: "OLR",
+	}
+	sweep := []float64{0.70, 0.80, 0.90, 1.00}
+	for _, olr := range sweep {
+		t.XValues = append(t.XValues, fmt.Sprintf("%.2f", olr))
+	}
+	for _, metric := range slicing.Metrics() {
+		s := Series{Name: metric.Name()}
+		for _, olr := range sweep {
+			g := gen.Default(3)
+			g.OLR = olr
+			s.Points = append(s.Points, o.point(g, metric, wcet.AVG))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
+// FormatLatenessTable renders a table on its Lateness statistic (mean
+// max lateness in time units; negative is margin) instead of the
+// success ratio.
+func FormatLatenessTable(t Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	nameW := len(t.XLabel)
+	for _, s := range t.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	const colW = 9
+	fmt.Fprintf(&b, "%-*s", nameW+2, t.XLabel)
+	for _, x := range t.XValues {
+		fmt.Fprintf(&b, "%*s", colW, x)
+	}
+	b.WriteByte('\n')
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "%-*s", nameW+2, s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%*.1f", colW, p.Lateness.Mean())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/slicing"
+)
+
+func TestLatenessStudyShape(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NumGraphs = 6
+	table := LatenessStudy(opts)
+	if len(table.Series) != 4 || len(table.XValues) != 4 {
+		t.Fatalf("shape = %d series × %d columns", len(table.Series), len(table.XValues))
+	}
+	for _, s := range table.Series {
+		for i, p := range s.Points {
+			if p.Lateness.N() != 6 {
+				t.Fatalf("series %s point %d has %d lateness samples", s.Name, i, p.Lateness.N())
+			}
+		}
+	}
+	// Looser deadlines leave more margin: mean max lateness at OLR 1.0
+	// should be below (more negative than) OLR 0.70, for every metric.
+	for _, s := range table.Series {
+		first := s.Points[0].Lateness.Mean()
+		last := s.Points[len(s.Points)-1].Lateness.Mean()
+		if last >= first {
+			t.Errorf("%s: lateness did not improve with looser deadlines (%.1f → %.1f)",
+				s.Name, first, last)
+		}
+	}
+	out := FormatLatenessTable(table)
+	if !strings.Contains(out, "Lateness study") || !strings.Contains(out, "ADAPT-L") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestOptGapSeparatesErrorSources(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs exact searches")
+	}
+	res := OptGap(OptGapConfig{
+		Metric:     slicing.PURE(),
+		Params:     slicing.CalibratedParams(),
+		M:          2,
+		OLR:        0.5,
+		MinTasks:   8,
+		MaxTasks:   12,
+		NumGraphs:  60,
+		MasterSeed: 33,
+		NodeBudget: 300_000,
+	})
+	t.Logf("%v", res)
+	total := res.DispatchOK + res.RescuedByExact + res.WindowsInfeasible + res.Inconclusive
+	if total != res.Graphs {
+		t.Fatalf("categories sum to %d, want %d", total, res.Graphs)
+	}
+	if res.DispatchOK == res.Graphs {
+		t.Error("study point too loose to be informative (everything dispatches)")
+	}
+	if res.DispatchOK == 0 {
+		t.Error("study point too tight to be informative (nothing dispatches)")
+	}
+}
+
+func TestOptGapString(t *testing.T) {
+	s := OptGapResult{Graphs: 10, DispatchOK: 7, RescuedByExact: 1, WindowsInfeasible: 2}.String()
+	if !strings.Contains(s, "7/10") || !strings.Contains(s, "rescued-by-exact 1") {
+		t.Errorf("String() = %q", s)
+	}
+}

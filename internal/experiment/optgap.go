@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/optsched"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/wcet"
+)
+
+// OptGap quantifies how much of the success-ratio shortfall is the
+// *dispatcher's* fault versus the *deadline distribution's* fault. For
+// each small random workload it distributes deadlines with the given
+// metric and then asks three questions:
+//
+//  1. does the time-driven EDF dispatcher meet every window?
+//  2. if not, does ANY non-preemptive schedule meet them (exact
+//     branch-and-bound over active schedules)?
+//  3. if not even that, the windows themselves are infeasible — the
+//     metric, not the scheduler, lost the workload.
+//
+// The paper evaluates metrics only through the heuristic scheduler;
+// this study separates the two error sources, which the NP-completeness
+// framing of §1 leaves entangled.
+type OptGapResult struct {
+	Graphs int
+	// DispatchOK counts workloads the heuristic dispatcher schedules.
+	DispatchOK int
+	// RescuedByExact counts workloads the dispatcher fails but an exact
+	// scheduler proves feasible (dispatcher's fault).
+	RescuedByExact int
+	// WindowsInfeasible counts workloads where no non-preemptive
+	// schedule meets the assigned windows (metric's fault).
+	WindowsInfeasible int
+	// Inconclusive counts exact searches that exhausted their node
+	// budget.
+	Inconclusive int
+}
+
+// String summarizes the result.
+func (r OptGapResult) String() string {
+	return fmt.Sprintf("dispatch %d/%d, rescued-by-exact %d, windows-infeasible %d, inconclusive %d",
+		r.DispatchOK, r.Graphs, r.RescuedByExact, r.WindowsInfeasible, r.Inconclusive)
+}
+
+// OptGapConfig parameterizes the study.
+type OptGapConfig struct {
+	// Metric under test.
+	Metric slicing.Metric
+	// Params for the metric.
+	Params slicing.Params
+	// M is the system size.
+	M int
+	// OLR is the deadline tightness.
+	OLR float64
+	// Tasks bounds the graph size (small, for the exact search).
+	MinTasks, MaxTasks int
+	// NumGraphs is the sample size.
+	NumGraphs int
+	// MasterSeed drives the workloads.
+	MasterSeed int64
+	// NodeBudget caps each exact search.
+	NodeBudget int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// OptGap runs the study.
+func OptGap(cfg OptGapConfig) OptGapResult {
+	if cfg.NodeBudget <= 0 {
+		cfg.NodeBudget = 2_000_000
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		res = OptGapResult{Graphs: cfg.NumGraphs}
+		ch  = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range ch {
+				var local OptGapResult
+				optGapOne(cfg, idx, &local)
+				mu.Lock()
+				res.DispatchOK += local.DispatchOK
+				res.RescuedByExact += local.RescuedByExact
+				res.WindowsInfeasible += local.WindowsInfeasible
+				res.Inconclusive += local.Inconclusive
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.NumGraphs; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return res
+}
+
+func optGapOne(cfg OptGapConfig, idx int, out *OptGapResult) {
+	gcfg := gen.Default(cfg.M)
+	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
+	gcfg.OLR = cfg.OLR
+	gcfg.MinTasks, gcfg.MaxTasks = cfg.MinTasks, cfg.MaxTasks
+	gcfg.MinDepth, gcfg.MaxDepth = 2, 4
+	w, err := gen.Generate(gcfg)
+	if err != nil {
+		out.Inconclusive++
+		return
+	}
+	est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+	if err != nil {
+		out.Inconclusive++
+		return
+	}
+	asg, err := slicing.Distribute(w.Graph, est, cfg.M, cfg.Metric, cfg.Params)
+	if err != nil {
+		out.Inconclusive++
+		return
+	}
+	d, err := sched.Dispatch(w.Graph, w.Platform, asg)
+	if err != nil {
+		out.Inconclusive++
+		return
+	}
+	if d.Feasible {
+		out.DispatchOK++
+		return
+	}
+	exact, err := optsched.Schedule(w.Graph, w.Platform, asg,
+		optsched.Options{NodeBudget: cfg.NodeBudget, StopAtFeasible: true})
+	if err != nil {
+		out.Inconclusive++
+		return
+	}
+	switch {
+	case exact.Schedule != nil && exact.Schedule.Feasible:
+		out.RescuedByExact++
+	case exact.Optimal:
+		out.WindowsInfeasible++
+	default:
+		out.Inconclusive++
+	}
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable renders a figure table as aligned text: one row per
+// series, one column per X value, success ratios as percentages.
+func FormatTable(t Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+
+	nameW := len(t.XLabel)
+	for _, s := range t.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	colW := 7
+	for _, x := range t.XValues {
+		if len(x)+1 > colW {
+			colW = len(x) + 1
+		}
+	}
+
+	fmt.Fprintf(&b, "%-*s", nameW+2, t.XLabel)
+	for _, x := range t.XValues {
+		fmt.Fprintf(&b, "%*s", colW, x)
+	}
+	b.WriteByte('\n')
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "%-*s", nameW+2, s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%*s", colW, fmt.Sprintf("%.1f%%", 100*p.Success.Value()))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTableCSV renders the same data as CSV for downstream plotting.
+func FormatTableCSV(t Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s\n", strings.Join(t.XValues, ","))
+	for _, s := range t.Series {
+		b.WriteString(s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, ",%.4f", p.Success.Value())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+// Package feas provides fast necessary feasibility tests for a window
+// assignment — certificates of infeasibility that need no scheduling
+// search. They complement the exact search in package optsched: feas
+// can only say "provably infeasible" or "maybe feasible", but it says
+// it in O(n²) instead of exponential time, which lets experiments
+// classify the bulk of metric-caused failures cheaply.
+//
+// Three conditions are checked, all classical demand arguments:
+//
+//   - Window capacity: a task must fit its own window (c̄ᵢ ≤ dᵢ, using
+//     the smallest eligible-and-present WCET).
+//   - Processor demand: for every interval [a, b) spanned by window
+//     boundaries, the total minimal work of tasks whose windows nest
+//     inside [a, b) cannot exceed m·(b − a).
+//   - Resource demand: for every exclusive resource and interval, the
+//     minimal work of nested holder windows cannot exceed (b − a).
+//
+// All three are necessary for any schedule — preemptive or not, with or
+// without migration — so a feas violation is a property of the deadline
+// distribution alone.
+package feas
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+// Violation describes one failed necessary condition.
+type Violation struct {
+	// Kind is "window", "processors", or "resource".
+	Kind string
+	// Task is the offending task for window violations, -1 otherwise.
+	Task int
+	// Resource is the resource index for resource violations, -1
+	// otherwise.
+	Resource int
+	// Interval is the overloaded interval.
+	Interval rtime.Window
+	// Demand and Capacity quantify the overload.
+	Demand, Capacity rtime.Time
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	switch v.Kind {
+	case "window":
+		return fmt.Sprintf("task %d needs %d units but its window %v holds %d",
+			v.Task, v.Demand, v.Interval, v.Capacity)
+	case "resource":
+		return fmt.Sprintf("resource %d: demand %d exceeds capacity %d in %v",
+			v.Resource, v.Demand, v.Capacity, v.Interval)
+	}
+	return fmt.Sprintf("processors: demand %d exceeds capacity %d in %v",
+		v.Demand, v.Capacity, v.Interval)
+}
+
+// Check runs all necessary conditions and returns every violation
+// found (empty means the assignment *may* be feasible).
+func Check(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) ([]Violation, error) {
+	n := g.NumTasks()
+	if len(asg.Arrival) != n || len(asg.AbsDeadline) != n {
+		return nil, fmt.Errorf("feas: assignment covers %d tasks, graph has %d", len(asg.Arrival), n)
+	}
+	present := p.ClassesPresent()
+
+	// Minimal execution time per task over eligible present classes.
+	minC := make([]rtime.Time, n)
+	for i, t := range g.Tasks() {
+		best := rtime.Infinity
+		if t.Pinned >= 0 {
+			if t.Pinned < p.M() {
+				if c := t.WCET[p.ClassOf(t.Pinned)]; c.IsSet() {
+					best = c
+				}
+			}
+		} else {
+			for k, c := range t.WCET {
+				if c.IsSet() && k < len(present) && present[k] && c < best {
+					best = c
+				}
+			}
+		}
+		if best == rtime.Infinity {
+			return nil, fmt.Errorf("feas: task %d eligible on no present class", i)
+		}
+		minC[i] = best
+	}
+
+	var out []Violation
+
+	// Condition 1: own-window capacity.
+	for i := 0; i < n; i++ {
+		w := rtime.Window{Arrival: asg.Arrival[i], Deadline: asg.AbsDeadline[i]}
+		if minC[i] > w.Len() {
+			out = append(out, Violation{
+				Kind: "window", Task: i, Resource: -1,
+				Interval: w, Demand: minC[i], Capacity: w.Len(),
+			})
+		}
+	}
+
+	// Boundary set for interval enumeration.
+	bset := map[rtime.Time]bool{}
+	for i := 0; i < n; i++ {
+		bset[asg.Arrival[i]] = true
+		bset[asg.AbsDeadline[i]] = true
+	}
+	bounds := make([]rtime.Time, 0, len(bset))
+	for b := range bset {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+
+	// Condition 2: processor demand over every boundary interval.
+	m := rtime.Time(p.M())
+	demandIn := func(a, b rtime.Time, filter func(i int) bool) rtime.Time {
+		var d rtime.Time
+		for i := 0; i < n; i++ {
+			if asg.Arrival[i] >= a && asg.AbsDeadline[i] <= b && asg.AbsDeadline[i] > asg.Arrival[i] {
+				if filter == nil || filter(i) {
+					d += minC[i]
+				}
+			}
+		}
+		return d
+	}
+	for ai := 0; ai < len(bounds); ai++ {
+		for bi := ai + 1; bi < len(bounds); bi++ {
+			a, b := bounds[ai], bounds[bi]
+			cap := m * (b - a)
+			if d := demandIn(a, b, nil); d > cap {
+				out = append(out, Violation{
+					Kind: "processors", Task: -1, Resource: -1,
+					Interval: rtime.Window{Arrival: a, Deadline: b},
+					Demand:   d, Capacity: cap,
+				})
+			}
+		}
+	}
+
+	// Condition 3: per-resource demand (capacity 1 per time unit).
+	resMax := -1
+	for _, t := range g.Tasks() {
+		for _, r := range t.Resources {
+			if r > resMax {
+				resMax = r
+			}
+		}
+	}
+	for r := 0; r <= resMax; r++ {
+		holds := func(i int) bool {
+			for _, rr := range g.Task(i).Resources {
+				if rr == r {
+					return true
+				}
+			}
+			return false
+		}
+		for ai := 0; ai < len(bounds); ai++ {
+			for bi := ai + 1; bi < len(bounds); bi++ {
+				a, b := bounds[ai], bounds[bi]
+				if d := demandIn(a, b, holds); d > b-a {
+					out = append(out, Violation{
+						Kind: "resource", Task: -1, Resource: r,
+						Interval: rtime.Window{Arrival: a, Deadline: b},
+						Demand:   d, Capacity: b - a,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Infeasible reports whether the assignment is provably unschedulable.
+func Infeasible(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (bool, error) {
+	v, err := Check(g, p, asg)
+	if err != nil {
+		return false, err
+	}
+	return len(v) > 0, nil
+}

@@ -1,0 +1,180 @@
+package feas
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/gen"
+	"repro/internal/optsched"
+	"repro/internal/rtime"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+	"repro/internal/wcet"
+)
+
+func c1(v rtime.Time) []rtime.Time { return []rtime.Time{v} }
+
+func manual(arr, dl []rtime.Time) *slicing.Assignment {
+	rel := make([]rtime.Time, len(arr))
+	for i := range rel {
+		rel[i] = dl[i] - arr[i]
+	}
+	return &slicing.Assignment{Arrival: arr, AbsDeadline: dl, RelDeadline: rel}
+}
+
+func TestWindowViolation(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("", c1(10), 0)
+	g.MustFreeze()
+	v, err := Check(g, arch.Homogeneous(1), manual([]rtime.Time{0}, []rtime.Time{9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) == 0 || v[0].Kind != "window" || v[0].Task != 0 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestProcessorDemandViolation(t *testing.T) {
+	// Three 10-unit tasks nested in a 25-unit interval on one processor:
+	// demand 30 > capacity 25, though each individual window fits.
+	g := taskgraph.NewGraph(1)
+	for i := 0; i < 3; i++ {
+		g.MustAddTask("", c1(10), 0)
+	}
+	g.MustFreeze()
+	v, err := Check(g, arch.Homogeneous(1),
+		manual([]rtime.Time{0, 0, 0}, []rtime.Time{25, 25, 25}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, vi := range v {
+		if vi.Kind == "processors" && vi.Demand == 30 && vi.Capacity == 25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("processor overload not certified: %v", v)
+	}
+	// The same windows on two processors are fine.
+	v2, err := Check(g, arch.Homogeneous(2),
+		manual([]rtime.Time{0, 0, 0}, []rtime.Time{25, 25, 25}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2) != 0 {
+		t.Errorf("false positive on 2 processors: %v", v2)
+	}
+}
+
+func TestResourceDemandViolation(t *testing.T) {
+	// Two 10-unit holders of one resource nested in a 15-unit interval:
+	// resource demand 20 > 15 even with unlimited processors.
+	g := taskgraph.NewGraph(1)
+	a := g.MustAddTask("", c1(10), 0)
+	b := g.MustAddTask("", c1(10), 0)
+	a.Resources = []int{0}
+	b.Resources = []int{0}
+	g.MustFreeze()
+	v, err := Check(g, arch.Homogeneous(8),
+		manual([]rtime.Time{0, 0}, []rtime.Time{15, 15}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, vi := range v {
+		if vi.Kind == "resource" && vi.Resource == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("resource overload not certified: %v", v)
+	}
+}
+
+func TestHeterogeneousUsesMinimalWCET(t *testing.T) {
+	// WCET 20 on class 0, 8 on class 1; only class 1 present. Window of
+	// 10 fits the class-1 time.
+	g := taskgraph.NewGraph(2)
+	g.MustAddTask("", []rtime.Time{20, 8}, 0)
+	g.MustFreeze()
+	p := arch.MustNew(arch.Unrelated, []arch.Class{{}, {}}, []int{1}, arch.Bus{DelayPerItem: 1})
+	v, err := Check(g, p, manual([]rtime.Time{0}, []rtime.Time{10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Errorf("min-WCET not used: %v", v)
+	}
+}
+
+func TestUnplaceableTaskErrors(t *testing.T) {
+	g := taskgraph.NewGraph(2)
+	g.MustAddTask("", []rtime.Time{10, rtime.Unset}, 0)
+	g.MustFreeze()
+	p := arch.MustNew(arch.Unrelated, []arch.Class{{}, {}}, []int{1}, arch.Bus{DelayPerItem: 1})
+	if _, err := Check(g, p, manual([]rtime.Time{0}, []rtime.Time{10})); err == nil {
+		t.Error("unsatisfiable eligibility should error")
+	}
+}
+
+// Soundness: feas must never call an assignment infeasible that the
+// exact scheduler can realize. (The other direction does not hold —
+// feas is only a necessary condition.)
+func TestNeverContradictsExactScheduler(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := gen.Default(2 + rng.Intn(2))
+		cfg.Seed = seed
+		cfg.MinTasks, cfg.MaxTasks = 6, 10
+		cfg.MinDepth, cfg.MaxDepth = 2, 4
+		cfg.OLR = 0.35 + rng.Float64()*0.5
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+		if err != nil {
+			return false
+		}
+		asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), slicing.PURE(), slicing.CalibratedParams())
+		if err != nil {
+			return false
+		}
+		bad, err := Infeasible(w.Graph, w.Platform, asg)
+		if err != nil {
+			return false
+		}
+		if !bad {
+			return true // "maybe feasible" claims nothing
+		}
+		res, err := optsched.Schedule(w.Graph, w.Platform, asg,
+			optsched.Options{NodeBudget: 400_000, StopAtFeasible: true})
+		if err != nil {
+			return false
+		}
+		if res.Schedule != nil && res.Schedule.Feasible {
+			t.Logf("seed %d: feas said infeasible, exact found a schedule", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("", c1(5), 0)
+	g.MustFreeze()
+	if _, err := Check(g, arch.Homogeneous(1), manual(nil, nil)); err == nil {
+		t.Error("short assignment accepted")
+	}
+}

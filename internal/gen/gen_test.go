@@ -1,0 +1,354 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/wcet"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	for m := 1; m <= 8; m++ {
+		if err := Default(m).Validate(); err != nil {
+			t.Errorf("Default(%d) invalid: %v", m, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.MinTasks = 0 },
+		func(c *Config) { c.MaxTasks = c.MinTasks - 1 },
+		func(c *Config) { c.MinDepth = 0 },
+		func(c *Config) { c.MaxDepth = c.MinDepth - 1 },
+		func(c *Config) { c.MinDepth = c.MinTasks + 1; c.MaxDepth = c.MinDepth },
+		func(c *Config) { c.MaxFan = 0 },
+		func(c *Config) { c.CMean = 0 },
+		func(c *Config) { c.ETD = -0.1 },
+		func(c *Config) { c.ETD = 1.5 },
+		func(c *Config) { c.IneligibleProb = 1 },
+		func(c *Config) { c.CCR = -1 },
+		func(c *Config) { c.OLR = 0 },
+		func(c *Config) { c.M = 0 },
+		func(c *Config) { c.MinClasses = 0 },
+		func(c *Config) { c.BusDelayPerItem = -1 },
+	}
+	for i, mut := range mutations {
+		c := Default(3)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Default(4)
+	cfg.Seed = 42
+	w := MustGenerate(cfg)
+	g := w.Graph
+	if n := g.NumTasks(); n < 40 || n > 60 {
+		t.Errorf("task count %d outside [40, 60]", n)
+	}
+	if d := g.Depth(); d < 8 || d > 12 {
+		t.Errorf("depth %d outside [8, 12]", d)
+	}
+	if w.Platform.M() != 4 {
+		t.Errorf("m = %d", w.Platform.M())
+	}
+	if ne := w.Platform.NumClasses(); ne < 1 || ne > 3 {
+		t.Errorf("|E| = %d outside [1, 3]", ne)
+	}
+	// Every output task carries the same E-T-E deadline derived from OLR.
+	want := rtime.Time(float64(w.AvgWork)*cfg.OLR + 0.5)
+	for _, out := range g.Outputs() {
+		got := g.Task(out).ETEDeadline
+		if got < want-1 || got > want+1 {
+			t.Errorf("output %d deadline %d, want ≈ %d", out, got, want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 7
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	if a.Graph.NumTasks() != b.Graph.NumTasks() || a.Graph.NumArcs() != b.Graph.NumArcs() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := 0; i < a.Graph.NumTasks(); i++ {
+		ta, tb := a.Graph.Task(i), b.Graph.Task(i)
+		for k := range ta.WCET {
+			if ta.WCET[k] != tb.WCET[k] {
+				t.Fatalf("task %d WCET differs", i)
+			}
+		}
+	}
+	cfg.Seed = 8
+	c := MustGenerate(cfg)
+	if c.Graph.NumTasks() == a.Graph.NumTasks() && c.Graph.NumArcs() == a.Graph.NumArcs() &&
+		c.AvgWork == a.AvgWork {
+		t.Error("different seeds produced suspiciously identical workloads")
+	}
+}
+
+func TestSubSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := SubSeed(1, i)
+		if seen[s] {
+			t.Fatalf("SubSeed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Error("different masters give equal sub-seeds")
+	}
+}
+
+func TestWCETRangeRespectsETD(t *testing.T) {
+	for _, etd := range []float64{0, 0.25, 0.5, 1.0} {
+		cfg := Default(3)
+		cfg.Seed = 11
+		cfg.ETD = etd
+		w := MustGenerate(cfg)
+		lo := rtime.Time(float64(cfg.CMean) * (1 - etd))
+		if lo < 1 {
+			lo = 1
+		}
+		hi := rtime.Time(float64(cfg.CMean) * (1 + etd))
+		for _, tk := range w.Graph.Tasks() {
+			for k, c := range tk.WCET {
+				if c == rtime.Unset {
+					continue
+				}
+				if c < lo || c > hi {
+					t.Fatalf("ETD %v: WCET[%d] = %d outside [%d, %d]", etd, k, c, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestETDZeroMakesAllTimesEqual(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 5
+	cfg.ETD = 0
+	w := MustGenerate(cfg)
+	for _, tk := range w.Graph.Tasks() {
+		for _, c := range tk.WCET {
+			if c != rtime.Unset && c != cfg.CMean {
+				t.Fatalf("ETD=0 produced WCET %d ≠ %d", c, cfg.CMean)
+			}
+		}
+	}
+}
+
+func TestEveryTaskEligibleOnPresentClass(t *testing.T) {
+	cfg := Default(2)
+	cfg.Seed = 99
+	cfg.IneligibleProb = 0.4 // stress the re-roll path
+	w := MustGenerate(cfg)
+	if _, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG); err != nil {
+		t.Errorf("generated workload has an unplaceable task: %v", err)
+	}
+}
+
+func TestFanBounds(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 123
+	w := MustGenerate(cfg)
+	g := w.Graph
+	for i := 0; i < g.NumTasks(); i++ {
+		if len(g.Preds(i)) > cfg.MaxFan {
+			t.Errorf("task %d has %d predecessors", i, len(g.Preds(i)))
+		}
+		if len(g.Succs(i)) > cfg.MaxFan {
+			t.Errorf("task %d has %d successors", i, len(g.Succs(i)))
+		}
+	}
+}
+
+func TestLevelStructure(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 321
+	w := MustGenerate(cfg)
+	g := w.Graph
+	d := g.Depth()
+	for _, in := range g.Inputs() {
+		if g.Level(in) != 0 {
+			t.Errorf("input %d at level %d", in, g.Level(in))
+		}
+	}
+	// At least one output sits at the final level, and tasks at the
+	// final level are all outputs.
+	finalOutputs := 0
+	for _, out := range g.Outputs() {
+		if g.Level(out) == d-1 {
+			finalOutputs++
+		}
+	}
+	if finalOutputs == 0 {
+		t.Error("no output at the final level")
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if g.Level(i) == d-1 && len(g.Succs(i)) != 0 {
+			t.Errorf("final-level task %d has successors", i)
+		}
+	}
+}
+
+func TestMessageSizesMatchCCR(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 77
+	w := MustGenerate(cfg)
+	var sum, cnt float64
+	for _, a := range w.Graph.Arcs() {
+		sum += float64(a.Items)
+		cnt++
+	}
+	mean := sum / cnt
+	want := cfg.CCR * float64(cfg.CMean) // 2.0
+	if mean < want*0.6 || mean > want*1.4 {
+		t.Errorf("mean message size %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestZeroCCRMeansNoMessages(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 13
+	cfg.CCR = 0
+	w := MustGenerate(cfg)
+	for _, a := range w.Graph.Arcs() {
+		if a.Items != 0 {
+			t.Fatalf("CCR=0 but arc carries %d items", a.Items)
+		}
+	}
+}
+
+func TestIdenticalKind(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 4
+	cfg.Kind = arch.Identical
+	w := MustGenerate(cfg)
+	for _, tk := range w.Graph.Tasks() {
+		var first rtime.Time = rtime.Unset
+		for _, c := range tk.WCET {
+			if c == rtime.Unset {
+				continue
+			}
+			if first == rtime.Unset {
+				first = c
+			} else if c != first {
+				t.Fatalf("identical kind produced differing WCETs %v", tk.WCET)
+			}
+		}
+	}
+}
+
+// Property: for arbitrary seeds, generation succeeds and the structural
+// guarantees hold.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		cfg := Default(1 + int(mRaw%8))
+		cfg.Seed = seed
+		w, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		g := w.Graph
+		if g.NumTasks() < cfg.MinTasks || g.NumTasks() > cfg.MaxTasks {
+			return false
+		}
+		if g.Depth() < cfg.MinDepth || g.Depth() > cfg.MaxDepth {
+			return false
+		}
+		for _, out := range g.Outputs() {
+			if !g.Task(out).ETEDeadline.IsSet() {
+				return false
+			}
+		}
+		if _, err := wcet.Estimates(g, w.Platform, wcet.AVG); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformKindScalesBySpeed(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 61
+	cfg.Kind = arch.Uniform
+	w := MustGenerate(cfg)
+	if w.Platform.Kind != arch.Uniform {
+		t.Fatalf("platform kind = %v", w.Platform.Kind)
+	}
+	// Under the uniform model, the ratio of two classes' WCETs is the
+	// same for every task (up to rounding): check pairwise consistency.
+	classes := w.Platform.NumClasses()
+	if classes < 2 {
+		t.Skip("single class drawn; ratio check vacuous")
+	}
+	var ratios []float64
+	for _, tk := range w.Graph.Tasks() {
+		if tk.WCET[0] == rtime.Unset || tk.WCET[1] == rtime.Unset {
+			continue
+		}
+		ratios = append(ratios, float64(tk.WCET[0])/float64(tk.WCET[1]))
+	}
+	if len(ratios) < 5 {
+		t.Skip("not enough dual-eligible tasks")
+	}
+	for _, r := range ratios {
+		if r < ratios[0]*0.8 || r > ratios[0]*1.2 {
+			t.Errorf("uniform ratio drifts: %v vs %v", r, ratios[0])
+		}
+	}
+}
+
+func TestPinProbValidation(t *testing.T) {
+	cfg := Default(3)
+	cfg.PinProb = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("PinProb > 1 accepted")
+	}
+}
+
+func TestPinnedGenerationPinsOnlyBoundary(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 8
+	cfg.PinProb = 1.0
+	w := MustGenerate(cfg)
+	g := w.Graph
+	isBoundary := map[int]bool{}
+	for _, id := range g.Inputs() {
+		isBoundary[id] = true
+	}
+	for _, id := range g.Outputs() {
+		isBoundary[id] = true
+	}
+	pinned := 0
+	for _, tk := range g.Tasks() {
+		if tk.Pinned >= 0 {
+			pinned++
+			if !isBoundary[tk.ID] {
+				t.Errorf("interior task %d pinned", tk.ID)
+			}
+			if tk.Pinned >= w.Platform.M() {
+				t.Errorf("task %d pinned to missing processor %d", tk.ID, tk.Pinned)
+			}
+			if !tk.EligibleOn(w.Platform.ClassOf(tk.Pinned)) {
+				t.Errorf("task %d pinned to ineligible class", tk.ID)
+			}
+		}
+	}
+	if pinned == 0 {
+		t.Error("PinProb=1 pinned nothing")
+	}
+}

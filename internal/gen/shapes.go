@@ -1,0 +1,175 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// Shape selects the structural family of generated task graphs. The
+// paper's experiments use the layered random DAGs of §5.2; the other
+// shapes support robustness studies across the application structures
+// the paper's introduction names (sequential decompositions, parallel
+// sections, reductions).
+type Shape int
+
+const (
+	// Layered is the §5.2 generator: depth-pinned random layers with
+	// fan-in/out between one and MaxFan (the default).
+	Layered Shape = iota
+	// ForkJoin alternates serial joint tasks with parallel sections —
+	// the classic parbegin/parend decomposition. Joint tasks take the
+	// whole preceding section as predecessors, so their fan-in is the
+	// section width rather than MaxFan.
+	ForkJoin
+	// InTree is a reduction: every task has exactly one successor; the
+	// single output is the root.
+	InTree
+	// OutTree is a distribution: every task has exactly one
+	// predecessor; the single input is the root and the leaves are the
+	// outputs.
+	OutTree
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Layered:
+		return "layered"
+	case ForkJoin:
+		return "fork-join"
+	case InTree:
+		return "in-tree"
+	case OutTree:
+		return "out-tree"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// Shapes lists every generator shape.
+var Shapes = []Shape{Layered, ForkJoin, InTree, OutTree}
+
+// genShaped builds the task graph for the configured shape.
+func genShaped(cfg Config, rng *rand.Rand, platform *arch.Platform) (*taskgraph.Graph, error) {
+	switch cfg.Shape {
+	case Layered:
+		return genGraph(cfg, rng, platform)
+	case ForkJoin:
+		return genForkJoin(cfg, rng, platform)
+	case InTree:
+		return genTree(cfg, rng, platform, false)
+	case OutTree:
+		return genTree(cfg, rng, platform, true)
+	}
+	return nil, fmt.Errorf("gen: unknown shape %v", cfg.Shape)
+}
+
+// genForkJoin alternates single joint tasks with parallel sections until
+// the task budget is spent.
+func genForkJoin(cfg Config, rng *rand.Rand, platform *arch.Platform) (*taskgraph.Graph, error) {
+	n := cfg.MinTasks + rng.Intn(cfg.MaxTasks-cfg.MinTasks+1)
+	ne := platform.NumClasses()
+	present := platform.ClassesPresent()
+	g := taskgraph.NewGraph(ne)
+	msg := func() rtime.Time { return msgItems(cfg, rng) }
+
+	add := func(name string) int {
+		t := g.MustAddTask(name, genWCET(cfg, rng, ne, present, platform), 0)
+		if cfg.NumResources > 0 && rng.Float64() < cfg.ResourceProb {
+			t.Resources = []int{rng.Intn(cfg.NumResources)}
+		}
+		return t.ID
+	}
+
+	joint := add("join0")
+	left := n - 1
+	section := 0
+	for left > 0 {
+		section++
+		// Parallel section of 2..2·MaxFan tasks (or what remains minus
+		// the closing joint).
+		width := 2 + rng.Intn(2*cfg.MaxFan)
+		if width > left-1 {
+			width = left - 1
+		}
+		if width < 1 {
+			// Only room for the closing joint: chain it.
+			next := add(fmt.Sprintf("join%d", section))
+			g.MustAddArc(joint, next, msg())
+			joint = next
+			left--
+			continue
+		}
+		var stage []int
+		for j := 0; j < width; j++ {
+			id := add(fmt.Sprintf("s%d.%d", section, j))
+			g.MustAddArc(joint, id, msg())
+			stage = append(stage, id)
+		}
+		next := add(fmt.Sprintf("join%d", section))
+		for _, id := range stage {
+			g.MustAddArc(id, next, msg())
+		}
+		joint = next
+		left -= width + 1
+	}
+	if err := g.Freeze(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// genTree builds an in-tree (out == false: arcs point child → parent,
+// one output root) or an out-tree (out == true: arcs point parent →
+// child, one input root).
+func genTree(cfg Config, rng *rand.Rand, platform *arch.Platform, out bool) (*taskgraph.Graph, error) {
+	n := cfg.MinTasks + rng.Intn(cfg.MaxTasks-cfg.MinTasks+1)
+	ne := platform.NumClasses()
+	present := platform.ClassesPresent()
+	g := taskgraph.NewGraph(ne)
+	msg := func() rtime.Time { return msgItems(cfg, rng) }
+
+	deg := make([]int, n) // children per node, capped at MaxFan
+	for i := 0; i < n; i++ {
+		t := g.MustAddTask(fmt.Sprintf("n%d", i), genWCET(cfg, rng, ne, present, platform), 0)
+		if cfg.NumResources > 0 && rng.Float64() < cfg.ResourceProb {
+			t.Resources = []int{rng.Intn(cfg.NumResources)}
+		}
+		if i == 0 {
+			continue // root
+		}
+		// Attach to a random earlier node with spare degree.
+		parent := -1
+		for try := 0; try < 4*n; try++ {
+			cand := rng.Intn(i)
+			if deg[cand] < cfg.MaxFan {
+				parent = cand
+				break
+			}
+		}
+		if parent < 0 {
+			for cand := 0; cand < i; cand++ {
+				if deg[cand] < cfg.MaxFan {
+					parent = cand
+					break
+				}
+			}
+		}
+		if parent < 0 {
+			parent = 0 // every node saturated: exceed the cap at the root
+		}
+		deg[parent]++
+		if out {
+			g.MustAddArc(parent, t.ID, msg())
+		} else {
+			g.MustAddArc(t.ID, parent, msg())
+		}
+	}
+	if err := g.Freeze(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

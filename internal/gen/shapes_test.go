@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wcet"
+)
+
+func TestShapeStrings(t *testing.T) {
+	want := map[Shape]string{Layered: "layered", ForkJoin: "fork-join", InTree: "in-tree", OutTree: "out-tree"}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+	if !strings.Contains(Shape(9).String(), "9") {
+		t.Error("unknown shape should include its number")
+	}
+	if len(Shapes) != 4 {
+		t.Error("Shapes should list all four")
+	}
+}
+
+func TestForkJoinStructure(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 21
+	cfg.Shape = ForkJoin
+	w := MustGenerate(cfg)
+	g := w.Graph
+	if n := g.NumTasks(); n < cfg.MinTasks || n > cfg.MaxTasks {
+		t.Errorf("n = %d", n)
+	}
+	// Single input (the first joint) and single output (the last joint).
+	if len(g.Inputs()) != 1 {
+		t.Errorf("inputs = %v", g.Inputs())
+	}
+	if len(g.Outputs()) != 1 {
+		t.Errorf("outputs = %v", g.Outputs())
+	}
+	// Section tasks have exactly one predecessor and one successor.
+	sections := 0
+	for i := 0; i < g.NumTasks(); i++ {
+		if strings.HasPrefix(g.Task(i).Name, "s") {
+			sections++
+			if len(g.Preds(i)) != 1 || len(g.Succs(i)) != 1 {
+				t.Errorf("section task %d has fan (%d, %d)", i, len(g.Preds(i)), len(g.Succs(i)))
+			}
+		}
+	}
+	if sections == 0 {
+		t.Error("no parallel sections generated")
+	}
+}
+
+func TestInTreeStructure(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 22
+	cfg.Shape = InTree
+	w := MustGenerate(cfg)
+	g := w.Graph
+	if len(g.Outputs()) != 1 || g.Outputs()[0] != 0 {
+		t.Errorf("in-tree must have the root as its only output: %v", g.Outputs())
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if i != 0 && len(g.Succs(i)) != 1 {
+			t.Errorf("in-tree node %d has %d successors", i, len(g.Succs(i)))
+		}
+	}
+	if g.NumArcs() != g.NumTasks()-1 {
+		t.Errorf("tree has %d arcs for %d nodes", g.NumArcs(), g.NumTasks())
+	}
+}
+
+func TestOutTreeStructure(t *testing.T) {
+	cfg := Default(3)
+	cfg.Seed = 23
+	cfg.Shape = OutTree
+	w := MustGenerate(cfg)
+	g := w.Graph
+	if len(g.Inputs()) != 1 || g.Inputs()[0] != 0 {
+		t.Errorf("out-tree must have the root as its only input: %v", g.Inputs())
+	}
+	for i := 1; i < g.NumTasks(); i++ {
+		if len(g.Preds(i)) != 1 {
+			t.Errorf("out-tree node %d has %d predecessors", i, len(g.Preds(i)))
+		}
+	}
+	// All leaves carry the E-T-E deadline.
+	for _, out := range g.Outputs() {
+		if !g.Task(out).ETEDeadline.IsSet() {
+			t.Errorf("leaf %d has no deadline", out)
+		}
+	}
+}
+
+// Property: every shape generates valid workloads that pass WCET
+// estimation for arbitrary seeds.
+func TestShapesGenerateValidWorkloads(t *testing.T) {
+	f := func(seed int64, sRaw uint8) bool {
+		cfg := Default(3)
+		cfg.Seed = seed
+		cfg.Shape = Shapes[int(sRaw)%len(Shapes)]
+		w, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		if w.Graph.NumTasks() < cfg.MinTasks || w.Graph.NumTasks() > cfg.MaxTasks {
+			return false
+		}
+		if _, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG); err != nil {
+			return false
+		}
+		for _, out := range w.Graph.Outputs() {
+			if !w.Graph.Task(out).ETEDeadline.IsSet() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package graphio
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+// WriteDOT renders a task graph in Graphviz DOT format so workloads can
+// be visualized with standard tooling. When an assignment is provided,
+// each node is annotated with its execution window; output tasks show
+// their end-to-end deadline.
+func WriteDOT(w io.Writer, g *taskgraph.Graph, asg *slicing.Assignment) error {
+	if _, err := fmt.Fprintln(w, "digraph taskgraph {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [shape=box, fontsize=10];")
+	for _, t := range g.Tasks() {
+		label := t.Name
+		if label == "" {
+			label = fmt.Sprintf("t%d", t.ID)
+		}
+		label += fmt.Sprintf("\\nc=%s", wcetLabel(t))
+		if asg != nil && t.ID < len(asg.Arrival) && asg.Arrival[t.ID].IsSet() {
+			label += fmt.Sprintf("\\n[%d,%d)", asg.Arrival[t.ID], asg.AbsDeadline[t.ID])
+		}
+		attrs := ""
+		if t.ETEDeadline.IsSet() {
+			label += fmt.Sprintf("\\nD=%d", t.ETEDeadline)
+			attrs = ", peripheries=2"
+		}
+		if len(t.Resources) > 0 {
+			label += fmt.Sprintf("\\nres=%v", t.Resources)
+			attrs += ", style=dashed"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"%s];\n", t.ID, label, attrs); err != nil {
+			return err
+		}
+	}
+	for _, a := range g.Arcs() {
+		attr := ""
+		if a.Items > 0 {
+			attr = fmt.Sprintf(" [label=\"%d\"]", a.Items)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", a.From, a.To, attr); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func wcetLabel(t *taskgraph.Task) string {
+	out := ""
+	for k, c := range t.WCET {
+		if k > 0 {
+			out += "/"
+		}
+		if c.IsSet() {
+			out += fmt.Sprintf("%d", c)
+		} else {
+			out += "-"
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := taskgraph.NewGraph(2)
+	a := g.MustAddTask("sense", []rtime.Time{5, 7}, 0)
+	b := g.MustAddTask("", []rtime.Time{rtime.Unset, 9}, 0)
+	a.Resources = []int{1}
+	b.ETEDeadline = 40
+	g.MustAddArc(a.ID, b.ID, 3)
+	g.MustFreeze()
+
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph taskgraph", "sense", "t1", // unnamed task gets an ID label
+		"c=5/7", "c=-/9", // WCET vectors, dash for ineligible
+		"D=40", "peripheries=2", // output annotation
+		"res=[1]", "style=dashed", // resource annotation
+		"n0 -> n1 [label=\"3\"]", // message size on the arc
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTWithAssignment(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("x", []rtime.Time{5}, 0)
+	g.Task(0).ETEDeadline = 20
+	g.MustFreeze()
+	asg := &slicing.Assignment{
+		Arrival:     []rtime.Time{0},
+		AbsDeadline: []rtime.Time{20},
+		RelDeadline: []rtime.Time{20},
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, asg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[0,20)") {
+		t.Errorf("window annotation missing:\n%s", buf.String())
+	}
+}
+
+func TestResourcesRoundTrip(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	a := g.MustAddTask("a", []rtime.Time{5}, 0)
+	a.Resources = []int{0, 3}
+	g.MustFreeze()
+	got, err := DecodeGraph(EncodeGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := got.Task(0).Resources
+	if len(res) != 2 || res[0] != 0 || res[1] != 3 {
+		t.Errorf("resources lost: %v", res)
+	}
+}

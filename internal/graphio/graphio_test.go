@@ -1,0 +1,237 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/gen"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+	"repro/internal/wcet"
+)
+
+func roundTrip(t *testing.T, g *taskgraph.Graph) *taskgraph.Graph {
+	t.Helper()
+	got, err := DecodeGraph(EncodeGraph(g))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	return got
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := taskgraph.NewGraph(2)
+	a := g.MustAddTask("a", []rtime.Time{10, 12}, 3)
+	b := g.MustAddTask("b", []rtime.Time{rtime.Unset, 20}, 0)
+	a.Period = 100
+	b.ETEDeadline = 80
+	g.MustAddArc(a.ID, b.ID, 5)
+	g.MustFreeze()
+
+	got := roundTrip(t, g)
+	if got.NumTasks() != 2 || got.NumArcs() != 1 || got.NumClasses != 2 {
+		t.Fatalf("shape lost: %d tasks, %d arcs", got.NumTasks(), got.NumArcs())
+	}
+	ga, gb := got.Task(0), got.Task(1)
+	if ga.Name != "a" || ga.Phase != 3 || ga.Period != 100 || ga.WCET[1] != 12 {
+		t.Errorf("task a lost fields: %+v", ga)
+	}
+	if gb.WCET[0] != rtime.Unset || gb.ETEDeadline != 80 {
+		t.Errorf("task b lost fields: %+v", gb)
+	}
+	if ga.ETEDeadline.IsSet() {
+		t.Error("task a gained a deadline")
+	}
+	if got.MessageItems(0, 1) != 5 {
+		t.Error("arc weight lost")
+	}
+}
+
+func TestDecodeGraphRejectsBadInput(t *testing.T) {
+	bad := GraphJSON{NumClasses: 1, Tasks: []TaskJSON{{WCET: []rtime.Time{5}}, {WCET: []rtime.Time{5}}},
+		Arcs: []ArcJSON{{From: 0, To: 1}, {From: 1, To: 0}}}
+	if _, err := DecodeGraph(bad); err == nil {
+		t.Error("cyclic serialized graph accepted")
+	}
+	bad2 := GraphJSON{NumClasses: 1, Tasks: []TaskJSON{{WCET: []rtime.Time{-3}}}}
+	if _, err := DecodeGraph(bad2); err == nil {
+		t.Error("negative WCET accepted")
+	}
+}
+
+func TestPlatformRoundTrip(t *testing.T) {
+	cfg := gen.Default(4)
+	cfg.Seed = 5
+	w := gen.MustGenerate(cfg)
+	pj := EncodePlatform(w.Platform)
+	got, err := DecodePlatform(pj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != w.Platform.M() || got.NumClasses() != w.Platform.NumClasses() ||
+		got.Kind != w.Platform.Kind || got.Bus != w.Platform.Bus {
+		t.Errorf("platform lost fields: %v vs %v", got, w.Platform)
+	}
+	for q := 0; q < got.M(); q++ {
+		if got.ClassOf(q) != w.Platform.ClassOf(q) {
+			t.Errorf("ClassOf(%d) mismatch", q)
+		}
+	}
+}
+
+func TestDecodePlatformUnknownKind(t *testing.T) {
+	if _, err := DecodePlatform(PlatformJSON{Kind: "quantum", Classes: nil, ClassOf: []int{0}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestWorkloadFileRoundTrip(t *testing.T) {
+	cfg := gen.Default(3)
+	cfg.Seed = 9
+	w := gen.MustGenerate(cfg)
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, w.Graph, w.Platform); err != nil {
+		t.Fatal(err)
+	}
+	g, p, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != w.Graph.NumTasks() || g.NumArcs() != w.Graph.NumArcs() {
+		t.Error("graph shape changed through file round trip")
+	}
+	if p == nil || p.M() != w.Platform.M() {
+		t.Error("platform lost")
+	}
+	// The round-tripped workload runs through the full pipeline.
+	est, err := wcet.Estimates(g, p, wcet.AVG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := slicing.Distribute(g, est, p.M(), slicing.AdaptL(), slicing.CalibratedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Dispatch(g, p, asg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadWithoutPlatform(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("only", []rtime.Time{7}, 0)
+	g.MustFreeze()
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "platform") {
+		t.Error("nil platform serialized")
+	}
+	_, p, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Error("platform materialized from nothing")
+	}
+}
+
+func TestReadWorkloadRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadWorkload(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestEncodeResult(t *testing.T) {
+	asg := &slicing.Assignment{
+		MetricName:  "ADAPT-L",
+		Arrival:     []rtime.Time{0},
+		AbsDeadline: []rtime.Time{10},
+	}
+	s := &sched.Schedule{
+		Placements: []sched.Placement{{Proc: 2, Start: 1, Finish: 9}},
+		Feasible:   true, MaxLateness: -1, Makespan: 9,
+	}
+	r := EncodeResult(asg, s)
+	if r.Metric != "ADAPT-L" || r.Proc[0] != 2 || r.Start[0] != 1 || r.Finish[0] != 9 ||
+		!r.Feasible || r.MaxLateness != -1 || r.Makespan != 9 {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+// Property: generated workloads survive serialization bit-exactly at the
+// structural level.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := gen.Default(3)
+		cfg.Seed = seed
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteWorkload(&buf, w.Graph, w.Platform); err != nil {
+			return false
+		}
+		g, p, err := ReadWorkload(&buf)
+		if err != nil || p == nil {
+			return false
+		}
+		if g.NumTasks() != w.Graph.NumTasks() || g.NumArcs() != w.Graph.NumArcs() {
+			return false
+		}
+		for i := 0; i < g.NumTasks(); i++ {
+			want, got := w.Graph.Task(i), g.Task(i)
+			if want.ETEDeadline != got.ETEDeadline || want.Phase != got.Phase {
+				return false
+			}
+			for k := range want.WCET {
+				if want.WCET[k] != got.WCET[k] {
+					return false
+				}
+			}
+		}
+		for _, a := range w.Graph.Arcs() {
+			if g.MessageItems(a.From, a.To) != a.Items {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlatformNetworkRoundTrip(t *testing.T) {
+	p := arch.Homogeneous(3)
+	p.Net = arch.NewNetwork(3).SetLink(0, 1, 0)
+	p.Net.SetLink(1, 2, 4)
+	got, err := DecodePlatform(EncodePlatform(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CommCost(0, 1, 9) != 0 {
+		t.Error("fast link lost")
+	}
+	if got.CommCost(1, 2, 2) != 8 {
+		t.Error("slow link lost")
+	}
+	if got.CommCost(0, 2, 2) != 2 {
+		t.Error("bus fallback changed")
+	}
+}
+
+func TestDecodePlatformRejectsDanglingLink(t *testing.T) {
+	pj := EncodePlatform(arch.Homogeneous(2))
+	pj.Links = []LinkJSON{{A: 0, B: 5, PerItem: 1}}
+	if _, err := DecodePlatform(pj); err == nil {
+		t.Error("dangling link accepted")
+	}
+}

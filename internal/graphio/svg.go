@@ -1,0 +1,152 @@
+package graphio
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+// svgPalette cycles distinguishable fills for task rectangles.
+var svgPalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// WriteScheduleSVG renders a schedule as an SVG Gantt chart: one lane
+// per processor, one rectangle per task execution, window brackets under
+// each task, and red outlines on deadline misses. The output is
+// self-contained and viewable in any browser.
+func WriteScheduleSVG(w io.Writer, g *taskgraph.Graph, p *arch.Platform,
+	asg *slicing.Assignment, s *sched.Schedule) error {
+
+	const (
+		laneH   = 34
+		barH    = 22
+		leftPad = 70
+		topPad  = 30
+		width   = 1000
+	)
+	horizon := s.Makespan
+	if horizon < 1 {
+		horizon = 1
+	}
+	scale := func(t rtime.Time) float64 {
+		return leftPad + float64(t)/float64(horizon)*(width-leftPad-10)
+	}
+	height := topPad + laneH*p.M() + 30
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height)
+	fmt.Fprintf(w, `<text x="%d" y="16">schedule: makespan %d, %d tasks on %d processors</text>`+"\n",
+		leftPad, s.Makespan, g.NumTasks(), p.M())
+
+	// Lanes.
+	for q := 0; q < p.M(); q++ {
+		y := topPad + q*laneH
+		fmt.Fprintf(w, `<text x="6" y="%d">p%d (e%d)</text>`+"\n", y+barH-6, q, p.ClassOf(q))
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			leftPad, y+barH+2, width-10, y+barH+2)
+	}
+
+	// Task bars with window brackets.
+	for i, pl := range s.Placements {
+		if pl.Proc < 0 {
+			continue
+		}
+		y := topPad + pl.Proc*laneH
+		x0, x1 := scale(pl.Start), scale(pl.Finish)
+		stroke := "none"
+		if pl.Finish > asg.AbsDeadline[i] {
+			stroke = "#d00" // deadline miss
+		}
+		fill := svgPalette[i%len(svgPalette)]
+		fmt.Fprintf(w, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="%s" stroke-width="2"><title>task %d [%d,%d) window [%d,%d)</title></rect>`+"\n",
+			x0, y, x1-x0, barH, fill, stroke, i, pl.Start, pl.Finish, asg.Arrival[i], asg.AbsDeadline[i])
+		if x1-x0 > 18 {
+			fmt.Fprintf(w, `<text x="%.1f" y="%d" fill="#fff">%d</text>`+"\n", x0+3, y+barH-7, i)
+		}
+		// Window bracket under the bar.
+		wx0, wx1 := scale(asg.Arrival[i]), scale(asg.AbsDeadline[i])
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1" opacity="0.6"/>`+"\n",
+			wx0, y+barH+1, wx1, y+barH+1, fill)
+	}
+
+	// Time axis labels.
+	for f := 0.0; f <= 1.0; f += 0.25 {
+		t := rtime.Time(float64(horizon) * f)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" fill="#666">%d</text>`+"\n",
+			scale(t), height-8, t)
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// WriteChartSVG renders labelled success-ratio series (values in [0,1])
+// as an SVG line chart — the visual form of the paper's figures.
+func WriteChartSVG(w io.Writer, title string, xLabels []string, names []string, series [][]float64) error {
+	const (
+		width, height = 640, 360
+		left, right   = 50, 140
+		top, bottom   = 34, 30
+		plotW         = width - left - right
+		plotH         = height - top - bottom
+	)
+	if len(names) != len(series) {
+		return fmt.Errorf("graphio: %d names for %d series", len(names), len(series))
+	}
+	cols := len(xLabels)
+	if cols < 2 {
+		return fmt.Errorf("graphio: need at least two x values")
+	}
+	x := func(i int) float64 { return left + float64(i)/float64(cols-1)*plotW }
+	y := func(v float64) float64 { return top + (1-v)*plotH }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="18" font-size="13">%s</text>`+"\n", left, title)
+	// Gridlines at 0/25/50/75/100 %.
+	for f := 0.0; f <= 1.0; f += 0.25 {
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`+"\n",
+			left, y(f), left+plotW, y(f))
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" fill="#666">%.0f%%</text>`+"\n", 8, y(f)+4, f*100)
+	}
+	for i, lbl := range xLabels {
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" fill="#666">%s</text>`+"\n", x(i)-8, height-10, lbl)
+	}
+	for si, vals := range series {
+		color := svgPalette[si%len(svgPalette)]
+		points := ""
+		for i, v := range vals {
+			if i >= cols {
+				break
+			}
+			points += fmt.Sprintf("%.1f,%.1f ", x(i), y(clamp01(v)))
+		}
+		fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", points, color)
+		for i, v := range vals {
+			if i >= cols {
+				break
+			}
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x(i), y(clamp01(v)), color)
+		}
+		ly := top + 16*si
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", left+plotW+14, ly, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`+"\n", left+plotW+30, ly+9, names[si])
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

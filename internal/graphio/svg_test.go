@@ -1,0 +1,122 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/gen"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+	"repro/internal/wcet"
+)
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, data []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, data)
+		}
+	}
+}
+
+func TestWriteScheduleSVG(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("a", []rtime.Time{10}, 0)
+	g.MustAddTask("b", []rtime.Time{10}, 0)
+	g.MustAddArc(0, 1, 2)
+	g.MustFreeze()
+	p := arch.Homogeneous(2)
+	asg := &slicing.Assignment{
+		Arrival:     []rtime.Time{0, 10},
+		AbsDeadline: []rtime.Time{10, 15}, // b will miss
+		RelDeadline: []rtime.Time{10, 5},
+	}
+	s := &sched.Schedule{
+		Placements: []sched.Placement{
+			{Proc: 0, Start: 0, Finish: 10},
+			{Proc: 1, Start: 12, Finish: 22},
+		},
+		Makespan: 22,
+	}
+	var buf bytes.Buffer
+	if err := WriteScheduleSVG(&buf, g, p, asg, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	if !strings.Contains(out, "makespan 22") {
+		t.Error("header missing")
+	}
+	if strings.Count(out, "<rect") != 2 {
+		t.Errorf("want 2 task rects:\n%s", out)
+	}
+	if !strings.Contains(out, `stroke="#d00"`) {
+		t.Error("deadline miss not highlighted")
+	}
+	if !strings.Contains(out, "window [10,15)") {
+		t.Error("window tooltip missing")
+	}
+}
+
+func TestWriteScheduleSVGGenerated(t *testing.T) {
+	cfg := gen.Default(3)
+	cfg.Seed = 44
+	w := gen.MustGenerate(cfg)
+	est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := slicing.Distribute(w.Graph, est, 3, slicing.AdaptL(), slicing.CalibratedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteScheduleSVG(&buf, w.Graph, w.Platform, asg, s); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestWriteChartSVG(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChartSVG(&buf, "Figure 2", []string{"2", "3", "4"},
+		[]string{"PURE", "ADAPT-L"},
+		[][]float64{{0.05, 0.7, 0.95}, {0.3, 0.96, 1.2 /* clamped */}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	for _, want := range []string{"Figure 2", "PURE", "ADAPT-L", "polyline", "100%", "0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Error("want one polyline per series")
+	}
+}
+
+func TestWriteChartSVGValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChartSVG(&buf, "t", []string{"1"}, []string{"a"}, [][]float64{{1}}); err == nil {
+		t.Error("single x value accepted")
+	}
+	if err := WriteChartSVG(&buf, "t", []string{"1", "2"}, []string{"a", "b"}, [][]float64{{1, 1}}); err == nil {
+		t.Error("name/series mismatch accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Package periodic implements the periodic-task machinery of §3.3: the
+// planning cycle and the expansion of a periodic application into the
+// finite set of invocations that repeats over the lifetime of the
+// system.
+//
+// A periodic task τ with phasing φ and period T gives rise to
+// invocations τᵏ with arrival aᵏ = φ + T(k−1). For a task set with
+// identical arrival times the planning cycle is P = [0, L) with L the
+// least common multiple of the periods; within P, τ is invoked L/T
+// times. For arbitrary arrival times the planning cycle is
+// P = [0, a + 2L) with a = max φ.
+//
+// Expand rewrites the task graph so that each invocation becomes its own
+// node; the paper's single-shot pipeline (slicing, scheduling,
+// simulation) then applies unchanged to the expanded graph. Precedence
+// constraints connect equal invocation indices, which requires every
+// pair of dependent tasks to share a period — the standard restriction
+// for precedence-constrained periodic applications.
+package periodic
+
+import (
+	"fmt"
+
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// Expansion is a periodic task set unrolled over its planning cycle.
+type Expansion struct {
+	// Graph is the expanded invocation graph; the original graph is not
+	// modified.
+	Graph *taskgraph.Graph
+	// Source[j] is the original task ID of expanded node j.
+	Source []int
+	// Invocation[j] is the 1-based invocation index k of expanded node j.
+	Invocation []int
+	// Cycle is L, the LCM of all periods.
+	Cycle rtime.Time
+	// Span is the planning-cycle length: L for synchronous task sets,
+	// maxφ + 2L otherwise.
+	Span rtime.Time
+}
+
+// NodeOf returns the expanded node ID for invocation k (1-based) of the
+// original task id, or -1 if out of range.
+func (e *Expansion) NodeOf(id, k int) int {
+	for j, src := range e.Source {
+		if src == id && e.Invocation[j] == k {
+			return j
+		}
+	}
+	return -1
+}
+
+// Cycle computes the planning-cycle parameters of a frozen graph:
+// L = lcm{Tᵢ} and the cycle span. Tasks with Period 0 are single-shot
+// and do not contribute to L.
+func Cycle(g *taskgraph.Graph) (l, span rtime.Time, err error) {
+	l = 1
+	var maxPhase rtime.Time
+	periodic := false
+	for _, t := range g.Tasks() {
+		if t.Phase > maxPhase {
+			maxPhase = t.Phase
+		}
+		if t.Period == 0 {
+			continue
+		}
+		if t.Period < 0 {
+			return 0, 0, fmt.Errorf("periodic: task %d has negative period %d", t.ID, t.Period)
+		}
+		periodic = true
+		l = rtime.LCM(l, t.Period)
+	}
+	if !periodic {
+		return 0, 0, fmt.Errorf("periodic: no periodic task in the graph")
+	}
+	if maxPhase == 0 {
+		return l, l, nil
+	}
+	return l, maxPhase + 2*l, nil
+}
+
+// Expand unrolls the graph over its planning cycle. Every output task
+// must carry an end-to-end deadline; each invocation's deadline is the
+// base deadline shifted by (k−1)·T. Dependent tasks must share a period,
+// and a task's end-to-end deadline must not exceed its period (the
+// paper's dᵢ ≤ Tᵢ requirement lifted to the application level), so
+// invocation windows cannot overlap.
+func Expand(g *taskgraph.Graph) (*Expansion, error) {
+	if !g.Frozen() {
+		return nil, fmt.Errorf("periodic: graph must be frozen")
+	}
+	l, span, err := Cycle(g)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range g.Arcs() {
+		pf, pt := period(g, a.From, l), period(g, a.To, l)
+		if pf != pt {
+			return nil, fmt.Errorf("periodic: dependent tasks %d (T=%d) and %d (T=%d) have different periods",
+				a.From, pf, a.To, pt)
+		}
+	}
+	for _, out := range g.Outputs() {
+		t := g.Task(out)
+		if !t.ETEDeadline.IsSet() {
+			return nil, fmt.Errorf("periodic: output task %d has no end-to-end deadline", out)
+		}
+		if t.ETEDeadline > period(g, out, l) {
+			return nil, fmt.Errorf("periodic: output %d deadline %d exceeds its period %d",
+				out, t.ETEDeadline, period(g, out, l))
+		}
+	}
+
+	e := &Expansion{
+		Graph: taskgraph.NewGraph(g.NumClasses),
+		Cycle: l,
+		Span:  span,
+	}
+	// node[id][k-1] = expanded ID. Within the planning cycle P = [0,
+	// span) a task is invoked once per period window whose arrival falls
+	// inside P: span/T times for synchronous sets (span = L), and up to
+	// (maxφ + 2L)/T times for phased ones (§3.3).
+	node := make([][]int, g.NumTasks())
+	for _, t := range g.Tasks() {
+		T := period(g, t.ID, l)
+		count := 0
+		for k := 1; t.Phase+T*rtime.Time(k-1) < span; k++ {
+			count++
+		}
+		node[t.ID] = make([]int, count)
+		for k := 1; k <= count; k++ {
+			phase := t.Phase + T*rtime.Time(k-1)
+			nt, err := e.Graph.AddTask(fmt.Sprintf("%s#%d", t.Name, k), t.WCET, phase)
+			if err != nil {
+				return nil, err
+			}
+			if t.ETEDeadline.IsSet() {
+				// ETEDeadline is the absolute deadline of invocation 1
+				// (as the slicing package interprets it); invocation k's
+				// deadline shifts by (k−1)·T.
+				nt.ETEDeadline = t.ETEDeadline + T*rtime.Time(k-1)
+			}
+			node[t.ID][k-1] = nt.ID
+			e.Source = append(e.Source, t.ID)
+			e.Invocation = append(e.Invocation, k)
+		}
+	}
+	for _, a := range g.Arcs() {
+		// Dependent tasks share a period but may differ in phase, so
+		// their invocation counts inside the cycle can differ by one;
+		// connect the invocations both sides have.
+		kMax := len(node[a.From])
+		if len(node[a.To]) < kMax {
+			kMax = len(node[a.To])
+		}
+		for k := 0; k < kMax; k++ {
+			if err := e.Graph.AddArc(node[a.From][k], node[a.To][k], a.Items); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := e.Graph.Freeze(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// period returns the effective period of a task: its own, or the
+// planning cycle for single-shot tasks.
+func period(g *taskgraph.Graph, id int, l rtime.Time) rtime.Time {
+	if t := g.Task(id); t.Period > 0 {
+		return t.Period
+	}
+	return l
+}

@@ -1,0 +1,75 @@
+// Package report renders a complete, self-contained markdown report of
+// the reproduction: every figure regenerated live, as markdown tables
+// with Wilson confidence intervals and ASCII plots, plus the lateness
+// study. cmd/slicebench -report writes it to a file, giving downstream
+// users a one-command artifact to diff against EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/textplot"
+)
+
+// Generate runs every figure at the given options and writes the
+// report. The now parameter stamps the header (passed in so callers —
+// and tests — control it).
+func Generate(w io.Writer, opts experiment.Options, now time.Time) error {
+	fmt.Fprintf(w, "# Reproduction report\n\n")
+	fmt.Fprintf(w, "Generated %s — %d workloads/point, master seed %d.\n\n",
+		now.Format("2006-01-02 15:04"), opts.NumGraphs, opts.MasterSeed)
+	fmt.Fprintf(w, "Success = every task meets its assigned local deadline; the\n")
+	fmt.Fprintf(w, "bracketed range is the 95%% Wilson interval.\n")
+
+	var figs []int
+	for f := range experiment.Figures {
+		figs = append(figs, f)
+	}
+	sort.Ints(figs)
+	for _, f := range figs {
+		table := experiment.Figures[f](opts)
+		if err := writeTable(w, table); err != nil {
+			return err
+		}
+	}
+
+	lat := experiment.LatenessStudy(opts)
+	fmt.Fprintf(w, "\n## %s\n\n```\n%s```\n", lat.Title, experiment.FormatLatenessTable(lat))
+	return nil
+}
+
+// writeTable renders one figure as a markdown table plus an ASCII plot.
+func writeTable(w io.Writer, t experiment.Table) error {
+	fmt.Fprintf(w, "\n## %s\n\n", t.Title)
+
+	fmt.Fprintf(w, "| %s |", t.XLabel)
+	for _, x := range t.XValues {
+		fmt.Fprintf(w, " %s |", x)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range t.XValues {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, "| %s |", s.Name)
+		for _, p := range s.Points {
+			lo, hi := p.Success.Wilson()
+			fmt.Fprintf(w, " %.1f%% [%.0f–%.0f] |", 100*p.Success.Value(), 100*lo, 100*hi)
+		}
+		fmt.Fprintln(w)
+	}
+
+	var series []textplot.Series
+	for i, s := range t.Series {
+		series = append(series, textplot.Series{Name: s.Name, Values: t.SuccessRow(i)})
+	}
+	fmt.Fprintf(w, "\n```\n%s```\n",
+		textplot.Plot("", t.XValues, series, textplot.Options{Height: 12, Min: 0, Max: 1, Percent: true}))
+	return nil
+}

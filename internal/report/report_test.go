@@ -1,0 +1,42 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func TestGenerate(t *testing.T) {
+	opts := experiment.DefaultOptions()
+	opts.NumGraphs = 3 // structure check only
+	var b strings.Builder
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	if err := Generate(&b, opts, now); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"2026-07-06 12:00",
+		"3 workloads/point",
+		"## Figure 2", "## Figure 3", "## Figure 4", "## Figure 5", "## Figure 6",
+		"## Lateness study",
+		"PURE", "ADAPT-L", "WCET-MAX",
+		"Wilson",
+		"| processors |", // markdown header of figure 2
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every figure gets a fenced plot.
+	if got := strings.Count(out, "```"); got < 12 {
+		t.Errorf("expected ≥6 fenced blocks, found %d fence markers", got)
+	}
+	// Wilson intervals bracket the point estimates.
+	if !strings.Contains(out, "[") || !strings.Contains(out, "–") {
+		t.Error("confidence intervals missing")
+	}
+}

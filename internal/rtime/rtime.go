@@ -1,0 +1,133 @@
+// Package rtime provides the discrete time base used throughout the
+// repository.
+//
+// The paper assumes a discrete global system time indexed by the natural
+// numbers (§3.1): task activities begin and end at time units, and all
+// application timing parameters are expressed as multiples of time units.
+// Time is represented as int64 so that hyperperiod arithmetic
+// (LCM of task periods) does not overflow for realistic workloads.
+package rtime
+
+import "fmt"
+
+// Time is a point in, or a span of, discrete system time, measured in
+// time units.
+type Time int64
+
+// Unset marks a timing attribute that has not been assigned yet, e.g. the
+// arrival time of a task the deadline-distribution algorithm has not
+// reached. All valid times are non-negative, so any negative sentinel is
+// safe; -1 is used for readability in dumps.
+const Unset Time = -1
+
+// Infinity is a time later than every schedulable event. It is not
+// math.MaxInt64 so that adding small spans to it cannot overflow.
+const Infinity Time = 1 << 56
+
+// IsSet reports whether t holds an assigned, non-negative time.
+func (t Time) IsSet() bool { return t >= 0 }
+
+// Min returns the smaller of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp limits t to the inclusive range [lo, hi]. It panics if lo > hi.
+func Clamp(t, lo, hi Time) Time {
+	if lo > hi {
+		panic(fmt.Sprintf("rtime: Clamp with inverted range [%d, %d]", lo, hi))
+	}
+	switch {
+	case t < lo:
+		return lo
+	case t > hi:
+		return hi
+	}
+	return t
+}
+
+// String renders the time, using "unset" and "inf" for the sentinels.
+func (t Time) String() string {
+	switch {
+	case t == Unset:
+		return "unset"
+	case t >= Infinity:
+		return "inf"
+	}
+	return fmt.Sprintf("%d", int64(t))
+}
+
+// Window is a half-open execution window [Arrival, Deadline) in absolute
+// time: the task may not start before Arrival and must finish no later
+// than Deadline. A window with Deadline <= Arrival has no capacity and is
+// reported as empty; the deadline-distribution algorithm can produce such
+// windows for over-constrained chains, in which case scheduling fails.
+type Window struct {
+	Arrival  Time
+	Deadline Time
+}
+
+// Len returns the window length, never negative.
+func (w Window) Len() Time {
+	if w.Deadline <= w.Arrival {
+		return 0
+	}
+	return w.Deadline - w.Arrival
+}
+
+// Empty reports whether the window has no capacity.
+func (w Window) Empty() bool { return w.Deadline <= w.Arrival }
+
+// Contains reports whether the closed interval [start, finish] fits
+// inside the window.
+func (w Window) Contains(start, finish Time) bool {
+	return start >= w.Arrival && finish <= w.Deadline && start <= finish
+}
+
+// Overlaps reports whether two windows share at least one time unit.
+func (w Window) Overlaps(o Window) bool {
+	if w.Empty() || o.Empty() {
+		return false
+	}
+	return w.Arrival < o.Deadline && o.Arrival < w.Deadline
+}
+
+// String renders the window as "[a, d)".
+func (w Window) String() string {
+	return fmt.Sprintf("[%s, %s)", w.Arrival, w.Deadline)
+}
+
+// GCD returns the greatest common divisor of a and b, both of which must
+// be positive.
+func GCD(a, b Time) Time {
+	if a <= 0 || b <= 0 {
+		panic(fmt.Sprintf("rtime: GCD of non-positive times %d, %d", a, b))
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, both of which must be
+// positive. It panics on overflow, which for realistic task periods does
+// not occur.
+func LCM(a, b Time) Time {
+	g := GCD(a, b)
+	q := a / g
+	if q != 0 && b > Infinity/q {
+		panic("rtime: LCM overflow")
+	}
+	return q * b
+}

@@ -1,0 +1,193 @@
+package rtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsSet(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want bool
+	}{
+		{0, true},
+		{1, true},
+		{Infinity, true},
+		{Unset, false},
+		{-5, false},
+	}
+	for _, c := range cases {
+		if got := c.t.IsSet(); got != c.want {
+			t.Errorf("Time(%d).IsSet() = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 || Min(4, 4) != 4 {
+		t.Error("Min wrong")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 || Max(4, 4) != 4 {
+		t.Error("Max wrong")
+	}
+	if Min(Unset, 0) != Unset {
+		t.Error("Min should order sentinel below zero")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 {
+		t.Error("interior value changed")
+	}
+	if Clamp(-3, 0, 10) != 0 {
+		t.Error("low clamp failed")
+	}
+	if Clamp(42, 0, 10) != 10 {
+		t.Error("high clamp failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp with inverted range should panic")
+		}
+	}()
+	Clamp(0, 10, 0)
+}
+
+func TestTimeString(t *testing.T) {
+	if Time(17).String() != "17" {
+		t.Errorf("got %q", Time(17).String())
+	}
+	if Unset.String() != "unset" {
+		t.Errorf("got %q", Unset.String())
+	}
+	if Infinity.String() != "inf" {
+		t.Errorf("got %q", Infinity.String())
+	}
+	if (Infinity + 1).String() != "inf" {
+		t.Errorf("got %q", (Infinity + 1).String())
+	}
+}
+
+func TestWindowLen(t *testing.T) {
+	cases := []struct {
+		w    Window
+		want Time
+	}{
+		{Window{0, 10}, 10},
+		{Window{5, 5}, 0},
+		{Window{7, 3}, 0}, // inverted: over-constrained chain
+	}
+	for _, c := range cases {
+		if got := c.w.Len(); got != c.want {
+			t.Errorf("%v.Len() = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	if (Window{0, 1}).Empty() {
+		t.Error("unit window reported empty")
+	}
+	if !(Window{3, 3}).Empty() {
+		t.Error("zero window not reported empty")
+	}
+	if !(Window{5, 2}).Empty() {
+		t.Error("inverted window not reported empty")
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{10, 20}
+	if !w.Contains(10, 20) {
+		t.Error("exact fit rejected")
+	}
+	if !w.Contains(12, 15) {
+		t.Error("interior rejected")
+	}
+	if w.Contains(9, 15) {
+		t.Error("early start accepted")
+	}
+	if w.Contains(12, 21) {
+		t.Error("late finish accepted")
+	}
+	if w.Contains(15, 12) {
+		t.Error("inverted interval accepted")
+	}
+}
+
+func TestWindowOverlaps(t *testing.T) {
+	a := Window{0, 10}
+	cases := []struct {
+		b    Window
+		want bool
+	}{
+		{Window{5, 15}, true},
+		{Window{10, 20}, false}, // half-open: touching is no overlap
+		{Window{-5, 0}, false},
+		{Window{3, 3}, false}, // empty never overlaps
+		{Window{0, 10}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("overlap not symmetric for %v, %v", a, c.b)
+		}
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if GCD(12, 18) != 6 {
+		t.Error("GCD(12,18) != 6")
+	}
+	if GCD(7, 13) != 1 {
+		t.Error("GCD of coprimes != 1")
+	}
+	if LCM(4, 6) != 12 {
+		t.Error("LCM(4,6) != 12")
+	}
+	if LCM(5, 5) != 5 {
+		t.Error("LCM(5,5) != 5")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GCD with non-positive argument should panic")
+		}
+	}()
+	GCD(0, 5)
+}
+
+func TestLCMOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LCM overflow should panic")
+		}
+	}()
+	LCM(Infinity-1, Infinity-3)
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(t0, lo, hi int32) bool {
+		l, h := Time(lo), Time(hi)
+		if l > h {
+			l, h = h, l
+		}
+		got := Clamp(Time(t0), l, h)
+		return got >= l && got <= h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := Time(a)+1, Time(b)+1
+		g := GCD(x, y)
+		return g > 0 && x%g == 0 && y%g == 0 && LCM(x, y)%x == 0 && LCM(x, y)%y == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

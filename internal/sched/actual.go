@@ -1,0 +1,219 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+// DispatchActual simulates the time-driven dispatcher when tasks finish
+// *earlier* than their worst-case bound: task i executes for
+// ceil(frac[i] · WCET) time units on whichever class it lands on
+// (minimum one unit). The paper's model treats cᵢ as an upper bound
+// (§3.2), so at run time tasks may complete early — and, notoriously,
+// earlier completions can *break* a non-preemptive schedule that was
+// feasible under full WCETs (the Graham scheduling anomaly: finishing
+// early changes which tasks are ready at each dispatch instant).
+// DispatchActual makes that effect measurable.
+//
+// Deadline misses are still judged against the assigned windows. The
+// returned schedule reflects actual execution, so it intentionally
+// fails Verify's WCET-exactness check.
+func DispatchActual(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, frac []float64) (*Schedule, error) {
+	n := g.NumTasks()
+	if len(frac) != n {
+		return nil, fmt.Errorf("sched: %d fractions for %d tasks", len(frac), n)
+	}
+	for i, f := range frac {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("sched: frac[%d] = %v outside (0, 1]", i, f)
+		}
+	}
+	if len(asg.Arrival) != n || len(asg.AbsDeadline) != n {
+		return nil, fmt.Errorf("sched: assignment covers %d tasks, graph has %d", len(asg.Arrival), n)
+	}
+	for i := 0; i < n; i++ {
+		if !asg.Arrival[i].IsSet() || !asg.AbsDeadline[i].IsSet() {
+			return nil, fmt.Errorf("sched: task %d has an unassigned window", i)
+		}
+	}
+
+	exec := func(i, class int) rtime.Time {
+		c := rtime.Time(math.Ceil(frac[i] * float64(g.Task(i).WCET[class])))
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+
+	s := &Schedule{
+		Placements:  make([]Placement, n),
+		Feasible:    true,
+		MaxLateness: -rtime.Infinity,
+	}
+	for i := range s.Placements {
+		s.Placements[i] = Placement{Proc: -1}
+	}
+
+	m := p.M()
+	procFree := make([]rtime.Time, m)
+	resFree := resourceTable(g)
+	done := make([]bool, n)
+	placed := 0
+
+	present := p.ClassesPresent()
+	for i := 0; i < n; i++ {
+		ok := false
+		for k, c := range g.Task(i).WCET {
+			if c.IsSet() && k < len(present) && present[k] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			s.Feasible = false
+			s.Missed = append(s.Missed, i)
+			done[i] = true
+			placed++
+		}
+	}
+
+	readyOn := func(i, q int) rtime.Time {
+		t := asg.Arrival[i]
+		for _, pr := range g.Preds(i) {
+			pl := s.Placements[pr]
+			if pl.Proc < 0 {
+				if done[pr] {
+					continue
+				}
+				return rtime.Unset
+			}
+			arrive := pl.Finish + p.CommCost(pl.Proc, q, g.MessageItems(pr, i))
+			if arrive > t {
+				t = arrive
+			}
+		}
+		for _, res := range g.Task(i).Resources {
+			if resFree[res] > t {
+				t = resFree[res]
+			}
+		}
+		return t
+	}
+
+	now := rtime.Time(0)
+	for placed < n {
+		for {
+			bestTask, bestProc := -1, -1
+			var bestFinish rtime.Time
+			for i := 0; i < n; i++ {
+				if done[i] {
+					continue
+				}
+				task := g.Task(i)
+				if bestTask >= 0 {
+					if asg.AbsDeadline[i] > asg.AbsDeadline[bestTask] ||
+						(asg.AbsDeadline[i] == asg.AbsDeadline[bestTask] && i > bestTask) {
+						continue
+					}
+				}
+				tProc, tFinish := -1, rtime.Time(0)
+				for q := 0; q < m; q++ {
+					if task.Pinned >= 0 && q != task.Pinned {
+						continue
+					}
+					if procFree[q] > now {
+						continue
+					}
+					class := p.ClassOf(q)
+					if !task.EligibleOn(class) {
+						continue
+					}
+					r := readyOn(i, q)
+					if !r.IsSet() || r > now {
+						continue
+					}
+					// The dispatcher decides with WCET knowledge (it
+					// cannot know the actual time in advance), so
+					// processor choice uses the worst-case finish.
+					finish := now + task.WCET[class]
+					if tProc < 0 || finish < tFinish {
+						tProc, tFinish = q, finish
+					}
+				}
+				if tProc >= 0 {
+					bestTask, bestProc, bestFinish = i, tProc, tFinish
+				}
+			}
+			if bestTask < 0 {
+				break
+			}
+			_ = bestFinish
+			// Execution consumes the *actual* time.
+			actualFinish := now + exec(bestTask, p.ClassOf(bestProc))
+			s.Placements[bestTask] = Placement{Proc: bestProc, Start: now, Finish: actualFinish}
+			procFree[bestProc] = actualFinish
+			for _, res := range g.Task(bestTask).Resources {
+				resFree[res] = actualFinish
+			}
+			done[bestTask] = true
+			placed++
+			s.Order = append(s.Order, bestTask)
+			if actualFinish > s.Makespan {
+				s.Makespan = actualFinish
+			}
+			late := actualFinish - asg.AbsDeadline[bestTask]
+			if late > s.MaxLateness {
+				s.MaxLateness = late
+			}
+			if late > 0 {
+				s.Feasible = false
+				s.Missed = append(s.Missed, bestTask)
+			}
+		}
+		if placed == n {
+			break
+		}
+		next := rtime.Infinity
+		for q := 0; q < m; q++ {
+			if procFree[q] > now && procFree[q] < next {
+				next = procFree[q]
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			for q := 0; q < m; q++ {
+				if g.Task(i).Pinned >= 0 && q != g.Task(i).Pinned {
+					continue
+				}
+				if !g.Task(i).EligibleOn(p.ClassOf(q)) {
+					continue
+				}
+				if r := readyOn(i, q); r.IsSet() && r > now && r < next {
+					next = r
+				}
+			}
+		}
+		if next == rtime.Infinity {
+			for i := 0; i < n; i++ {
+				if !done[i] {
+					done[i] = true
+					placed++
+					s.Feasible = false
+					s.Missed = append(s.Missed, i)
+				}
+			}
+			break
+		}
+		now = next
+	}
+	sort.Ints(s.Missed)
+	return s, nil
+}

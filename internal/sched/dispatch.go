@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+// Dispatch simulates the non-preemptive, time-driven task dispatching
+// strategy of the paper (§1, §3.3) and is the baseline scheduler of the
+// experiments: a work-conserving run-time dispatcher that, whenever a
+// processor is idle, starts the ready task with the closest absolute
+// deadline.
+//
+// A task is dispatchable on processor q at time t when its arrival time
+// has been reached, all its predecessors have finished, and their
+// messages have landed on q (finish + bus cost for remote predecessors).
+// Unlike EDF (the planning variant in this package), the dispatcher has
+// no lookahead: an idle processor takes the best currently-ready task
+// even if a more urgent one arrives a moment later — the classic
+// non-preemptive anomaly, and a genuine source of deadline misses that
+// the deadline-distribution metrics compete to avoid.
+func Dispatch(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*Schedule, error) {
+	return DispatchWith(g, p, asg, EDFPolicy)
+}
+
+// DispatchWith is Dispatch under an alternative dispatch policy (§7.3's
+// policy axis): the same work-conserving time-driven dispatcher, with
+// the ready-task selection rule swapped.
+func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, policy Policy) (*Schedule, error) {
+	n := g.NumTasks()
+	if len(asg.Arrival) != n || len(asg.AbsDeadline) != n {
+		return nil, fmt.Errorf("sched: assignment covers %d tasks, graph has %d", len(asg.Arrival), n)
+	}
+	for i := 0; i < n; i++ {
+		if !asg.Arrival[i].IsSet() || !asg.AbsDeadline[i].IsSet() {
+			return nil, fmt.Errorf("sched: task %d has an unassigned window", i)
+		}
+	}
+
+	s := &Schedule{
+		Placements:  make([]Placement, n),
+		Feasible:    true,
+		MaxLateness: -rtime.Infinity,
+	}
+	for i := range s.Placements {
+		s.Placements[i] = Placement{Proc: -1}
+	}
+
+	m := p.M()
+	procFree := make([]rtime.Time, m)
+	resFree := resourceTable(g)
+	done := make([]bool, n)
+	placed := 0
+
+	// eligibleAnywhere pre-screens tasks that can never run; minC feeds
+	// the LLF policy's dynamic laxity.
+	present := p.ClassesPresent()
+	minC := make([]rtime.Time, n)
+	for i := 0; i < n; i++ {
+		minC[i] = rtime.Infinity
+		if pin := g.Task(i).Pinned; pin >= 0 {
+			if pin < m {
+				if c := g.Task(i).WCET[p.ClassOf(pin)]; c.IsSet() {
+					minC[i] = c
+				}
+			}
+		} else {
+			for k, c := range g.Task(i).WCET {
+				if c.IsSet() && k < len(present) && present[k] && c < minC[i] {
+					minC[i] = c
+				}
+			}
+		}
+		if minC[i] == rtime.Infinity {
+			s.Feasible = false
+			s.Missed = append(s.Missed, i)
+			done[i] = true // treat as absent; successors become stuck too
+			placed++
+		}
+	}
+
+	// readyOn returns the earliest time task i could start on processor
+	// q — window arrival, message landings, and the release times of
+	// every exclusive resource it needs — or Unset if a predecessor has
+	// not finished (or never will).
+	readyOn := func(i, q int) rtime.Time {
+		t := asg.Arrival[i]
+		for _, pr := range g.Preds(i) {
+			pl := s.Placements[pr]
+			if pl.Proc < 0 {
+				if done[pr] {
+					continue // unplaceable predecessor: ignore, task is doomed anyway
+				}
+				return rtime.Unset
+			}
+			arrive := pl.Finish + p.CommCost(pl.Proc, q, g.MessageItems(pr, i))
+			if arrive > t {
+				t = arrive
+			}
+		}
+		for _, res := range g.Task(i).Resources {
+			if resFree[res] > t {
+				t = resFree[res]
+			}
+		}
+		return t
+	}
+
+	now := rtime.Time(0)
+	for placed < n {
+		// Dispatch loop at the current instant: repeatedly take the
+		// EDF-closest task that is dispatchable on an idle processor.
+		for {
+			bestTask, bestProc := -1, -1
+			var bestFinish rtime.Time
+			for i := 0; i < n; i++ {
+				if done[i] {
+					continue
+				}
+				task := g.Task(i)
+				// Skip unless strictly better under the policy before
+				// probing processors.
+				if bestTask >= 0 {
+					ki := policy.key(asg, i, now, minC[i])
+					kb := policy.key(asg, bestTask, now, minC[bestTask])
+					if ki > kb || (ki == kb && i > bestTask) {
+						continue
+					}
+				}
+				tProc, tFinish := -1, rtime.Time(0)
+				for q := 0; q < m; q++ {
+					if task.Pinned >= 0 && q != task.Pinned {
+						continue
+					}
+					if procFree[q] > now {
+						continue
+					}
+					class := p.ClassOf(q)
+					if !task.EligibleOn(class) {
+						continue
+					}
+					r := readyOn(i, q)
+					if !r.IsSet() || r > now {
+						continue
+					}
+					finish := now + task.WCET[class]
+					if tProc < 0 || finish < tFinish {
+						tProc, tFinish = q, finish
+					}
+				}
+				if tProc >= 0 {
+					bestTask, bestProc, bestFinish = i, tProc, tFinish
+				}
+			}
+			if bestTask < 0 {
+				break
+			}
+			s.Placements[bestTask] = Placement{Proc: bestProc, Start: now, Finish: bestFinish}
+			procFree[bestProc] = bestFinish
+			for _, res := range g.Task(bestTask).Resources {
+				resFree[res] = bestFinish
+			}
+			done[bestTask] = true
+			placed++
+			s.Order = append(s.Order, bestTask)
+			if bestFinish > s.Makespan {
+				s.Makespan = bestFinish
+			}
+			late := bestFinish - asg.AbsDeadline[bestTask]
+			if late > s.MaxLateness {
+				s.MaxLateness = late
+			}
+			if late > 0 {
+				s.Feasible = false
+				s.Missed = append(s.Missed, bestTask)
+			}
+		}
+		if placed == n {
+			break
+		}
+
+		// Advance to the next instant anything can change: a processor
+		// frees, a task arrives, or a message lands.
+		next := rtime.Infinity
+		for q := 0; q < m; q++ {
+			if procFree[q] > now && procFree[q] < next {
+				next = procFree[q]
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			for q := 0; q < m; q++ {
+				if g.Task(i).Pinned >= 0 && q != g.Task(i).Pinned {
+					continue
+				}
+				if !g.Task(i).EligibleOn(p.ClassOf(q)) {
+					continue
+				}
+				r := readyOn(i, q)
+				if r.IsSet() && r > now && r < next {
+					next = r
+				}
+			}
+		}
+		if next == rtime.Infinity {
+			// Remaining tasks can never start (stuck behind unplaceable
+			// predecessors).
+			for i := 0; i < n; i++ {
+				if !done[i] {
+					done[i] = true
+					placed++
+					s.Feasible = false
+					s.Missed = append(s.Missed, i)
+				}
+			}
+			break
+		}
+		now = next
+	}
+	sort.Ints(s.Missed)
+	return s, nil
+}

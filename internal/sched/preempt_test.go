@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/gen"
+	"repro/internal/rtime"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+	"repro/internal/wcet"
+)
+
+func TestPreemptiveSingleTask(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("", c1(10), 0)
+	g.MustFreeze()
+	s, err := DispatchPreemptive(g, arch.Homogeneous(1), manual([]rtime.Time{0}, []rtime.Time{10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Feasible || s.Placements[0].Finish != 10 || s.Preemptions != 0 {
+		t.Errorf("got %+v preemptions=%d", s.Placements[0], s.Preemptions)
+	}
+	if len(s.Slices) != 1 || s.Slices[0] != (Slice{Task: 0, Proc: 0, Start: 0, End: 10}) {
+		t.Errorf("slices = %+v", s.Slices)
+	}
+}
+
+func TestPreemptionRescuesTightArrival(t *testing.T) {
+	// Long slack task starts at 0; a tight task arrives at 5 with
+	// deadline 20. Non-preemptive dispatch runs the long task to 30 and
+	// the tight one misses; preemptive EDF preempts and saves it.
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("long", c1(30), 0)
+	g.MustAddTask("tight", c1(10), 0)
+	g.MustFreeze()
+	p := arch.Homogeneous(1)
+	asg := manual([]rtime.Time{0, 5}, []rtime.Time{60, 20})
+
+	np, err := Dispatch(g, p, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Feasible {
+		t.Fatal("non-preemptive dispatch should miss the tight task")
+	}
+
+	pr, err := DispatchPreemptive(g, p, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Feasible {
+		t.Fatalf("preemptive EDF should save the tight task: %+v", pr.Placements)
+	}
+	if pr.Preemptions != 1 {
+		t.Errorf("preemptions = %d, want 1", pr.Preemptions)
+	}
+	// The long task runs 0-5 and 15-40 (two slices); tight runs 5-15.
+	if pr.Placements[1].Start != 5 || pr.Placements[1].Finish != 15 {
+		t.Errorf("tight placement = %+v", pr.Placements[1])
+	}
+	if pr.Placements[0].Finish != 40 {
+		t.Errorf("long finish = %d, want 40", pr.Placements[0].Finish)
+	}
+	if len(pr.Slices) != 3 {
+		t.Errorf("slices = %+v", pr.Slices)
+	}
+}
+
+func TestPreemptiveSlicesAccountExactWork(t *testing.T) {
+	// Total slice length per task must equal its WCET on the bound
+	// class, and slices on one processor must not overlap.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(4)
+		cfg := gen.Default(m)
+		cfg.Seed = seed
+		cfg.OLR = 0.5
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+		if err != nil {
+			return false
+		}
+		asg, err := slicing.Distribute(w.Graph, est, m, slicing.AdaptL(), slicing.CalibratedParams())
+		if err != nil {
+			return false
+		}
+		s, err := DispatchPreemptive(w.Graph, w.Platform, asg)
+		if err != nil {
+			return false
+		}
+		work := make(map[int]rtime.Time)
+		procsOf := make(map[int]map[int]bool)
+		perProc := make(map[int][]Slice)
+		for _, sl := range s.Slices {
+			if sl.End <= sl.Start {
+				return false
+			}
+			work[sl.Task] += sl.End - sl.Start
+			if procsOf[sl.Task] == nil {
+				procsOf[sl.Task] = map[int]bool{}
+			}
+			procsOf[sl.Task][sl.Proc] = true
+			perProc[sl.Proc] = append(perProc[sl.Proc], sl)
+		}
+		for i := 0; i < w.Graph.NumTasks(); i++ {
+			pl := s.Placements[i]
+			if pl.Proc < 0 {
+				continue
+			}
+			want := w.Graph.Task(i).WCET[w.Platform.ClassOf(pl.Proc)]
+			if len(procsOf[i]) == 1 {
+				// No migration: total execution equals the WCET on the
+				// single class exactly.
+				if work[i] != want {
+					t.Logf("seed %d: task %d executed %d, WCET %d", seed, i, work[i], want)
+					return false
+				}
+			} else if work[i] <= 0 {
+				return false // migrated tasks still execute real work
+			}
+			if pl.Start < asg.Arrival[i] {
+				return false
+			}
+		}
+		for _, slices := range perProc {
+			for a := range slices {
+				for b := range slices {
+					if a != b && slices[a].Start < slices[b].End && slices[b].Start < slices[a].End {
+						return false
+					}
+				}
+			}
+		}
+		// Precedence: a task's first slice starts at/after each
+		// predecessor's finish.
+		for _, arc := range w.Graph.Arcs() {
+			from, to := s.Placements[arc.From], s.Placements[arc.To]
+			if from.Proc < 0 || to.Proc < 0 {
+				continue
+			}
+			if to.Start < from.Finish {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreemptiveNeverWorseOnGeneratedWorkloads(t *testing.T) {
+	// Preemptive EDF should succeed at least as often as non-preemptive
+	// dispatch on the paper's workloads (the paper's non-preemptive
+	// choice is a platform constraint, not a performance one).
+	npSucc, prSucc := 0, 0
+	const graphs = 60
+	for idx := 0; idx < graphs; idx++ {
+		cfg := gen.Default(3)
+		cfg.OLR = 0.5
+		cfg.Seed = gen.SubSeed(11, idx)
+		w := gen.MustGenerate(cfg)
+		est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asg, err := slicing.Distribute(w.Graph, est, 3, slicing.AdaptL(), slicing.CalibratedParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, err := Dispatch(w.Graph, w.Platform, asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := DispatchPreemptive(w.Graph, w.Platform, asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if np.Feasible {
+			npSucc++
+		}
+		if pr.Feasible {
+			prSucc++
+		}
+	}
+	t.Logf("non-preemptive %d/%d, preemptive %d/%d", npSucc, graphs, prSucc, graphs)
+	if prSucc < npSucc-3 { // allow a little noise from binding anomalies
+		t.Errorf("preemptive (%d) markedly worse than non-preemptive (%d)", prSucc, npSucc)
+	}
+}
+
+func TestPreemptiveUnplaceableTask(t *testing.T) {
+	g := taskgraph.NewGraph(2)
+	g.MustAddTask("", []rtime.Time{10, rtime.Unset}, 0)
+	g.MustAddTask("", []rtime.Time{rtime.Unset, 10}, 0)
+	g.MustAddArc(0, 1, 0)
+	g.MustFreeze()
+	// Only class 1 present: task 0 unplaceable, task 1 stuck behind it.
+	p := arch.MustNew(arch.Unrelated, []arch.Class{{}, {}}, []int{1}, arch.Bus{DelayPerItem: 1})
+	s, err := DispatchPreemptive(g, p, manual([]rtime.Time{0, 0}, []rtime.Time{50, 90}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Feasible || len(s.Missed) != 1 || s.Missed[0] != 0 {
+		t.Errorf("missed = %v (task 1 can still run: its doomed pred is skipped)", s.Missed)
+	}
+}

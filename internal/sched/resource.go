@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// resourceTable returns a release-time table sized for the largest
+// resource index used by any task (empty when the application uses no
+// exclusive resources).
+func resourceTable(g *taskgraph.Graph) []rtime.Time {
+	max := -1
+	for _, t := range g.Tasks() {
+		for _, r := range t.Resources {
+			if r > max {
+				max = r
+			}
+		}
+	}
+	return make([]rtime.Time, max+1)
+}
+
+// usesResources reports whether any task declares a resource
+// requirement.
+func usesResources(g *taskgraph.Graph) bool {
+	for _, t := range g.Tasks() {
+		if len(t.Resources) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// verifyResources checks that no two tasks sharing an exclusive
+// resource overlap in time; it is part of Verify and of sim.Replay's
+// obligations for resource-bearing applications.
+func verifyResources(g *taskgraph.Graph, s *Schedule) error {
+	type hold struct {
+		task       int
+		start, end rtime.Time
+	}
+	perRes := map[int][]hold{}
+	for i, t := range g.Tasks() {
+		pl := s.Placements[i]
+		if pl.Proc < 0 {
+			continue
+		}
+		for _, r := range t.Resources {
+			perRes[r] = append(perRes[r], hold{i, pl.Start, pl.Finish})
+		}
+	}
+	for r, holds := range perRes {
+		sort.Slice(holds, func(a, b int) bool { return holds[a].start < holds[b].start })
+		for i := 1; i < len(holds); i++ {
+			if holds[i].start < holds[i-1].end {
+				return fmt.Errorf("sched: resource %d held by tasks %d and %d concurrently",
+					r, holds[i-1].task, holds[i].task)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package slicing
+
+import (
+	"math"
+
+	"repro/internal/rtime"
+)
+
+// AdaptR returns the resource-aware extension of ADAPT-L, following the
+// paper's future-work direction (§7.3: apply the technique "not only to
+// computational resources such as processors but also to general
+// resources including shared data structures").
+//
+// A task competing for processors shares m of them with its parallel
+// set, so ADAPT-L divides |Ψᵢ| by m. A task holding an exclusive
+// resource serializes against *every* parallel task that shares the
+// resource, regardless of m, so the conflicting tasks contribute
+// undivided:
+//
+//	ĉᵢ = c̄ᵢ                                            if c̄ᵢ < c_thres
+//	ĉᵢ = c̄ᵢ·(1 + k_L·|Ψᵢ|/m + k_R·|Ψᵢ ∩ sharers(i)|)   otherwise
+//
+// where sharers(i) are the tasks holding at least one resource in
+// common with τᵢ. With no resources in the application, ADAPT-R
+// degenerates exactly to ADAPT-L. The k_R factor reuses Params.KL by
+// default (KR field, zero meaning "same as KL").
+func AdaptR() Metric {
+	return &baseMetric{
+		name:  "ADAPT-R",
+		shape: pureShape,
+		virtual: func(env *Env) []rtime.Time {
+			kr := env.Params.KR
+			if kr == 0 {
+				kr = env.Params.KL
+			}
+			return inflate(env, func(i int) float64 {
+				base := env.Params.KL * float64(env.G.ParallelSetSize(i)) / float64(env.M)
+				return base + kr*float64(env.G.ResourceConflicts(i))
+			})
+		},
+	}
+}
+
+// EffectiveContention returns, for diagnostics and tests, the surplus
+// factor ADAPT-R assigns to task i before threshold filtering.
+func EffectiveContention(env *Env, i int) float64 {
+	kr := env.Params.KR
+	if kr == 0 {
+		kr = env.Params.KL
+	}
+	if math.IsNaN(kr) {
+		kr = 0
+	}
+	return env.Params.KL*float64(env.G.ParallelSetSize(i))/float64(env.M) +
+		kr*float64(env.G.ResourceConflicts(i))
+}
+
+// AdaptN is a NORM-shaped adaptive metric: ADAPT-L's virtual execution
+// times (eq. 8) fed through NORM's proportional laxity sharing
+// (eq. 2–3) instead of PURE's equal sharing. The paper observes (§6.3)
+// that NORM overtakes ADAPT-G at large execution-time spreads precisely
+// because proportional shares protect long tasks, while the ADAPT
+// metrics inherit PURE's equal shares; ADAPT-N tests whether combining
+// both mechanisms dominates each.
+func AdaptN() Metric {
+	return &baseMetric{
+		name:  "ADAPT-N",
+		shape: normShape,
+		virtual: func(env *Env) []rtime.Time {
+			return inflate(env, func(i int) float64 {
+				return env.Params.KL * float64(env.G.ParallelSetSize(i)) / float64(env.M)
+			})
+		},
+	}
+}

@@ -1,0 +1,176 @@
+package slicing
+
+import (
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// resourceForkJoin builds A→(B,C,D)→E where B and C share resource 0.
+func resourceForkJoin(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g := taskgraph.NewGraph(1)
+	a := g.MustAddTask("A", c1(10), 0)
+	b := g.MustAddTask("B", c1(20), 0)
+	c := g.MustAddTask("C", c1(20), 0)
+	d := g.MustAddTask("D", c1(20), 0)
+	e := g.MustAddTask("E", c1(10), 0)
+	b.Resources = []int{0}
+	c.Resources = []int{0}
+	for _, mid := range []int{b.ID, c.ID, d.ID} {
+		g.MustAddArc(a.ID, mid, 1)
+		g.MustAddArc(mid, e.ID, 1)
+	}
+	e.ETEDeadline = 200
+	g.MustFreeze()
+	return g
+}
+
+func TestAdaptRDegeneratesToAdaptLWithoutResources(t *testing.T) {
+	g := forkJoin(t, 20)
+	est := []rtime.Time{10, 20, 20, 20, 10}
+	env := envFor(g, est, 3)
+	vl := AdaptL().VirtualCosts(env)
+	vr := AdaptR().VirtualCosts(env)
+	for i := range vl {
+		if vl[i] != vr[i] {
+			t.Errorf("ĉ[%d]: ADAPT-R %d ≠ ADAPT-L %d without resources", i, vr[i], vl[i])
+		}
+	}
+}
+
+func TestAdaptRInflatesResourceConflicts(t *testing.T) {
+	g := resourceForkJoin(t)
+	est := []rtime.Time{10, 20, 20, 20, 10}
+	env := envFor(g, est, 3)
+	vl := AdaptL().VirtualCosts(env)
+	vr := AdaptR().VirtualCosts(env)
+	// B and C conflict on resource 0 → extra surplus; D does not.
+	if vr[1] <= vl[1] || vr[2] <= vl[2] {
+		t.Errorf("resource sharers not inflated: R=%v L=%v", vr, vl)
+	}
+	if vr[3] != vl[3] {
+		t.Errorf("non-sharer D inflated: R=%d L=%d", vr[3], vl[3])
+	}
+}
+
+func TestAdaptRUsesKRWhenSet(t *testing.T) {
+	g := resourceForkJoin(t)
+	est := []rtime.Time{10, 20, 20, 20, 10}
+	env := envFor(g, est, 3)
+	base := EffectiveContention(env, 1)
+	env.Params.KR = 1.0
+	big := EffectiveContention(env, 1)
+	if big <= base {
+		t.Errorf("raising KR should raise the surplus: %v vs %v", big, base)
+	}
+	// Non-sharers are unaffected by KR.
+	env2 := envFor(g, est, 3)
+	d0 := EffectiveContention(env2, 3)
+	env2.Params.KR = 1.0
+	if EffectiveContention(env2, 3) != d0 {
+		t.Error("KR affected a task without resource conflicts")
+	}
+}
+
+func TestResourceConflictsCount(t *testing.T) {
+	g := resourceForkJoin(t)
+	if got := g.ResourceConflicts(1); got != 1 { // B conflicts with C
+		t.Errorf("conflicts(B) = %d, want 1", got)
+	}
+	if got := g.ResourceConflicts(3); got != 0 { // D holds nothing
+		t.Errorf("conflicts(D) = %d, want 0", got)
+	}
+	if got := g.ResourceConflicts(0); got != 0 { // A holds nothing
+		t.Errorf("conflicts(A) = %d, want 0", got)
+	}
+}
+
+func TestSharesResource(t *testing.T) {
+	a := &taskgraph.Task{Resources: []int{0, 2}}
+	b := &taskgraph.Task{Resources: []int{2}}
+	c := &taskgraph.Task{Resources: []int{1}}
+	d := &taskgraph.Task{}
+	if !taskgraph.SharesResource(a, b) {
+		t.Error("a and b share resource 2")
+	}
+	if taskgraph.SharesResource(a, c) || taskgraph.SharesResource(b, d) {
+		t.Error("false sharing reported")
+	}
+}
+
+func TestAdaptRDistributes(t *testing.T) {
+	g := resourceForkJoin(t)
+	est := []rtime.Time{10, 20, 20, 20, 10}
+	asg, err := Distribute(g, est, 2, AdaptR(), CalibratedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if asg.MetricName != "ADAPT-R" {
+		t.Errorf("metric name = %q", asg.MetricName)
+	}
+	// The sharers B and C must have at least as much laxity as the
+	// non-sharer D: they serialize on the resource.
+	lb, lc, ld := asg.Laxity(1, est), asg.Laxity(2, est), asg.Laxity(3, est)
+	if lb < ld || lc < ld {
+		t.Errorf("sharers' laxity (%d, %d) below non-sharer's (%d)", lb, lc, ld)
+	}
+}
+
+func TestByNameResolvesAdaptR(t *testing.T) {
+	m, err := ByName("ADAPT-R")
+	if err != nil || m.Name() != "ADAPT-R" {
+		t.Fatalf("ByName(ADAPT-R): %v", err)
+	}
+}
+
+func TestAdaptNSharesProportionally(t *testing.T) {
+	m := AdaptN()
+	if m.Name() != "ADAPT-N" {
+		t.Fatal("name wrong")
+	}
+	// NORM shape: shares proportional to virtual costs.
+	got := m.Shares(120, []rtime.Time{10, 20, 30})
+	for i, want := range []float64{20, 40, 60} {
+		if got[i] != want {
+			t.Errorf("share[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	// Virtual costs match ADAPT-L's.
+	g := forkJoin(t, 20)
+	est := []rtime.Time{10, 20, 20, 20, 10}
+	env := envFor(g, est, 2)
+	vl := AdaptL().VirtualCosts(env)
+	vn := AdaptN().VirtualCosts(env)
+	for i := range vl {
+		if vl[i] != vn[i] {
+			t.Errorf("ĉ[%d]: ADAPT-N %d ≠ ADAPT-L %d", i, vn[i], vl[i])
+		}
+	}
+	if _, err := ByName("ADAPT-N"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdaptNDistributes(t *testing.T) {
+	g := forkJoin(t, 40)
+	g.Task(4).ETEDeadline = 300
+	est := []rtime.Time{10, 40, 40, 40, 10}
+	asg, err := Distribute(g, est, 2, AdaptN(), CalibratedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Proportional sharing: the long middles get much more laxity than
+	// the short endpoints.
+	if asg.Laxity(1, est) <= asg.Laxity(0, est) {
+		t.Errorf("long-task laxity %d should exceed short-task laxity %d",
+			asg.Laxity(1, est), asg.Laxity(0, est))
+	}
+}

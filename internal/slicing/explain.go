@@ -1,0 +1,46 @@
+package slicing
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// Explain writes a round-by-round narrative of a completed deadline
+// distribution: which chain each round extracted, its metric value R,
+// the window it partitioned, and the slices every task received. It is
+// the human-readable rendering of Figure 1's execution and backs
+// cmd/schedview's -explain flag.
+func Explain(w io.Writer, g *taskgraph.Graph, est []rtime.Time, asg *Assignment) error {
+	fmt.Fprintf(w, "deadline distribution: metric %s, %d tasks, %d rounds\n",
+		asg.MetricName, g.NumTasks(), asg.Rounds)
+	if asg.OverConstrained {
+		fmt.Fprintf(w, "NOTE: over-constrained — some window is empty or overlaps a successor's\n")
+	}
+	for round, chain := range asg.Chains {
+		first, last := chain[0], chain[len(chain)-1]
+		window := asg.AbsDeadline[last] - asg.Arrival[first]
+		fmt.Fprintf(w, "\nround %d: chain of %d task(s), window [%s, %s) = %d units",
+			round+1, len(chain), asg.Arrival[first], asg.AbsDeadline[last], window)
+		if round < len(asg.ChainR) {
+			fmt.Fprintf(w, ", R = %.2f", asg.ChainR[round])
+		}
+		fmt.Fprintln(w)
+		for _, t := range chain {
+			name := g.Task(t).Name
+			if name == "" {
+				name = fmt.Sprintf("t%d", t)
+			}
+			var lax rtime.Time
+			if t < len(est) {
+				lax = asg.Laxity(t, est)
+			}
+			fmt.Fprintf(w, "  %-14s ĉ=%-4d slice [%6s, %6s)  d=%-5d laxity=%d\n",
+				name, asg.Virtual[t], asg.Arrival[t], asg.AbsDeadline[t],
+				asg.RelDeadline[t], lax)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,531 @@
+package slicing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// Assignment is the output of deadline distribution: an execution window
+// per task, plus diagnostics about how the windows were derived.
+type Assignment struct {
+	// Arrival[i] is the absolute arrival time aᵢ of task i: the earliest
+	// time at which it may begin execution.
+	Arrival []rtime.Time
+	// AbsDeadline[i] is the absolute deadline Dᵢ of task i: the latest
+	// time by which it must finish.
+	AbsDeadline []rtime.Time
+	// RelDeadline[i] = Dᵢ − aᵢ (dᵢ), never negative (zero for
+	// over-constrained windows).
+	RelDeadline []rtime.Time
+	// Virtual[i] is the virtual execution time ĉᵢ the metric used.
+	Virtual []rtime.Time
+	// Chains records the critical paths in extraction order; their
+	// concatenation covers every task exactly once.
+	Chains [][]int
+	// ChainR records the metric value R of each extracted chain, in the
+	// same order as Chains — the "criticalness" ranking the algorithm
+	// acted on (diagnostics; lower means more critical).
+	ChainR []float64
+	// OverConstrained reports that the end-to-end deadlines were too
+	// tight for a coherent distribution: some window is empty, or the
+	// windows of some precedence-related pair overlap. Such an
+	// assignment cannot be feasibly scheduled.
+	OverConstrained bool
+	// Rounds is the number of main-loop iterations (= len(Chains)).
+	Rounds int
+	// MetricName records which metric produced the assignment.
+	MetricName string
+}
+
+// Window returns task i's execution window.
+func (a *Assignment) Window(i int) rtime.Window {
+	return rtime.Window{Arrival: a.Arrival[i], Deadline: a.AbsDeadline[i]}
+}
+
+// Laxity returns Xᵢ = dᵢ − c̄ᵢ (§4.2), the slack the metric granted task
+// i relative to the supplied estimates. Negative laxity means the window
+// cannot hold the task even in isolation.
+func (a *Assignment) Laxity(i int, est []rtime.Time) rtime.Time {
+	return a.RelDeadline[i] - est[i]
+}
+
+// MinLaxity returns the minimum laxity over all tasks, the secondary
+// quality measure of §4.2 for workloads with loose deadlines.
+func (a *Assignment) MinLaxity(est []rtime.Time) rtime.Time {
+	best := rtime.Infinity
+	for i := range a.RelDeadline {
+		if x := a.Laxity(i, est); x < best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Validate checks the structural invariants the slicing technique
+// guarantees for assignments that are not over-constrained: every task
+// has a window, for every precedence arc (i, j) the deadline of i does
+// not exceed the arrival of j — i.e. the execution windows of sequential
+// tasks never overlap (the property behind implications I1/I2) — and no
+// output finishes after its end-to-end deadline (the path constraint,
+// eq. 1). Over-constrained assignments are only checked for coverage,
+// since the non-overlap guarantee is unachievable for them by
+// definition.
+func (a *Assignment) Validate(g *taskgraph.Graph) error {
+	n := g.NumTasks()
+	if len(a.Arrival) != n || len(a.AbsDeadline) != n {
+		return fmt.Errorf("slicing: assignment covers %d tasks, graph has %d", len(a.Arrival), n)
+	}
+	for i := 0; i < n; i++ {
+		if !a.Arrival[i].IsSet() || !a.AbsDeadline[i].IsSet() {
+			return fmt.Errorf("slicing: task %d has unassigned window", i)
+		}
+	}
+	if a.OverConstrained {
+		return nil
+	}
+	for _, arc := range g.Arcs() {
+		if a.AbsDeadline[arc.From] > a.Arrival[arc.To] {
+			return fmt.Errorf("slicing: windows of %d → %d overlap (D=%d > a=%d)",
+				arc.From, arc.To, a.AbsDeadline[arc.From], a.Arrival[arc.To])
+		}
+	}
+	for _, out := range g.Outputs() {
+		ete := g.Task(out).ETEDeadline
+		if ete.IsSet() && a.AbsDeadline[out] > ete {
+			return fmt.Errorf("slicing: output %d deadline %d exceeds E-T-E deadline %d",
+				out, a.AbsDeadline[out], ete)
+		}
+	}
+	return nil
+}
+
+// slicer carries one Distribute invocation.
+type slicer struct {
+	g        *taskgraph.Graph
+	metric   Metric
+	mode     Mode
+	est      []rtime.Time // c̄, the WCET estimates
+	vc       []rtime.Time // ĉ, the metric's virtual costs
+	assigned []bool
+	// In Consistent mode ea/ld are the ASAP/ALAP corridors recomputed
+	// every round; in Faithful mode they hold the recorded boundary
+	// values of Figure 1's attach step, rtime.Unset when absent.
+	ea  []rtime.Time
+	ld  []rtime.Time
+	asg *Assignment
+	// left is |Π|, the number of tasks not yet sliced.
+	left int
+}
+
+// Distribute runs the SLICING algorithm (Figure 1) over graph g with the
+// given WCET estimates, platform size m, metric, and parameters. Every
+// output task must carry an end-to-end deadline.
+//
+// The constraint bookkeeping of steps 5–12 (attaching the remaining
+// tasks to the sliced spine) is implemented transitively: before each
+// round the earliest arrival EA(τ) and latest deadline LD(τ) of every
+// unassigned task are derived by ASAP/ALAP propagation through the
+// unassigned subgraph, anchored at the windows already committed and at
+// the application's phases and E-T-E deadlines. EA/LD reduce exactly to
+// the paper's immediate-neighbour rule for tasks adjacent to a spine,
+// and additionally keep multi-spine constraints consistent for tasks
+// further away (see DESIGN.md).
+func Distribute(g *taskgraph.Graph, est []rtime.Time, m int, metric Metric, params Params) (*Assignment, error) {
+	if !g.Frozen() {
+		return nil, fmt.Errorf("slicing: graph must be frozen")
+	}
+	if len(est) != g.NumTasks() {
+		return nil, fmt.Errorf("slicing: %d estimates for %d tasks", len(est), g.NumTasks())
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("slicing: system size m=%d", m)
+	}
+	for _, out := range g.Outputs() {
+		if !g.Task(out).ETEDeadline.IsSet() {
+			return nil, fmt.Errorf("slicing: output task %d has no end-to-end deadline", out)
+		}
+	}
+
+	env := &Env{G: g, Est: est, M: m, Params: params}
+	n := g.NumTasks()
+	s := &slicer{
+		g:        g,
+		metric:   metric,
+		mode:     params.Mode,
+		est:      est,
+		vc:       metric.VirtualCosts(env),
+		assigned: make([]bool, n),
+		ea:       make([]rtime.Time, n),
+		ld:       make([]rtime.Time, n),
+		left:     n,
+		asg: &Assignment{
+			Arrival:     make([]rtime.Time, n),
+			AbsDeadline: make([]rtime.Time, n),
+			RelDeadline: make([]rtime.Time, n),
+			MetricName:  metric.Name(),
+		},
+	}
+	for i := range s.asg.Arrival {
+		s.asg.Arrival[i] = rtime.Unset
+		s.asg.AbsDeadline[i] = rtime.Unset
+	}
+	s.asg.Virtual = append([]rtime.Time(nil), s.vc...)
+
+	if s.mode == Faithful {
+		// Step 1 of Figure 1: boundary tasks get their application-level
+		// timing; everything else starts unconstrained.
+		for i := range s.ea {
+			s.ea[i] = rtime.Unset
+			s.ld[i] = rtime.Unset
+		}
+		for _, in := range g.Inputs() {
+			s.ea[in] = g.Task(in).Phase
+		}
+		for _, out := range g.Outputs() {
+			s.ld[out] = g.Task(out).ETEDeadline
+		}
+	}
+
+	for s.left > 0 {
+		if s.mode == Consistent {
+			s.computeBounds()
+		}
+		chain, r, ok := s.findCriticalChain()
+		if !ok {
+			return nil, fmt.Errorf("slicing: internal error: no candidate chain with %d tasks unassigned", s.left)
+		}
+		s.distribute(chain)
+		if s.mode == Faithful {
+			s.attach(chain)
+		}
+		s.asg.Chains = append(s.asg.Chains, chain)
+		s.asg.ChainR = append(s.asg.ChainR, r)
+		s.asg.Rounds++
+	}
+
+	// Flag over-constrained outcomes: empty windows, or overlapping
+	// windows of precedence-related tasks (possible only when E-T-E
+	// deadlines cannot accommodate the workload).
+	for i := 0; i < n; i++ {
+		if s.asg.RelDeadline[i] <= 0 {
+			s.asg.OverConstrained = true
+		}
+	}
+	for _, arc := range g.Arcs() {
+		if s.asg.AbsDeadline[arc.From] > s.asg.Arrival[arc.To] {
+			s.asg.OverConstrained = true
+		}
+	}
+	return s.asg, nil
+}
+
+// computeBounds refreshes EA and LD over the unassigned subgraph.
+//
+//	EA(τ) = max(φ_τ, max over preds p: p assigned ? D_p : EA(p)+c̄_p)
+//	LD(τ) = min(D_ETE if output, min over succs u: u assigned ? a_u : LD(u)−c̄_u)
+func (s *slicer) computeBounds() {
+	topo := s.g.TopoOrder()
+	for _, v := range topo {
+		if s.assigned[v] {
+			continue
+		}
+		ea := s.g.Task(v).Phase
+		for _, p := range s.g.Preds(v) {
+			var t rtime.Time
+			if s.assigned[p] {
+				t = s.asg.AbsDeadline[p]
+			} else {
+				t = s.ea[p] + s.est[p]
+			}
+			if t > ea {
+				ea = t
+			}
+		}
+		s.ea[v] = ea
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		if s.assigned[v] {
+			continue
+		}
+		ld := rtime.Infinity
+		if ete := s.g.Task(v).ETEDeadline; ete.IsSet() {
+			ld = ete
+		}
+		for _, u := range s.g.Succs(v) {
+			var t rtime.Time
+			if s.assigned[u] {
+				t = s.asg.Arrival[u]
+			} else {
+				t = s.ld[u] - s.est[u]
+			}
+			if t < ld {
+				ld = t
+			}
+		}
+		s.ld[v] = ld
+	}
+}
+
+// candidate is one evaluated chain.
+type candidate struct {
+	r          float64
+	nTasks     int
+	sumC       rtime.Time
+	start, end int
+	chain      []int
+	valid      bool
+}
+
+// better reports whether b should replace c. Ties break toward longer
+// chains (constraining more tasks per window), then larger total cost,
+// then lower task IDs, keeping runs deterministic.
+func (c *candidate) better(b *candidate) bool {
+	if !c.valid {
+		return true
+	}
+	if b.r != c.r {
+		return b.r < c.r
+	}
+	if b.nTasks != c.nTasks {
+		return b.nTasks > c.nTasks
+	}
+	if b.sumC != c.sumC {
+		return b.sumC > c.sumC
+	}
+	if b.start != c.start {
+		return b.start < c.start
+	}
+	return b.end < c.end
+}
+
+// findCriticalChain implements Step 3: a breadth-first sweep over the
+// unassigned subgraph that finds the chain minimizing the metric value
+// R. A chain may start and end at any unassigned task; its end-to-end
+// window is [EA(start), LD(end)]. For a fixed (endpoint, length) pair
+// every metric's R is strictly decreasing in the chain's total virtual
+// cost, so a per-start DP that keeps the maximum Σĉ for each
+// (node, length) finds the exact minimum.
+func (s *slicer) findCriticalChain() ([]int, float64, bool) {
+	var best candidate
+	n := s.g.NumTasks()
+	topo := s.g.TopoOrder()
+	depth := s.g.Depth()
+
+	for start := 0; start < n; start++ {
+		if s.assigned[start] {
+			continue
+		}
+		if s.mode == Faithful && !s.ea[start].IsSet() {
+			continue // Figure 1: chains begin at recorded arrivals
+		}
+		maxC := make([][]rtime.Time, n)
+		parent := make([][]int32, n)
+		row := func(v int) {
+			if maxC[v] == nil {
+				maxC[v] = make([]rtime.Time, depth+1)
+				parent[v] = make([]int32, depth+1)
+				for l := range maxC[v] {
+					maxC[v][l] = rtime.Unset
+					parent[v][l] = -1
+				}
+			}
+		}
+		row(start)
+		maxC[start][1] = s.vc[start]
+
+		for _, v := range topo {
+			if maxC[v] == nil || s.assigned[v] {
+				continue
+			}
+			for l := 1; l < depth+1; l++ {
+				cur := maxC[v][l]
+				if cur == rtime.Unset {
+					continue
+				}
+				for _, u := range s.g.Succs(v) {
+					if s.assigned[u] || l+1 > depth {
+						continue
+					}
+					row(u)
+					if tot := cur + s.vc[u]; tot > maxC[u][l+1] {
+						maxC[u][l+1] = tot
+						parent[u][l+1] = int32(v)
+					}
+				}
+			}
+		}
+
+		// Every reached node with a deadline bound can end the chain (in
+		// Consistent mode that is every reached node).
+		for v := 0; v < n; v++ {
+			if maxC[v] == nil || s.assigned[v] {
+				continue
+			}
+			if s.mode == Faithful && !s.ld[v].IsSet() {
+				continue
+			}
+			window := s.ld[v] - s.ea[start]
+			for l := 1; l <= depth; l++ {
+				sum := maxC[v][l]
+				if sum == rtime.Unset {
+					continue
+				}
+				r := s.metric.R(window, l, sum)
+				cand := candidate{r: r, nTasks: l, sumC: sum, start: start, end: v, valid: true}
+				if best.better(&cand) {
+					cand.chain = reconstruct(parent, v, l)
+					best = cand
+				}
+			}
+		}
+	}
+	if !best.valid {
+		return nil, 0, false
+	}
+	return best.chain, best.r, true
+}
+
+// reconstruct walks the parent table back from (end, length).
+func reconstruct(parent [][]int32, end, length int) []int {
+	chain := make([]int, length)
+	v, l := end, length
+	for l > 0 {
+		chain[l-1] = v
+		v, l = int(parent[v][l]), l-1
+	}
+	return chain
+}
+
+// distribute implements Step 4: partition the chain's end-to-end window
+// [EA(first), LD(last)] into per-task slices according to the metric's
+// share rule. Raw shares are clamped at zero and converted to integral,
+// monotone boundaries by rounding the cumulative share; the boundaries
+// are then clamped into each task's [EA, LD] corridor so that no window
+// contradicts a constraint recorded by an earlier spine.
+func (s *slicer) distribute(chain []int) {
+	k := len(chain)
+	first, last := chain[0], chain[k-1]
+	a0 := s.ea[first]
+	dEnd := s.ld[last]
+	window := dEnd - a0
+
+	if window <= 0 {
+		// Degenerate: the deadline corridor is empty. Give every task
+		// the empty window at the corridor edge; scheduling will fail
+		// these tasks, as it should.
+		d := rtime.Min(dEnd, a0)
+		for _, t := range chain {
+			s.commit(t, rtime.Max(a0, d), rtime.Max(a0, d))
+		}
+		return
+	}
+
+	costs := make([]rtime.Time, k)
+	for i, t := range chain {
+		costs[i] = s.vc[t]
+	}
+	shares := s.metric.Shares(window, costs)
+	total := 0.0
+	for i, sh := range shares {
+		if sh < 0 || math.IsNaN(sh) {
+			sh = 0
+		}
+		shares[i] = sh
+		total += sh
+	}
+	if total <= 0 {
+		// All shares clamped away (window far smaller than the total
+		// cost): fall back to an equal split.
+		for i := range shares {
+			shares[i] = 1
+		}
+		total = float64(k)
+	}
+
+	// Monotone cumulative rounding: b_j = a0 + round(W·cum_j/total),
+	// with b_0 = a0 and b_k = dEnd exactly.
+	b := make([]rtime.Time, k+1)
+	b[0] = a0
+	cum := 0.0
+	for i := 0; i < k; i++ {
+		cum += shares[i]
+		x := a0 + rtime.Time(math.Round(float64(window)*cum/total))
+		if x < b[i] {
+			x = b[i]
+		}
+		b[i+1] = x
+	}
+	b[k] = dEnd
+
+	// In Consistent mode, clamp the interior boundaries into the EA/LD
+	// corridors: forward for arrivals, backward for deadlines. For
+	// feasible corridors this preserves monotonicity; for infeasible
+	// ones the overlap is caught by the post-pass in Distribute.
+	// Faithful mode uses the raw boundaries, as Figure 1 does.
+	if s.mode == Consistent {
+		for i := 1; i < k; i++ {
+			if ea := s.ea[chain[i]]; b[i] < ea {
+				b[i] = ea
+			}
+			if b[i] < b[i-1] {
+				b[i] = b[i-1]
+			}
+		}
+		for i := k - 1; i >= 1; i-- {
+			if ld := s.ld[chain[i-1]]; b[i] > ld {
+				b[i] = ld
+			}
+			if b[i] > b[i+1] {
+				b[i] = b[i+1]
+			}
+		}
+	}
+
+	for i, t := range chain {
+		s.commit(t, b[i], b[i+1])
+	}
+}
+
+// attach implements steps 5–12 of Figure 1 for Faithful mode: the sliced
+// chain becomes a spine; each unassigned immediate predecessor receives
+// an end-to-end deadline equal to the chain task's arrival (earliest
+// such arrival wins) and each unassigned immediate successor an arrival
+// equal to the chain task's absolute deadline (latest wins).
+func (s *slicer) attach(chain []int) {
+	for _, t := range chain {
+		at, dt := s.asg.Arrival[t], s.asg.AbsDeadline[t]
+		for _, p := range s.g.Preds(t) {
+			if s.assigned[p] {
+				continue
+			}
+			if !s.ld[p].IsSet() || at < s.ld[p] {
+				s.ld[p] = at
+			}
+		}
+		for _, u := range s.g.Succs(t) {
+			if s.assigned[u] {
+				continue
+			}
+			if !s.ea[u].IsSet() || dt > s.ea[u] {
+				s.ea[u] = dt
+			}
+		}
+	}
+}
+
+// commit finalizes one task's window.
+func (s *slicer) commit(t int, a, d rtime.Time) {
+	s.assigned[t] = true
+	s.asg.Arrival[t] = a
+	s.asg.AbsDeadline[t] = d
+	rel := d - a
+	if rel < 0 {
+		rel = 0
+	}
+	s.asg.RelDeadline[t] = rel
+	s.left--
+}

@@ -1,0 +1,194 @@
+// Package stats provides the small statistical helpers the experiment
+// harness needs: streaming mean/variance (Welford), binomial confidence
+// intervals for success ratios, and simple histograms for lateness
+// distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of observations with Welford's online
+// algorithm, giving numerically stable mean and variance without storing
+// the samples.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// Merge folds another accumulator into r (parallel reduction).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := float64(r.n + o.n)
+	d := o.mean - r.mean
+	r.mean += d * float64(o.n) / n
+	r.m2 += o.m2 + d*d*float64(r.n)*float64(o.n)/n
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.n += o.n
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance.
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 when empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Ratio is a success counter with a Wilson confidence interval, the
+// right interval for proportions near 0 or 1 — exactly where the paper's
+// interesting data points live.
+type Ratio struct {
+	Succ, Total int
+}
+
+// Add records one trial.
+func (r *Ratio) Add(success bool) {
+	r.Total++
+	if success {
+		r.Succ++
+	}
+}
+
+// Value returns the success ratio in [0, 1] (0 when empty).
+func (r Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Succ) / float64(r.Total)
+}
+
+// Wilson returns the 95 % Wilson score interval for the ratio.
+func (r Ratio) Wilson() (lo, hi float64) {
+	if r.Total == 0 {
+		return 0, 0
+	}
+	const z = 1.959964 // 97.5th percentile of the normal distribution
+	n := float64(r.Total)
+	p := r.Value()
+	den := 1 + z*z/n
+	center := (p + z*z/(2*n)) / den
+	half := z / den * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String renders the ratio as a percentage with its sample size.
+func (r Ratio) String() string {
+	return fmt.Sprintf("%.1f%% (%d/%d)", 100*r.Value(), r.Succ, r.Total)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram counts observations into equal-width bins over [lo, hi];
+// out-of-range values clamp to the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi].
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: bad histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, b := range h.Bins {
+		n += b
+	}
+	return n
+}

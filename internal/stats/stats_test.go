@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Var() != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 || !almost(r.Mean(), 5) {
+		t.Errorf("mean = %v, n = %d", r.Mean(), r.N())
+	}
+	if !almost(r.Var(), 32.0/7) {
+		t.Errorf("var = %v, want %v", r.Var(), 32.0/7)
+	}
+	if !almost(r.StdDev(), math.Sqrt(32.0/7)) {
+		t.Errorf("stddev = %v", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	f := func(xsRaw, ysRaw []int16) bool {
+		var all, a, b Running
+		for _, x := range xsRaw {
+			all.Add(float64(x))
+			a.Add(float64(x))
+		}
+		for _, y := range ysRaw {
+			all.Add(float64(y))
+			b.Add(float64(y))
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-6 &&
+			math.Abs(a.Var()-all.Var()) < 1e-4 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(3)
+	a.Merge(b) // empty other
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Error("merging empty changed accumulator")
+	}
+	var c Running
+	c.Merge(a) // empty receiver
+	if c.N() != 1 || c.Mean() != 3 {
+		t.Error("merging into empty lost data")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio not zero")
+	}
+	for i := 0; i < 10; i++ {
+		r.Add(i < 7)
+	}
+	if !almost(r.Value(), 0.7) {
+		t.Errorf("value = %v", r.Value())
+	}
+	lo, hi := r.Wilson()
+	if lo >= 0.7 || hi <= 0.7 {
+		t.Errorf("Wilson interval [%v, %v] should contain 0.7", lo, hi)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("Wilson interval [%v, %v] outside [0, 1]", lo, hi)
+	}
+	if got := r.String(); got != "70.0% (7/10)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestWilsonEdgeCases(t *testing.T) {
+	var empty Ratio
+	lo, hi := empty.Wilson()
+	if lo != 0 || hi != 0 {
+		t.Error("empty Wilson not zero")
+	}
+	all := Ratio{Succ: 50, Total: 50}
+	lo, hi = all.Wilson()
+	if hi < 0.999 || lo > 1 || lo < 0.9 {
+		t.Errorf("all-success Wilson = [%v, %v]", lo, hi)
+	}
+	none := Ratio{Succ: 0, Total: 50}
+	lo, hi = none.Wilson()
+	if lo != 0 || hi > 0.1 {
+		t.Errorf("no-success Wilson = [%v, %v]", lo, hi)
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	small := Ratio{Succ: 5, Total: 10}
+	big := Ratio{Succ: 500, Total: 1000}
+	slo, shi := small.Wilson()
+	blo, bhi := big.Wilson()
+	if bhi-blo >= shi-slo {
+		t.Error("bigger sample should give a tighter interval")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Error("extremes wrong")
+	}
+	if !almost(Percentile(xs, 50), 3) {
+		t.Errorf("median = %v", Percentile(xs, 50))
+	}
+	if !almost(Percentile(xs, 25), 2) {
+		t.Errorf("p25 = %v", Percentile(xs, 25))
+	}
+	if !almost(Percentile([]float64{1, 2}, 75), 1.75) {
+		t.Errorf("interpolation wrong: %v", Percentile([]float64{1, 2}, 75))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not zero")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Percentile sorted its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Bins[0] != 3 { // -1 (clamped), 0, 1.9
+		t.Errorf("bin0 = %d", h.Bins[0])
+	}
+	if h.Bins[4] != 3 { // 9.9, 10 (clamped), 42 (clamped)
+		t.Errorf("bin4 = %d", h.Bins[4])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad histogram shape should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

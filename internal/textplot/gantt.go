@@ -1,0 +1,81 @@
+package textplot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GanttRow is one labelled timeline (typically a processor).
+type GanttRow struct {
+	Label string
+	Spans []GanttSpan
+}
+
+// GanttSpan is one busy interval on a row.
+type GanttSpan struct {
+	// Mark identifies the occupant; rendering cycles 'a'..'z' when 0.
+	Mark rune
+	// ID is used to derive a mark when Mark is 0.
+	ID         int
+	Start, End int64
+}
+
+// Gantt renders rows of busy spans into a fixed-width text chart.
+// The time axis spans [0, horizon]; when horizon is 0 it is derived
+// from the data.
+func Gantt(rows []GanttRow, horizon int64, width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	if horizon <= 0 {
+		for _, r := range rows {
+			for _, s := range r.Spans {
+				if s.End > horizon {
+					horizon = s.End
+				}
+			}
+		}
+		if horizon == 0 {
+			horizon = 1
+		}
+	}
+	scale := float64(width) / float64(horizon)
+
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt (1 col = %.1f units, horizon %d)\n", float64(horizon)/float64(width), horizon)
+	for _, r := range rows {
+		line := []rune(strings.Repeat(".", width))
+		spans := append([]GanttSpan(nil), r.Spans...)
+		sort.Slice(spans, func(a, b int) bool { return spans[a].Start < spans[b].Start })
+		for _, s := range spans {
+			lo := int(float64(s.Start) * scale)
+			hi := int(float64(s.End) * scale)
+			if hi > width {
+				hi = width
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			mark := s.Mark
+			if mark == 0 {
+				mark = rune('a' + s.ID%26)
+			}
+			if hi == lo && lo < width {
+				hi = lo + 1 // sub-column spans still leave a trace
+			}
+			for c := lo; c < hi; c++ {
+				line[c] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, r.Label, string(line))
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+// Package textplot renders small ASCII line charts so the command-line
+// tools can show the paper's figures directly in a terminal, next to the
+// numeric tables.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Options controls the rendering.
+type Options struct {
+	// Height is the number of plot rows (default 12).
+	Height int
+	// Min and Max fix the Y range; when Min == Max the range is derived
+	// from the data.
+	Min, Max float64
+	// Percent formats the Y axis as percentages of 1.0.
+	Percent bool
+}
+
+// markers label each series in the grid; later series win collisions,
+// which is fine for “who is on top” reading.
+const markers = "*o+x#@%&"
+
+// Plot renders the series over the shared X labels.
+func Plot(title string, xLabels []string, series []Series, opts Options) string {
+	if opts.Height <= 0 {
+		opts.Height = 12
+	}
+	lo, hi := opts.Min, opts.Max
+	if lo == hi {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s.Values {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if math.IsInf(lo, 1) {
+			lo, hi = 0, 1
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+
+	cols := len(xLabels)
+	colW := 6
+	grid := make([][]rune, opts.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", cols*colW))
+	}
+	for si, s := range series {
+		mark := rune(markers[si%len(markers)])
+		for i, v := range s.Values {
+			if i >= cols {
+				break
+			}
+			frac := (v - lo) / (hi - lo)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			row := opts.Height - 1 - int(math.Round(frac*float64(opts.Height-1)))
+			grid[row][i*colW+colW/2] = mark
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	label := func(v float64) string {
+		if opts.Percent {
+			return fmt.Sprintf("%5.0f%%", v*100)
+		}
+		return fmt.Sprintf("%6.1f", v)
+	}
+	for r := 0; r < opts.Height; r++ {
+		frac := float64(opts.Height-1-r) / float64(opts.Height-1)
+		y := lo + frac*(hi-lo)
+		fmt.Fprintf(&b, "%s |%s\n", label(y), string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", 7) + "+" + strings.Repeat("-", cols*colW) + "\n")
+	b.WriteString(strings.Repeat(" ", 8))
+	for _, x := range xLabels {
+		fmt.Fprintf(&b, "%*s", colW, x)
+	}
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "        %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasicLayout(t *testing.T) {
+	out := Plot("demo", []string{"2", "3", "4"}, []Series{
+		{Name: "up", Values: []float64{0, 0.5, 1}},
+		{Name: "down", Values: []float64{1, 0.5, 0}},
+	}, Options{Height: 5, Min: 0, Max: 1, Percent: true})
+
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "100%") || !strings.Contains(out, "0%") {
+		t.Error("percent axis missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	// Top row holds the maxima of both series: 'o' (down at x=2) first,
+	// '*' (up at x=4) last.
+	top := lines[1]
+	if !strings.Contains(top, "o") || !strings.Contains(top, "*") {
+		t.Errorf("top row %q should hold both maxima", top)
+	}
+	bottom := lines[5]
+	if !strings.Contains(bottom, "o") || !strings.Contains(bottom, "*") {
+		t.Errorf("bottom row %q should hold both minima", bottom)
+	}
+}
+
+func TestPlotAutoRange(t *testing.T) {
+	out := Plot("", []string{"a", "b"}, []Series{{Name: "s", Values: []float64{10, 30}}}, Options{Height: 3})
+	if !strings.Contains(out, "30.0") || !strings.Contains(out, "10.0") {
+		t.Errorf("auto range labels missing:\n%s", out)
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	// No data at all must not panic and still render a frame.
+	out := Plot("empty", []string{"x"}, nil, Options{})
+	if !strings.Contains(out, "+") {
+		t.Error("axis frame missing")
+	}
+	// Constant series must not divide by zero.
+	out2 := Plot("const", []string{"x", "y"}, []Series{{Name: "c", Values: []float64{5, 5}}}, Options{})
+	if !strings.Contains(out2, "c") {
+		t.Error("constant series legend missing")
+	}
+}
+
+func TestPlotClampsOutOfRange(t *testing.T) {
+	out := Plot("", []string{"x"}, []Series{{Name: "s", Values: []float64{2.5}}},
+		Options{Height: 4, Min: 0, Max: 1})
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("clamped value should sit on the top row: %q", lines[0])
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	series := make([]Series, len(markers)+1)
+	for i := range series {
+		series[i] = Series{Name: "s", Values: []float64{float64(i)}}
+	}
+	// Must not panic on more series than markers.
+	_ = Plot("", []string{"x"}, series, Options{})
+}
+
+func TestGanttBasics(t *testing.T) {
+	out := Gantt([]GanttRow{
+		{Label: "p0", Spans: []GanttSpan{{ID: 0, Start: 0, End: 50}, {ID: 1, Start: 50, End: 100}}},
+		{Label: "p1", Spans: []GanttSpan{{ID: 2, Start: 25, End: 75}}},
+	}, 100, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "aaaaaaaaaabbbbbbbbbb") {
+		t.Errorf("p0 row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ".....cccccccccc.....") {
+		t.Errorf("p1 row wrong: %q", lines[2])
+	}
+}
+
+func TestGanttDerivesHorizon(t *testing.T) {
+	out := Gantt([]GanttRow{{Label: "x", Spans: []GanttSpan{{ID: 0, Start: 0, End: 40}}}}, 0, 10)
+	if !strings.Contains(out, "horizon 40") {
+		t.Errorf("horizon not derived:\n%s", out)
+	}
+}
+
+func TestGanttTinySpanLeavesTrace(t *testing.T) {
+	out := Gantt([]GanttRow{{Label: "x", Spans: []GanttSpan{{ID: 0, Start: 0, End: 1}}}}, 1000, 10)
+	if !strings.Contains(out, "a") {
+		t.Errorf("sub-column span vanished:\n%s", out)
+	}
+}
+
+func TestGanttCustomMark(t *testing.T) {
+	out := Gantt([]GanttRow{{Label: "x", Spans: []GanttSpan{{Mark: '#', Start: 0, End: 10}}}}, 10, 5)
+	if !strings.Contains(out, "#####") {
+		t.Errorf("custom mark lost:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	out := Gantt(nil, 0, 0)
+	if !strings.Contains(out, "gantt") {
+		t.Error("empty gantt should still render a header")
+	}
+}

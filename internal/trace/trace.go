@@ -1,0 +1,204 @@
+// Package trace derives a structured event log from a schedule: task
+// starts, finishes, deadline misses, message transfers, and (for
+// preemptive schedules) preemptions and resumptions, all in time order.
+// The log feeds cmd/schedview's -trace mode and gives tests a precise,
+// order-stable view of what a schedule claims happened.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// Start marks the (first) start of a task on a processor.
+	Start Kind = iota
+	// Finish marks a task's completion.
+	Finish
+	// Miss marks a completion after the task's absolute deadline.
+	Miss
+	// Send marks a message leaving its producer for a remote consumer.
+	Send
+	// Land marks a message arriving at the consumer's processor.
+	Land
+	// Preempt marks a task losing its processor before completion.
+	Preempt
+	// Resume marks a preempted task regaining a processor.
+	Resume
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Start:
+		return "start"
+	case Finish:
+		return "finish"
+	case Miss:
+		return "MISS"
+	case Send:
+		return "send"
+	case Land:
+		return "land"
+	case Preempt:
+		return "preempt"
+	case Resume:
+		return "resume"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one entry of the log.
+type Event struct {
+	At   rtime.Time
+	Kind Kind
+	// Task is the acting task; for Send/Land it is the producer.
+	Task int
+	// Peer is the consumer for Send/Land, -1 otherwise.
+	Peer int
+	// Proc is the processor involved, -1 when not applicable.
+	Proc int
+	// Detail carries the lateness for Miss events and the message size
+	// for Send/Land.
+	Detail rtime.Time
+}
+
+// String renders one event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case Send, Land:
+		return fmt.Sprintf("%6d  %-7s t%d→t%d (%d items)", e.At, e.Kind, e.Task, e.Peer, e.Detail)
+	case Miss:
+		return fmt.Sprintf("%6d  %-7s t%d late by %d", e.At, e.Kind, e.Task, e.Detail)
+	default:
+		return fmt.Sprintf("%6d  %-7s t%d on p%d", e.At, e.Kind, e.Task, e.Proc)
+	}
+}
+
+// Log is a time-ordered event sequence.
+type Log []Event
+
+// FromSchedule derives the log of a non-preemptive schedule.
+func FromSchedule(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, s *sched.Schedule) Log {
+	var log Log
+	for i, pl := range s.Placements {
+		if pl.Proc < 0 {
+			continue
+		}
+		log = append(log, Event{At: pl.Start, Kind: Start, Task: i, Peer: -1, Proc: pl.Proc})
+		log = append(log, Event{At: pl.Finish, Kind: Finish, Task: i, Peer: -1, Proc: pl.Proc})
+		if pl.Finish > asg.AbsDeadline[i] {
+			log = append(log, Event{
+				At: pl.Finish, Kind: Miss, Task: i, Peer: -1, Proc: pl.Proc,
+				Detail: pl.Finish - asg.AbsDeadline[i],
+			})
+		}
+	}
+	for _, a := range g.Arcs() {
+		from, to := s.Placements[a.From], s.Placements[a.To]
+		if from.Proc < 0 || to.Proc < 0 || from.Proc == to.Proc || a.Items <= 0 {
+			continue
+		}
+		log = append(log, Event{
+			At: from.Finish, Kind: Send, Task: a.From, Peer: a.To, Proc: from.Proc, Detail: a.Items,
+		})
+		log = append(log, Event{
+			At: from.Finish + p.CommCost(from.Proc, to.Proc, a.Items), Kind: Land,
+			Task: a.From, Peer: a.To, Proc: to.Proc, Detail: a.Items,
+		})
+	}
+	log.sortStable()
+	return log
+}
+
+// FromPreemptive derives the log of a preemptive schedule, including
+// preemption and resumption events from the slice list.
+func FromPreemptive(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, s *sched.PreemptiveSchedule) Log {
+	log := FromSchedule(g, p, asg, &s.Schedule)
+	// A task's non-first slice begins with a resume; a slice that ends
+	// before the task's finish ends with a preemption.
+	seen := map[int]bool{}
+	for _, sl := range s.Slices {
+		if seen[sl.Task] {
+			log = append(log, Event{At: sl.Start, Kind: Resume, Task: sl.Task, Peer: -1, Proc: sl.Proc})
+		}
+		seen[sl.Task] = true
+		if sl.End < s.Placements[sl.Task].Finish {
+			log = append(log, Event{At: sl.End, Kind: Preempt, Task: sl.Task, Peer: -1, Proc: sl.Proc})
+		}
+	}
+	log.sortStable()
+	return log
+}
+
+// sortRank orders same-instant events causally: completions and
+// message landings *enable* the starts that share their timestamp, so
+// they come first.
+func sortRank(k Kind) int {
+	switch k {
+	case Finish:
+		return 0
+	case Miss:
+		return 1
+	case Send:
+		return 2
+	case Land:
+		return 3
+	case Preempt:
+		return 4
+	case Resume:
+		return 5
+	case Start:
+		return 6
+	}
+	return 7
+}
+
+// sortStable orders events by time, then causally, then by task ID so
+// logs are reproducible.
+func (l Log) sortStable() {
+	sort.SliceStable(l, func(a, b int) bool {
+		if l[a].At != l[b].At {
+			return l[a].At < l[b].At
+		}
+		if ra, rb := sortRank(l[a].Kind), sortRank(l[b].Kind); ra != rb {
+			return ra < rb
+		}
+		return l[a].Task < l[b].Task
+	})
+}
+
+// Filter returns the events of the given kinds.
+func (l Log) Filter(kinds ...Kind) Log {
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out Log
+	for _, e := range l {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the whole log, one event per line.
+func (l Log) String() string {
+	var b strings.Builder
+	for _, e := range l {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

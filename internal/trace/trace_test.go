@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/gen"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+	"repro/internal/wcet"
+)
+
+func c1(v rtime.Time) []rtime.Time { return []rtime.Time{v} }
+
+func fixture(t *testing.T) (*taskgraph.Graph, *arch.Platform, *slicing.Assignment, *sched.Schedule) {
+	t.Helper()
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("a", c1(10), 0)
+	g.MustAddTask("b", c1(10), 0)
+	g.MustAddArc(0, 1, 4)
+	g.MustFreeze()
+	p := arch.Homogeneous(2)
+	asg := &slicing.Assignment{
+		Arrival:     []rtime.Time{0, 10},
+		AbsDeadline: []rtime.Time{10, 20}, // b will miss (remote landing at 14)
+		RelDeadline: []rtime.Time{10, 10},
+	}
+	s := &sched.Schedule{Placements: []sched.Placement{
+		{Proc: 0, Start: 0, Finish: 10},
+		{Proc: 1, Start: 14, Finish: 24},
+	}}
+	return g, p, asg, s
+}
+
+func TestFromScheduleEvents(t *testing.T) {
+	g, p, asg, s := fixture(t)
+	log := FromSchedule(g, p, asg, s)
+	// Expected: start a@0, finish a@10 + send@10, land@14, start b@14,
+	// finish b@24, miss b@24.
+	kinds := []Kind{}
+	for _, e := range log {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []Kind{Start, Finish, Send, Land, Start, Finish, Miss}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d events: %v", len(kinds), log)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d = %v, want %v (%v)", i, kinds[i], want[i], log[i])
+		}
+	}
+	// Ordering by time is monotone.
+	for i := 1; i < len(log); i++ {
+		if log[i].At < log[i-1].At {
+			t.Errorf("log out of order at %d: %v", i, log)
+		}
+	}
+	// Miss detail records the lateness.
+	miss := log.Filter(Miss)
+	if len(miss) != 1 || miss[0].Detail != 4 {
+		t.Errorf("miss = %v", miss)
+	}
+}
+
+func TestNoSendForCoLocated(t *testing.T) {
+	g, p, asg, _ := fixture(t)
+	s := &sched.Schedule{Placements: []sched.Placement{
+		{Proc: 0, Start: 0, Finish: 10},
+		{Proc: 0, Start: 10, Finish: 20}, // same processor: no bus traffic
+	}}
+	log := FromSchedule(g, p, asg, s)
+	if len(log.Filter(Send, Land)) != 0 {
+		t.Errorf("co-located tasks produced bus events: %v", log)
+	}
+}
+
+func TestFilterAndString(t *testing.T) {
+	g, p, asg, s := fixture(t)
+	log := FromSchedule(g, p, asg, s)
+	starts := log.Filter(Start)
+	if len(starts) != 2 {
+		t.Errorf("starts = %v", starts)
+	}
+	out := log.String()
+	for _, want := range []string{"start", "finish", "send", "land", "MISS", "t0→t1 (4 items)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFromPreemptive(t *testing.T) {
+	// Force a preemption: long slack task, tight arrival-5 task, one
+	// processor.
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("long", c1(30), 0)
+	g.MustAddTask("tight", c1(10), 0)
+	g.MustFreeze()
+	p := arch.Homogeneous(1)
+	asg := &slicing.Assignment{
+		Arrival:     []rtime.Time{0, 5},
+		AbsDeadline: []rtime.Time{60, 20},
+		RelDeadline: []rtime.Time{60, 15},
+	}
+	s, err := sched.DispatchPreemptive(g, p, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := FromPreemptive(g, p, asg, s)
+	if n := len(log.Filter(Preempt)); n != 1 {
+		t.Errorf("preempt events = %d, want 1\n%s", n, log)
+	}
+	if n := len(log.Filter(Resume)); n != 1 {
+		t.Errorf("resume events = %d, want 1\n%s", n, log)
+	}
+	// The preemption of the long task happens at t=5.
+	pe := log.Filter(Preempt)[0]
+	if pe.Task != 0 || pe.At != 5 {
+		t.Errorf("preempt = %v", pe)
+	}
+	re := log.Filter(Resume)[0]
+	if re.Task != 0 || re.At != 15 {
+		t.Errorf("resume = %v", re)
+	}
+}
+
+func TestGeneratedWorkloadLogInvariants(t *testing.T) {
+	cfg := gen.Default(3)
+	cfg.Seed = 17
+	w := gen.MustGenerate(cfg)
+	est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := slicing.Distribute(w.Graph, est, 3, slicing.AdaptL(), slicing.CalibratedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := FromSchedule(w.Graph, w.Platform, asg, s)
+	// Exactly one start and one finish per placed task.
+	starts := map[int]int{}
+	finishes := map[int]int{}
+	for _, e := range log {
+		switch e.Kind {
+		case Start:
+			starts[e.Task]++
+		case Finish:
+			finishes[e.Task]++
+		}
+	}
+	for i := 0; i < w.Graph.NumTasks(); i++ {
+		if starts[i] != 1 || finishes[i] != 1 {
+			t.Fatalf("task %d has %d starts / %d finishes", i, starts[i], finishes[i])
+		}
+	}
+	// Every Send pairs with a Land of the same arc, 1 bus-cost later.
+	sends := log.Filter(Send)
+	lands := log.Filter(Land)
+	if len(sends) != len(lands) {
+		t.Fatalf("%d sends vs %d lands", len(sends), len(lands))
+	}
+	if len(sends) == 0 {
+		t.Skip("workload had no remote messages (unlikely)")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Start.String() != "start" || Miss.String() != "MISS" || Resume.String() != "resume" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind should include its number")
+	}
+}

@@ -1,0 +1,133 @@
+// Package wcet implements the estimated-WCET strategies of §5.3. When
+// task assignments are not yet known (relaxed locality constraints), the
+// deadline-distribution algorithm works from an estimate c̄ᵢ derived from
+// the per-class WCET array:
+//
+//	WCET-AVG (eq. 9): the average of all valid execution times,
+//	WCET-MAX (eq. 10): the maximum (pessimistic),
+//	WCET-MIN (eq. 11): the minimum (optimistic).
+//
+// Only classes that are both valid for the task and present on the
+// platform are considered — a class with no processor can never host the
+// task, so its WCET carries no information about the eventual assignment.
+package wcet
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// Strategy estimates a task's WCET from its per-class array before the
+// task's processor assignment is known.
+type Strategy int
+
+const (
+	// AVG averages the valid per-class WCETs (the paper's default).
+	AVG Strategy = iota
+	// MAX takes the pessimistic maximum.
+	MAX
+	// MIN takes the optimistic minimum.
+	MIN
+)
+
+// Strategies lists every strategy in presentation order (used by the
+// figure-5/6 harness).
+var Strategies = []Strategy{AVG, MAX, MIN}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case AVG:
+		return "WCET-AVG"
+	case MAX:
+		return "WCET-MAX"
+	case MIN:
+		return "WCET-MIN"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Estimate returns c̄ for a single task given which classes are present
+// on the platform. It fails if the task is eligible on no present class,
+// since such a task can never be assigned.
+func (s Strategy) Estimate(t *taskgraph.Task, present []bool) (rtime.Time, error) {
+	var (
+		sum   rtime.Time
+		count rtime.Time
+		maxC  = rtime.Time(0)
+		minC  = rtime.Infinity
+	)
+	for k, c := range t.WCET {
+		if !c.IsSet() || k >= len(present) || !present[k] {
+			continue
+		}
+		sum += c
+		count++
+		if c > maxC {
+			maxC = c
+		}
+		if c < minC {
+			minC = c
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("wcet: task %d (%s) is eligible on no present processor class", t.ID, t.Name)
+	}
+	switch s {
+	case AVG:
+		// Round to the nearest time unit; ties round up.
+		return (sum + count/2) / count, nil
+	case MAX:
+		return maxC, nil
+	case MIN:
+		return minC, nil
+	}
+	return 0, fmt.Errorf("wcet: unknown strategy %d", int(s))
+}
+
+// Estimates computes c̄ for every task of g on platform p. Tasks under
+// strict locality constraints (Task.Pinned ≥ 0) have a known assignment,
+// so their estimate is the exact WCET on the pinned processor's class —
+// the a-priori information the paper's §1 says strict tasks come with.
+func Estimates(g *taskgraph.Graph, p *arch.Platform, s Strategy) ([]rtime.Time, error) {
+	present := p.ClassesPresent()
+	est := make([]rtime.Time, g.NumTasks())
+	for i, t := range g.Tasks() {
+		if t.Pinned >= 0 {
+			if t.Pinned >= p.M() {
+				return nil, fmt.Errorf("wcet: task %d pinned to missing processor %d", i, t.Pinned)
+			}
+			class := p.ClassOf(t.Pinned)
+			if !t.EligibleOn(class) {
+				return nil, fmt.Errorf("wcet: task %d pinned to processor %d of ineligible class %d",
+					i, t.Pinned, class)
+			}
+			est[i] = t.WCET[class]
+			continue
+		}
+		c, err := s.Estimate(t, present)
+		if err != nil {
+			return nil, err
+		}
+		est[i] = c
+	}
+	return est, nil
+}
+
+// MeanEstimate returns the mean of est rounded to the nearest time unit.
+// The adaptive metrics use it as the default execution-time threshold
+// c_thres = 1.0 · c_mean (§6).
+func MeanEstimate(est []rtime.Time) rtime.Time {
+	if len(est) == 0 {
+		return 0
+	}
+	var sum rtime.Time
+	for _, c := range est {
+		sum += c
+	}
+	n := rtime.Time(len(est))
+	return (sum + n/2) / n
+}

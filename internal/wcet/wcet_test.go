@@ -1,0 +1,161 @@
+package wcet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+func threeClassTask(t *testing.T) *taskgraph.Task {
+	t.Helper()
+	g := taskgraph.NewGraph(3)
+	return g.MustAddTask("t", []rtime.Time{10, 20, 31}, 0)
+}
+
+func TestEstimateAllPresent(t *testing.T) {
+	tk := threeClassTask(t)
+	present := []bool{true, true, true}
+	cases := []struct {
+		s    Strategy
+		want rtime.Time
+	}{
+		{AVG, 20}, // (10+20+31)/3 = 20.33 → 20
+		{MAX, 31},
+		{MIN, 10},
+	}
+	for _, c := range cases {
+		got, err := c.s.Estimate(tk, present)
+		if err != nil {
+			t.Fatalf("%v: %v", c.s, err)
+		}
+		if got != c.want {
+			t.Errorf("%v = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestEstimateSkipsAbsentClasses(t *testing.T) {
+	tk := threeClassTask(t)
+	present := []bool{true, false, true} // class 1 has no processor
+	got, err := AVG.Estimate(tk, present)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 21 { // (10+31)/2 = 20.5 → rounds up to 21
+		t.Errorf("AVG = %d, want 21", got)
+	}
+	if got, _ := MAX.Estimate(tk, present); got != 31 {
+		t.Errorf("MAX = %d, want 31", got)
+	}
+	if got, _ := MIN.Estimate(tk, present); got != 10 {
+		t.Errorf("MIN = %d, want 10", got)
+	}
+}
+
+func TestEstimateSkipsIneligibleClasses(t *testing.T) {
+	g := taskgraph.NewGraph(3)
+	tk := g.MustAddTask("t", []rtime.Time{rtime.Unset, 20, 30}, 0)
+	present := []bool{true, true, true}
+	if got, _ := MIN.Estimate(tk, present); got != 20 {
+		t.Errorf("MIN = %d, want 20 (class 0 ineligible)", got)
+	}
+	if got, _ := AVG.Estimate(tk, present); got != 25 {
+		t.Errorf("AVG = %d, want 25", got)
+	}
+}
+
+func TestEstimateNoValidClass(t *testing.T) {
+	g := taskgraph.NewGraph(2)
+	tk := g.MustAddTask("t", []rtime.Time{5, rtime.Unset}, 0)
+	if _, err := AVG.Estimate(tk, []bool{false, true}); err == nil {
+		t.Error("task eligible only on an absent class should fail")
+	}
+}
+
+func TestEstimates(t *testing.T) {
+	g := taskgraph.NewGraph(2)
+	g.MustAddTask("a", []rtime.Time{10, 30}, 0)
+	g.MustAddTask("b", []rtime.Time{rtime.Unset, 16}, 0)
+	g.MustFreeze()
+	p := arch.MustNew(arch.Unrelated,
+		[]arch.Class{{Name: "x"}, {Name: "y"}}, []int{0, 1}, arch.Bus{DelayPerItem: 1})
+	est, err := Estimates(g, p, AVG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[0] != 20 || est[1] != 16 {
+		t.Errorf("est = %v, want [20 16]", est)
+	}
+}
+
+func TestEstimatesFailurePropagates(t *testing.T) {
+	g := taskgraph.NewGraph(2)
+	g.MustAddTask("a", []rtime.Time{10, rtime.Unset}, 0)
+	g.MustFreeze()
+	// Platform only has class-1 processors; task a is only valid on class 0.
+	p := arch.MustNew(arch.Unrelated,
+		[]arch.Class{{Name: "x"}, {Name: "y"}}, []int{1}, arch.Bus{DelayPerItem: 1})
+	if _, err := Estimates(g, p, MAX); err == nil {
+		t.Error("unsatisfiable task should surface an error")
+	}
+}
+
+func TestMeanEstimate(t *testing.T) {
+	if got := MeanEstimate([]rtime.Time{10, 20, 30}); got != 20 {
+		t.Errorf("mean = %d, want 20", got)
+	}
+	if got := MeanEstimate([]rtime.Time{1, 2}); got != 2 { // 1.5 rounds up
+		t.Errorf("mean = %d, want 2", got)
+	}
+	if got := MeanEstimate(nil); got != 0 {
+		t.Errorf("mean of empty = %d, want 0", got)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if AVG.String() != "WCET-AVG" || MAX.String() != "WCET-MAX" || MIN.String() != "WCET-MIN" {
+		t.Error("strategy names wrong")
+	}
+	if !strings.Contains(Strategy(9).String(), "9") {
+		t.Error("unknown strategy should include its number")
+	}
+	if len(Strategies) != 3 {
+		t.Error("Strategies should list all three")
+	}
+}
+
+func TestUnknownStrategyErrors(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	tk := g.MustAddTask("t", []rtime.Time{5}, 0)
+	if _, err := Strategy(42).Estimate(tk, []bool{true}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestPinnedEstimateBypassesStrategy(t *testing.T) {
+	g := taskgraph.NewGraph(2)
+	a := g.MustAddTask("a", []rtime.Time{10, 30}, 0)
+	a.Pinned = 0
+	g.MustFreeze()
+	p := arch.MustNew(arch.Unrelated, []arch.Class{{}, {}}, []int{0, 1}, arch.Bus{DelayPerItem: 1})
+	for _, s := range Strategies {
+		est, err := Estimates(g, p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est[0] != 10 {
+			t.Errorf("%v: pinned estimate = %d, want exact 10", s, est[0])
+		}
+	}
+	// Pinned beyond the platform errors.
+	g2 := taskgraph.NewGraph(2)
+	b := g2.MustAddTask("b", []rtime.Time{10, 30}, 0)
+	b.Pinned = 9
+	g2.MustFreeze()
+	if _, err := Estimates(g2, p, AVG); err == nil {
+		t.Error("out-of-range pin accepted")
+	}
+}
