@@ -1,0 +1,34 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs the same
+# build/vet/fmt/race sequence as `make check`.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt check smoke faults
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+check: build vet fmt race
+
+# The paper-vs-measured reproduction record at full sample size.
+smoke:
+	$(GO) test -run TestReproduction -count=1 ./internal/experiment/
+
+# Graceful-degradation curves under injected faults (robustness study).
+faults:
+	$(GO) run ./cmd/sweep -study faults

@@ -8,6 +8,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/deadline"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/feas"
 	"repro/internal/gen"
 	"repro/internal/optsched"
@@ -74,6 +75,22 @@ type (
 	ExactOptions = optsched.Options
 	// Report is the outcome of replaying a schedule.
 	Report = sim.Report
+)
+
+// Fault-injection types (robustness evaluation).
+type (
+	// FaultPlan is a stochastic fault model: probabilities and
+	// severities for WCET overruns, processor degradation and loss, and
+	// bus jitter, materialized deterministically from its seed.
+	FaultPlan = faults.Plan
+	// FaultTrace is one concrete materialized fault scenario.
+	FaultTrace = faults.Trace
+	// InjectedReport is the outcome of executing a schedule under a
+	// fault trace: the verified perturbed run plus degradation measures.
+	InjectedReport = sim.InjectedReport
+	// Degradation quantifies deadline misses, lateness, and fault and
+	// recovery events of an injected run.
+	Degradation = sim.Degradation
 )
 
 // Workload generation and experiment types.
@@ -255,6 +272,30 @@ func CheckFeasibility(g *Graph, p *Platform, asg *Assignment) ([]FeasViolation, 
 // the shared bus from the nominal-delay model to exclusive FCFS use.
 func Replay(g *Graph, p *Platform, asg *Assignment, s *Schedule, serializedBus bool) (*Report, error) {
 	return sim.Replay(g, p, asg, s, sim.Options{SerializedBus: serializedBus})
+}
+
+// ScaledFaultPlan returns the standard fault plan at the given
+// intensity in [0, 1]: 0 is fault-free, 1 the harshest standard mix of
+// WCET overruns, processor slowdown/loss, and bus jitter. The same
+// (intensity, seed) pair always yields the same plan.
+func ScaledFaultPlan(intensity float64, seed int64) FaultPlan {
+	return faults.Scaled(intensity, seed)
+}
+
+// MaterializeFaults draws one concrete fault scenario from the plan for
+// the given workload; span is the failure-instant horizon (normally the
+// end-to-end deadline).
+func MaterializeFaults(plan FaultPlan, g *Graph, p *Platform, span Time) (*FaultTrace, error) {
+	return plan.Materialize(g, p, span)
+}
+
+// InjectFaults executes the planned schedule under the fault trace with
+// the time-driven dispatcher and reports the degradation; reclaim
+// enables the online slack-reclamation recovery policy. A zero trace
+// reproduces the nominal Replay exactly.
+func InjectFaults(g *Graph, p *Platform, asg *Assignment, s *Schedule,
+	tr *FaultTrace, reclaim bool) (*InjectedReport, error) {
+	return sim.Inject(g, p, asg, s, sim.Options{Faults: tr, Reclaim: reclaim})
 }
 
 // DefaultWorkloadConfig returns the paper's §5 workload setup for m

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -239,5 +240,51 @@ func TestResourceWorkloadThroughAPI(t *testing.T) {
 	}
 	if !res.Report.Valid {
 		t.Errorf("replay violations: %v", res.Report.Violations)
+	}
+}
+
+func TestFaultInjectionThroughAPI(t *testing.T) {
+	cfg := DefaultWorkloadConfig(3)
+	cfg.Seed = 77
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultPipeline().Run(w.Graph, w.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var span Time
+	for _, o := range w.Graph.Outputs() {
+		if d := w.Graph.Task(o).ETEDeadline; d > span {
+			span = d
+		}
+	}
+	// Zero intensity reproduces the nominal replay exactly.
+	tr, err := MaterializeFaults(ScaledFaultPlan(0, 7), w.Graph, w.Platform, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := InjectFaults(w.Graph, w.Platform, res.Assignment, res.Schedule, tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&ir.Report, res.Report) {
+		t.Errorf("zero-intensity injection diverged from nominal replay")
+	}
+	// Full intensity degrades but still verifies.
+	tr, err = MaterializeFaults(ScaledFaultPlan(1, 7), w.Graph, w.Platform, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err = InjectFaults(w.Graph, w.Platform, res.Assignment, res.Schedule, tr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Valid {
+		t.Errorf("injected run structurally invalid: %v", ir.Violations)
+	}
+	if ir.Degradation.Overruns == 0 {
+		t.Error("full-intensity plan injected no overruns")
 	}
 }

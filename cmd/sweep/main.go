@@ -17,6 +17,9 @@
 //	-study pinned  strict vs relaxed locality constraints (§1)
 //	-study headroom searched virtual costs vs ADAPT-L (annealing upper bound)
 //	-study adaptn  ADAPT-N (NORM-shaped adaptive) across the ETD axis
+//	-study faults  graceful degradation under injected faults (WCET
+//	               overruns, processor loss, bus jitter) with and without
+//	               online slack reclamation
 //
 // Each study prints a success-ratio table over its parameter axis for a
 // three-processor system at the calibrated operating point.
@@ -87,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"pinned":   studyPinned,
 		"headroom": studyHeadroom,
 		"adaptn":   studyAdaptN,
+		"faults":   studyFaults,
 	}
 	if *study != "" {
 		f, ok := studies[*study]
@@ -97,7 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		f()
 		return 0
 	}
-	for _, name := range []string{"kl", "kg", "cthres", "ccr", "mode", "sched", "overlap", "shape", "res", "optgap", "late", "hom", "policy", "pinned", "headroom", "adaptn"} {
+	for _, name := range []string{"kl", "kg", "cthres", "ccr", "mode", "sched", "overlap", "shape", "res", "optgap", "late", "hom", "policy", "pinned", "headroom", "adaptn", "faults"} {
 		studies[name]()
 		fmt.Fprintln(sw.w)
 	}
@@ -404,6 +408,47 @@ func studyAdaptN() {
 		}
 		fmt.Fprintln(sw.w)
 	}
+}
+
+func studyFaults() {
+	header("graceful degradation under injected faults (robustness)")
+	runFaultPoint := func(metric slicing.Metric, intensity float64, reclaim bool) experiment.FaultPoint {
+		return experiment.FaultRun(experiment.FaultConfig{
+			Gen: genCfg(), Metric: metric, Params: slicing.CalibratedParams(), WCET: wcet.AVG,
+			NumGraphs: sw.graphs, MasterSeed: sw.seed, Workers: sw.workers,
+			Intensity: intensity, Reclaim: reclaim,
+		})
+	}
+	// Success ratio and per-run task miss ratio per metric as the fault
+	// intensity rises; intensity 0 is the nominal time-driven row of
+	// -study sched.
+	intensities := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	fmt.Fprintf(sw.w, "  success%% / mean task-miss%% per run:\n")
+	for _, intensity := range intensities {
+		fmt.Fprintf(sw.w, "  i=%.2f", intensity)
+		for _, metric := range slicing.Metrics() {
+			p := runFaultPoint(metric, intensity, false)
+			fmt.Fprintf(sw.w, "  %s %5.1f%%/%4.1f%%", metric.Name(),
+				100*p.Success.Value(), 100*p.MissRatio.Mean())
+		}
+		fmt.Fprintln(sw.w)
+	}
+	// Recovery: the same faulted runs with online slack reclamation.
+	fmt.Fprintln(sw.w, "  with slack-reclamation recovery:")
+	for _, intensity := range intensities {
+		fmt.Fprintf(sw.w, "  i=%.2f", intensity)
+		for _, metric := range slicing.Metrics() {
+			p := runFaultPoint(metric, intensity, true)
+			fmt.Fprintf(sw.w, "  %s %5.1f%%/%4.1f%%", metric.Name(),
+				100*p.Success.Value(), 100*p.MissRatio.Mean())
+		}
+		fmt.Fprintln(sw.w)
+	}
+	p := runFaultPoint(slicing.AdaptL(), 1, true)
+	fmt.Fprintf(sw.w, "  (ADAPT-L at i=1.00: %d overruns, %d aborts, %d migrations, %d reclamations\n",
+		p.Overruns, p.Aborted, p.Migrations, p.Reclamations)
+	fmt.Fprintf(sw.w, "   over %d runs; misses are always judged against the original windows)\n",
+		sw.graphs)
 }
 
 func min(a, b int) int {

@@ -32,6 +32,36 @@ func TestRunStudyGrid(t *testing.T) {
 	}
 }
 
+func TestRunFaultsStudy(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-study", "faults", "-graphs", "6"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"graceful degradation", "i=0.00", "i=1.00",
+		"slack-reclamation", "ADAPT-L", "PURE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The robustness study is seed-stable: identical invocations print
+// byte-identical tables (all randomness flows through the seeded
+// per-workload and per-trace generators).
+func TestRunFaultsStudyDeterministic(t *testing.T) {
+	render := func() string {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-study", "faults", "-graphs", "6", "-seed", "7"}, &out, &errBuf); code != 0 {
+			t.Fatalf("exit %d: %s", code, errBuf.String())
+		}
+		return out.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("same seed, different tables:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
 func TestRunUnknownStudy(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"-study", "astrology"}, &out, &errBuf); code != 2 {

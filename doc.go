@@ -13,6 +13,14 @@
 // the paper's §5 setup, and the experiment harness that regenerates
 // every figure of the evaluation.
 //
+// Beyond the paper, a fault-injection subsystem (internal/faults with
+// the sim.Inject executor) tests the "robust" claim in the title
+// directly: schedules are executed under seeded WCET overruns,
+// processor slowdown and loss, and bus jitter, with an optional online
+// slack-reclamation recovery policy, reporting graceful-degradation
+// measures (ScaledFaultPlan, MaterializeFaults, InjectFaults; `go run
+// ./cmd/sweep -study faults`).
+//
 // This root package is the public API: it re-exports the stable types
 // and provides the Pipeline convenience for the common
 // generate → estimate → slice → schedule → replay flow. The underlying

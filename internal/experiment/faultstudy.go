@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/slicing"
+	"repro/internal/stats"
+	"repro/internal/wcet"
+)
+
+// FaultConfig describes one robustness data point: a workload
+// distribution, a deadline-distribution metric, and a fault intensity to
+// execute the resulting schedules under.
+type FaultConfig struct {
+	// Gen is the workload generator configuration (Gen.Seed is ignored;
+	// per-graph seeds derive from MasterSeed).
+	Gen gen.Config
+	// Metric is the critical-path metric under evaluation.
+	Metric slicing.Metric
+	// Params are the adaptive-metric parameters.
+	Params slicing.Params
+	// WCET is the estimation strategy.
+	WCET wcet.Strategy
+	// NumGraphs is the sample size per point.
+	NumGraphs int
+	// MasterSeed makes the whole study reproducible. Workload idx draws
+	// its graph from SubSeed(MasterSeed, idx) and its fault trace from
+	// SubSeed(MasterSeed+1, idx) — the trace seed does not depend on the
+	// metric, so every metric faces the identical fault scenario (paired
+	// comparison, as everywhere in the harness).
+	MasterSeed int64
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Intensity in [0, 1] scales the fault plan (faults.Scaled); 0 is
+	// the nominal, fault-free execution.
+	Intensity float64
+	// Reclaim enables the online slack-reclamation recovery policy.
+	Reclaim bool
+}
+
+// FaultPoint aggregates the graceful-degradation measures of one data
+// point.
+type FaultPoint struct {
+	// Success counts runs that met every originally assigned deadline
+	// despite the faults. At Intensity 0 it equals the nominal
+	// time-driven success ratio for the same (metric, seed) point.
+	Success stats.Ratio
+	// MissRatio accumulates the per-run task deadline-miss ratio.
+	MissRatio stats.Running
+	// ETEMissRatio accumulates the per-run end-to-end (output-task) miss
+	// ratio — the failures the application actually observes.
+	ETEMissRatio stats.Running
+	// MeanLateness accumulates each run's mean positive lateness.
+	MeanLateness stats.Running
+	// MaxLateness accumulates each run's maximum lateness.
+	MaxLateness stats.Running
+	// FirstMiss accumulates the first-miss time over runs that missed —
+	// how long the system runs before degrading.
+	FirstMiss stats.Running
+	// Overruns, Aborted, Migrations and Reclamations total the fault and
+	// recovery event counts over the sample.
+	Overruns, Aborted, Migrations, Reclamations int
+	// Errors counts pipeline failures; always 0 in a healthy
+	// configuration.
+	Errors int
+}
+
+// FaultRun evaluates one robustness data point over the worker pool.
+func FaultRun(cfg FaultConfig) FaultPoint {
+	var point FaultPoint
+	forEachWorkload(cfg.Workers, cfg.NumGraphs, func() any { return &FaultPoint{} },
+		func(idx int, acc any) { faultRunOne(cfg, idx, acc.(*FaultPoint)) },
+		func(acc any) {
+			local := acc.(*FaultPoint)
+			point.Success.Succ += local.Success.Succ
+			point.Success.Total += local.Success.Total
+			point.MissRatio.Merge(local.MissRatio)
+			point.ETEMissRatio.Merge(local.ETEMissRatio)
+			point.MeanLateness.Merge(local.MeanLateness)
+			point.MaxLateness.Merge(local.MaxLateness)
+			point.FirstMiss.Merge(local.FirstMiss)
+			point.Overruns += local.Overruns
+			point.Aborted += local.Aborted
+			point.Migrations += local.Migrations
+			point.Reclamations += local.Reclamations
+			point.Errors += local.Errors
+		})
+	return point
+}
+
+// faultRunOne executes workload idx under its fault trace and folds the
+// degradation into p.
+func faultRunOne(cfg FaultConfig, idx int, p *FaultPoint) {
+	gcfg := cfg.Gen
+	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
+	w, err := gen.Generate(gcfg)
+	if err != nil {
+		p.Errors++
+		return
+	}
+	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
+	if err != nil {
+		p.Errors++
+		return
+	}
+	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
+	if err != nil {
+		p.Errors++
+		return
+	}
+	s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+	if err != nil {
+		p.Errors++
+		return
+	}
+	// The failure-instant horizon is the workload's end-to-end deadline:
+	// metric-independent, so identical across the compared series.
+	var span rtime.Time
+	for _, o := range w.Graph.Outputs() {
+		if d := w.Graph.Task(o).ETEDeadline; d > span {
+			span = d
+		}
+	}
+	plan := faults.Scaled(cfg.Intensity, gen.SubSeed(cfg.MasterSeed+1, idx))
+	trace, err := plan.Materialize(w.Graph, w.Platform, span)
+	if err != nil {
+		p.Errors++
+		return
+	}
+	ir, err := sim.Inject(w.Graph, w.Platform, asg, s, sim.Options{Faults: trace, Reclaim: cfg.Reclaim})
+	if err != nil {
+		p.Errors++
+		return
+	}
+	d := ir.Degradation
+	p.Success.Add(d.Misses == 0)
+	p.MissRatio.Add(d.MissRatio())
+	if outs := len(w.Graph.Outputs()); outs > 0 {
+		p.ETEMissRatio.Add(float64(d.ETEMisses) / float64(outs))
+	}
+	p.MeanLateness.Add(d.MeanLateness)
+	p.MaxLateness.Add(float64(d.MaxLateness))
+	if d.FirstMiss.IsSet() {
+		p.FirstMiss.Add(float64(d.FirstMiss))
+	}
+	p.Overruns += d.Overruns
+	p.Aborted += d.Aborted
+	p.Migrations += d.Migrations
+	p.Reclamations += d.Reclamations
+}
+
+// forEachWorkload fans workload indices over a worker pool; each worker
+// folds into its own accumulator (newAcc) and the accumulators are
+// merged under a lock (merge). It mirrors Run's pool so the two studies
+// schedule identically.
+func forEachWorkload(workers, numGraphs int, newAcc func() any,
+	work func(idx int, acc any), merge func(acc any)) {
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numGraphs {
+		workers = numGraphs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		indices = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acc := newAcc()
+			for idx := range indices {
+				work(idx, acc)
+			}
+			mu.Lock()
+			merge(acc)
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < numGraphs; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/slicing"
+	"repro/internal/wcet"
+)
+
+func smallFaultConfig(metric slicing.Metric, intensity float64) FaultConfig {
+	g := gen.Default(3)
+	g.OLR = DefaultOLR
+	return FaultConfig{
+		Gen:        g,
+		Metric:     metric,
+		Params:     slicing.CalibratedParams(),
+		WCET:       wcet.AVG,
+		NumGraphs:  30,
+		MasterSeed: 42,
+		Intensity:  intensity,
+	}
+}
+
+// At intensity 0 the fault study degenerates to the nominal time-driven
+// evaluation: the success ratio must equal Run's for the identical
+// (metric, seed) point, and no fault or recovery event may fire.
+func TestFaultRunZeroIntensityMatchesNominal(t *testing.T) {
+	for _, metric := range []slicing.Metric{slicing.PURE(), slicing.AdaptL()} {
+		nominal := Run(smallConfig(metric))
+		injected := FaultRun(smallFaultConfig(metric, 0))
+		if injected.Success != nominal.Success {
+			t.Errorf("%s: zero-intensity success %v, nominal %v",
+				metric.Name(), injected.Success, nominal.Success)
+		}
+		if injected.Overruns != 0 || injected.Aborted != 0 ||
+			injected.Migrations != 0 || injected.Reclamations != 0 {
+			t.Errorf("%s: fault events at zero intensity: %+v", metric.Name(), injected)
+		}
+		if injected.Errors != 0 {
+			t.Errorf("%s: %d pipeline errors", metric.Name(), injected.Errors)
+		}
+	}
+}
+
+// Degradation is monotone in expectation: cranking intensity may never
+// help, and at full intensity some runs must actually degrade.
+func TestFaultRunDegradesWithIntensity(t *testing.T) {
+	lo := FaultRun(smallFaultConfig(slicing.AdaptL(), 0))
+	hi := FaultRun(smallFaultConfig(slicing.AdaptL(), 1))
+	if hi.Success.Succ > lo.Success.Succ {
+		t.Errorf("full-intensity success %v exceeds nominal %v", hi.Success, lo.Success)
+	}
+	if hi.Overruns == 0 && hi.Aborted == 0 {
+		t.Error("full intensity injected no faults at all")
+	}
+	if hi.MissRatio.Mean() < lo.MissRatio.Mean() {
+		t.Errorf("miss ratio fell under faults: %.3f < %.3f",
+			hi.MissRatio.Mean(), lo.MissRatio.Mean())
+	}
+}
+
+// The study is deterministic: same seed, same point, whatever the
+// worker count — the seed-stability contract of the whole harness.
+func TestFaultRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := smallFaultConfig(slicing.AdaptL(), 0.5)
+	var points []FaultPoint
+	for _, workers := range []int{1, 2, 7} {
+		cfg := base
+		cfg.Workers = workers
+		points = append(points, FaultRun(cfg))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Success != points[0].Success {
+			t.Errorf("workers=%d changed the success count: %v vs %v",
+				[]int{1, 2, 7}[i], points[i].Success, points[0].Success)
+		}
+		if points[i].Overruns != points[0].Overruns || points[i].Aborted != points[0].Aborted {
+			t.Errorf("workers=%d changed the fault event counts", []int{1, 2, 7}[i])
+		}
+		if d := points[i].MissRatio.Mean() - points[0].MissRatio.Mean(); d > 1e-9 || d < -1e-9 {
+			t.Errorf("miss ratio depends on worker count: %v vs %v",
+				points[i].MissRatio.Mean(), points[0].MissRatio.Mean())
+		}
+	}
+}
+
+// Recovery never redefines success, but it must fire under faults and
+// may only be judged on the same original deadlines.
+func TestFaultRunReclaimFires(t *testing.T) {
+	cfg := smallFaultConfig(slicing.AdaptL(), 1)
+	cfg.Reclaim = true
+	p := FaultRun(cfg)
+	if p.Reclamations == 0 {
+		t.Error("full intensity with recovery enabled never reclaimed slack")
+	}
+	if p.Errors != 0 {
+		t.Errorf("%d pipeline errors", p.Errors)
+	}
+}

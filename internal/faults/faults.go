@@ -1,0 +1,276 @@
+// Package faults models run-time deviations from the platform
+// assumptions the deadline-assignment step bakes into its windows: WCET
+// overruns (a task executes longer than its declared worst case),
+// processor degradation (a class slows down, or a processor drops out
+// mid-run), and bus jitter (a message occupies the interconnect for
+// longer than the nominal per-item delay).
+//
+// The paper's robustness claim for ADAPT-L is that its contention-aware
+// windows leave slack where contention actually bites, so assignments
+// should degrade gracefully when reality is worse than the model. This
+// package provides the fault side of that experiment: a Plan describes
+// a fault *distribution*; Materialize draws one concrete, fully
+// deterministic Trace for a workload from a seeded generator. The sim
+// package executes schedules under a Trace and reports degradation.
+//
+// All randomness flows through a single *rand.Rand seeded from
+// Plan.Seed — there is no package-global generator — so a given
+// (Plan, workload) pair always yields byte-identical fault traces
+// across runs and platforms.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// Plan is a fault distribution: the probabilities and severities from
+// which one concrete Trace is drawn per workload. The zero value is the
+// fault-free plan.
+type Plan struct {
+	// Seed drives all randomness of one materialization.
+	Seed int64
+
+	// OverrunProb is the per-task probability of a WCET overrun.
+	OverrunProb float64
+	// OverrunFactor bounds the multiplicative severity of an overrun:
+	// an overrunning task executes for up to (1+OverrunFactor)·WCET,
+	// uniformly drawn.
+	OverrunFactor float64
+	// OverrunAdd is an additive severity applied to every overrunning
+	// task on top of the multiplicative draw (0 for none).
+	OverrunAdd rtime.Time
+
+	// SlowProb is the per-class probability that a whole processor
+	// class degrades (e.g. thermal throttling).
+	SlowProb float64
+	// SlowFactor is the slowdown severity: a degraded class executes
+	// everything (1+SlowFactor)× slower.
+	SlowFactor float64
+
+	// FailProb is the probability that one processor (uniformly chosen)
+	// drops out of the system.
+	FailProb float64
+	// FailFrac places the failure instant as a fraction of the
+	// workload's end-to-end horizon (see Materialize's span argument).
+	FailFrac float64
+
+	// JitterProb is the per-message probability of bus jitter.
+	JitterProb float64
+	// JitterMax bounds the extra delay of a jittered message, uniform
+	// in [1, JitterMax] time units.
+	JitterMax rtime.Time
+}
+
+// Zero reports whether the plan can only ever produce fault-free
+// traces.
+func (p Plan) Zero() bool {
+	return p.OverrunProb <= 0 && p.SlowProb <= 0 && p.FailProb <= 0 && p.JitterProb <= 0
+}
+
+// Validate checks the plan for consistency.
+func (p Plan) Validate() error {
+	switch {
+	case p.OverrunProb < 0 || p.OverrunProb > 1:
+		return fmt.Errorf("faults: OverrunProb %v outside [0, 1]", p.OverrunProb)
+	case p.OverrunFactor < 0:
+		return fmt.Errorf("faults: OverrunFactor %v", p.OverrunFactor)
+	case p.OverrunAdd < 0:
+		return fmt.Errorf("faults: OverrunAdd %d", p.OverrunAdd)
+	case p.SlowProb < 0 || p.SlowProb > 1:
+		return fmt.Errorf("faults: SlowProb %v outside [0, 1]", p.SlowProb)
+	case p.SlowFactor < 0:
+		return fmt.Errorf("faults: SlowFactor %v", p.SlowFactor)
+	case p.FailProb < 0 || p.FailProb > 1:
+		return fmt.Errorf("faults: FailProb %v outside [0, 1]", p.FailProb)
+	case p.FailFrac < 0 || p.FailFrac > 1:
+		return fmt.Errorf("faults: FailFrac %v outside [0, 1]", p.FailFrac)
+	case p.JitterProb < 0 || p.JitterProb > 1:
+		return fmt.Errorf("faults: JitterProb %v outside [0, 1]", p.JitterProb)
+	case p.JitterMax < 0:
+		return fmt.Errorf("faults: JitterMax %d", p.JitterMax)
+	case p.JitterProb > 0 && p.JitterMax < 1:
+		return fmt.Errorf("faults: JitterProb %v with JitterMax %d", p.JitterProb, p.JitterMax)
+	}
+	return nil
+}
+
+// Scaled returns the canonical one-knob fault family used for the
+// graceful-degradation curves: every probability and severity grows
+// linearly with intensity ∈ [0, 1]. Intensity 0 is the fault-free plan;
+// intensity 1 combines frequent overruns (30 % of tasks up to 50 %
+// over), likely class slowdown (25 % slower), a probable mid-run
+// processor loss, and jittery messages.
+func Scaled(intensity float64, seed int64) Plan {
+	if intensity < 0 {
+		intensity = 0
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	return Plan{
+		Seed:          seed,
+		OverrunProb:   0.30 * intensity,
+		OverrunFactor: 0.50 * intensity,
+		SlowProb:      0.20 * intensity,
+		SlowFactor:    0.25 * intensity,
+		FailProb:      0.25 * intensity,
+		FailFrac:      0.40,
+		JitterProb:    0.50 * intensity,
+		JitterMax:     rtime.Time(math.Ceil(4 * intensity)),
+	}
+}
+
+// Trace is one concrete materialized fault scenario for one workload:
+// everything the injected execution needs, with no randomness left.
+type Trace struct {
+	// ExecScale[i] multiplies task i's execution time on whatever class
+	// it lands on (≥ 1; exactly 1 for non-overrunning tasks).
+	ExecScale []float64
+	// ExecAdd[i] is extra absolute execution time for task i.
+	ExecAdd []rtime.Time
+	// Slow[q] multiplies every execution time on processor q (≥ 1).
+	Slow []float64
+	// DownAt[q] is the instant processor q fails (rtime.Infinity when
+	// it never does). A failing processor aborts whatever it is running
+	// at that instant; the aborted work is lost.
+	DownAt []rtime.Time
+	// MsgExtra maps an arc (from, to) to extra bus delay for its
+	// message, on top of the platform's nominal cost.
+	MsgExtra map[[2]int]rtime.Time
+}
+
+// Zero reports whether the trace perturbs nothing, i.e. injected
+// execution under it is exactly nominal execution.
+func (t *Trace) Zero() bool {
+	for _, s := range t.ExecScale {
+		if s != 1 {
+			return false
+		}
+	}
+	for _, a := range t.ExecAdd {
+		if a != 0 {
+			return false
+		}
+	}
+	for _, s := range t.Slow {
+		if s != 1 {
+			return false
+		}
+	}
+	for _, d := range t.DownAt {
+		if d < rtime.Infinity {
+			return false
+		}
+	}
+	return len(t.MsgExtra) == 0
+}
+
+// ZeroTrace returns the fault-free trace for a workload of n tasks on m
+// processors.
+func ZeroTrace(n, m int) *Trace {
+	t := &Trace{
+		ExecScale: make([]float64, n),
+		ExecAdd:   make([]rtime.Time, n),
+		Slow:      make([]float64, m),
+		DownAt:    make([]rtime.Time, m),
+		MsgExtra:  map[[2]int]rtime.Time{},
+	}
+	for i := range t.ExecScale {
+		t.ExecScale[i] = 1
+	}
+	for q := range t.Slow {
+		t.Slow[q] = 1
+		t.DownAt[q] = rtime.Infinity
+	}
+	return t
+}
+
+// Exec returns the faulted execution time of task i running a nominal
+// wcet on processor q: scale, slow-down, then the additive term, never
+// below one unit (or below zero for a zero-length nominal).
+func (t *Trace) Exec(i, q int, wcet rtime.Time) rtime.Time {
+	if wcet <= 0 {
+		return wcet
+	}
+	c := rtime.Time(math.Ceil(t.ExecScale[i] * t.Slow[q] * float64(wcet)))
+	c += t.ExecAdd[i]
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ExtraMsg returns the extra bus delay of the (from, to) message.
+func (t *Trace) ExtraMsg(from, to int) rtime.Time {
+	return t.MsgExtra[[2]int{from, to}]
+}
+
+// Materialize draws one concrete fault trace for the given workload.
+// span is the end-to-end horizon the failure instant is placed within
+// (typically the workload's end-to-end deadline, which is independent
+// of the metric under evaluation, so that every metric faces the exact
+// same fault scenario — paired comparisons). The draw order is fixed:
+// per-task overruns in ID order, per-class slowdowns, the processor
+// loss, then per-arc jitter in arc order.
+func (p Plan) Materialize(g *taskgraph.Graph, plat *arch.Platform, span rtime.Time) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n, m := g.NumTasks(), plat.M()
+	t := ZeroTrace(n, m)
+
+	for i := 0; i < n; i++ {
+		if p.OverrunProb > 0 && rng.Float64() < p.OverrunProb {
+			t.ExecScale[i] = 1 + p.OverrunFactor*rng.Float64()
+			t.ExecAdd[i] = p.OverrunAdd
+		}
+	}
+	if p.SlowProb > 0 {
+		for k := 0; k < plat.NumClasses(); k++ {
+			if rng.Float64() >= p.SlowProb {
+				continue
+			}
+			for q := 0; q < m; q++ {
+				if plat.ClassOf(q) == k {
+					t.Slow[q] = 1 + p.SlowFactor
+				}
+			}
+		}
+	}
+	if p.FailProb > 0 && rng.Float64() < p.FailProb {
+		q := rng.Intn(m)
+		at := rtime.Time(math.Round(p.FailFrac * float64(span)))
+		if at < 1 {
+			at = 1
+		}
+		t.DownAt[q] = at
+	}
+	if p.JitterProb > 0 && p.JitterMax >= 1 {
+		for _, a := range g.Arcs() {
+			if a.Items <= 0 {
+				continue
+			}
+			if rng.Float64() < p.JitterProb {
+				t.MsgExtra[[2]int{a.From, a.To}] = 1 + rtime.Time(rng.Int63n(int64(p.JitterMax)))
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustMaterialize is Materialize that panics on error; plan errors are
+// programming errors in experiment setup.
+func (p Plan) MustMaterialize(g *taskgraph.Graph, plat *arch.Platform, span rtime.Time) *Trace {
+	t, err := p.Materialize(g, plat, span)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rtime"
+)
+
+func testWorkload(t *testing.T, seed int64) *gen.Workload {
+	t.Helper()
+	cfg := gen.Default(3)
+	cfg.Seed = seed
+	w, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestScaledZeroIntensityIsFaultFree(t *testing.T) {
+	p := Scaled(0, 7)
+	if !p.Zero() {
+		t.Fatalf("Scaled(0) = %+v, want a zero plan", p)
+	}
+	w := testWorkload(t, 11)
+	tr, err := p.Materialize(w.Graph, w.Platform, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Zero() {
+		t.Fatalf("zero plan materialized a non-zero trace: %+v", tr)
+	}
+}
+
+func TestMaterializeDeterministic(t *testing.T) {
+	w := testWorkload(t, 3)
+	p := Scaled(0.8, 12345)
+	a := p.MustMaterialize(w.Graph, w.Platform, 900)
+	b := p.MustMaterialize(w.Graph, w.Platform, 900)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan and workload produced different traces")
+	}
+	p2 := Scaled(0.8, 54321)
+	c := p2.MustMaterialize(w.Graph, w.Platform, 900)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestTraceExec(t *testing.T) {
+	tr := ZeroTrace(2, 2)
+	if got := tr.Exec(0, 0, 20); got != 20 {
+		t.Fatalf("zero trace Exec = %d, want 20", got)
+	}
+	tr.ExecScale[0] = 1.5
+	if got := tr.Exec(0, 0, 20); got != 30 {
+		t.Fatalf("1.5×20 = %d, want 30", got)
+	}
+	tr.Slow[1] = 2
+	if got := tr.Exec(0, 1, 20); got != 60 {
+		t.Fatalf("1.5×2×20 = %d, want 60", got)
+	}
+	tr.ExecAdd[1] = 5
+	if got := tr.Exec(1, 0, 20); got != 25 {
+		t.Fatalf("20+5 = %d, want 25", got)
+	}
+	if got := tr.Exec(0, 0, 0); got != 0 {
+		t.Fatalf("Exec of zero wcet = %d, want 0", got)
+	}
+}
+
+func TestMaterializeSeverityBounds(t *testing.T) {
+	w := testWorkload(t, 17)
+	p := Scaled(1, 99)
+	tr := p.MustMaterialize(w.Graph, w.Platform, 1200)
+	for i, s := range tr.ExecScale {
+		if s < 1 || s > 1+p.OverrunFactor {
+			t.Fatalf("ExecScale[%d] = %v outside [1, %v]", i, s, 1+p.OverrunFactor)
+		}
+	}
+	for q, s := range tr.Slow {
+		if s != 1 && s != 1+p.SlowFactor {
+			t.Fatalf("Slow[%d] = %v, want 1 or %v", q, s, 1+p.SlowFactor)
+		}
+	}
+	for q, d := range tr.DownAt {
+		if d < rtime.Infinity && (d < 1 || d > 1200) {
+			t.Fatalf("DownAt[%d] = %d outside the horizon", q, d)
+		}
+	}
+	for arc, extra := range tr.MsgExtra {
+		if extra < 1 || extra > p.JitterMax {
+			t.Fatalf("MsgExtra[%v] = %d outside [1, %d]", arc, extra, p.JitterMax)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{OverrunProb: -0.1},
+		{OverrunProb: 1.1},
+		{OverrunFactor: -1},
+		{SlowProb: 2},
+		{SlowFactor: -0.5},
+		{FailProb: -1},
+		{FailFrac: 1.5},
+		{JitterProb: 0.5, JitterMax: 0},
+		{JitterMax: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+	if err := (Plan{}).Validate(); err != nil {
+		t.Errorf("zero plan invalid: %v", err)
+	}
+	if err := Scaled(1, 1).Validate(); err != nil {
+		t.Errorf("Scaled(1) invalid: %v", err)
+	}
+}

@@ -62,7 +62,7 @@ func DispatchActual(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignmen
 
 	m := p.M()
 	procFree := make([]rtime.Time, m)
-	resFree := resourceTable(g)
+	resFree := ResourceTable(g)
 	done := make([]bool, n)
 	placed := 0
 

@@ -53,7 +53,7 @@ func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 
 	m := p.M()
 	procFree := make([]rtime.Time, m)
-	resFree := resourceTable(g)
+	resFree := ResourceTable(g)
 	done := make([]bool, n)
 	placed := 0
 

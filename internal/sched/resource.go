@@ -8,10 +8,12 @@ import (
 	"repro/internal/taskgraph"
 )
 
-// resourceTable returns a release-time table sized for the largest
+// ResourceTable returns a release-time table sized for the largest
 // resource index used by any task (empty when the application uses no
-// exclusive resources).
-func resourceTable(g *taskgraph.Graph) []rtime.Time {
+// exclusive resources). It is exported for the sim package's fault-
+// injected executor, which replays the dispatcher's resource
+// bookkeeping outside this package.
+func ResourceTable(g *taskgraph.Graph) []rtime.Time {
 	max := -1
 	for _, t := range g.Tasks() {
 		for _, r := range t.Resources {

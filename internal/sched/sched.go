@@ -80,7 +80,7 @@ func EDF(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*Schedu
 	}
 
 	procFree := make([]rtime.Time, p.M())
-	resFree := resourceTable(g)
+	resFree := ResourceTable(g)
 	unscheduledPreds := make([]int, n)
 	ready := make([]int, 0, n)
 	for i := 0; i < n; i++ {

@@ -1,0 +1,407 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+	"repro/internal/wcet"
+)
+
+// chainFixture builds a 3-task chain on one processor with PURE windows
+// [0,20) [20,40) [40,60): the workload of the hand-checkable overrun
+// table test.
+func chainFixture(t *testing.T) (*taskgraph.Graph, *arch.Platform, *slicing.Assignment) {
+	t.Helper()
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("a", c1(10), 0)
+	g.MustAddTask("b", c1(10), 0)
+	g.MustAddTask("c", c1(10), 0)
+	g.MustAddArc(0, 1, 0)
+	g.MustAddArc(1, 2, 0)
+	g.Task(2).ETEDeadline = 60
+	g.MustFreeze()
+	p := arch.Homogeneous(1)
+	est := []rtime.Time{10, 10, 10}
+	asg, err := slicing.Distribute(g, est, 1, slicing.PURE(), slicing.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p, asg
+}
+
+// Property: a zero-intensity fault plan is a strict superset of nominal
+// replay — the injected execution reproduces the time-driven schedule
+// and the nominal Report byte for byte.
+func TestZeroIntensityInjectionMatchesReplay(t *testing.T) {
+	f := func(seed int64, mRaw uint8, serialized bool) bool {
+		m := 2 + int(mRaw%6)
+		cfg := gen.Default(m)
+		cfg.Seed = seed
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+		if err != nil {
+			return false
+		}
+		asg, err := slicing.Distribute(w.Graph, est, m, slicing.AdaptL(), slicing.CalibratedParams())
+		if err != nil {
+			return false
+		}
+		s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+		if err != nil {
+			return false
+		}
+		nominal, err := Replay(w.Graph, w.Platform, asg, s, Options{SerializedBus: serialized})
+		if err != nil {
+			return false
+		}
+		trace, err := faults.Scaled(0, seed).Materialize(w.Graph, w.Platform, 1000)
+		if err != nil {
+			return false
+		}
+		ir, err := Inject(w.Graph, w.Platform, asg, s, Options{SerializedBus: serialized, Faults: trace})
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(ir.Executed.Placements, s.Placements) {
+			t.Logf("seed %d m %d: executed placements diverge", seed, m)
+			return false
+		}
+		if !reflect.DeepEqual(&ir.Report, nominal) {
+			t.Logf("seed %d m %d: reports diverge:\nnominal  %+v\ninjected %+v", seed, m, nominal, ir.Report)
+			return false
+		}
+		if ir.Degradation.Overruns != 0 || ir.Degradation.Aborted != 0 ||
+			ir.Degradation.Migrations != 0 || ir.Degradation.Reclamations != 0 {
+			t.Logf("seed %d m %d: zero trace reported fault activity: %+v", seed, m, ir.Degradation)
+			return false
+		}
+		// Recovery must also be inert on feasible nominal runs.
+		if s.Feasible {
+			ir2, err := Inject(w.Graph, w.Platform, asg, s, Options{SerializedBus: serialized, Faults: trace, Reclaim: true})
+			if err != nil || !reflect.DeepEqual(&ir2.Report, nominal) {
+				t.Logf("seed %d m %d: reclaim perturbed a feasible zero-fault run", seed, m)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Table test: one known overrun produces exactly the predicted
+// downstream misses. t0 (window [0,20)) runs 4× over on a single
+// processor: t0 finishes at 40 (miss, lateness 20), t1 runs [40,50)
+// against deadline 40 (miss, lateness 10), t2 runs [50,60) against
+// deadline 60 — on time. The end-to-end contract survives.
+func TestSingleOverrunPredictedMisses(t *testing.T) {
+	g, p, asg := chainFixture(t)
+	s, err := sched.Dispatch(g, p, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Feasible {
+		t.Fatalf("nominal chain infeasible: %+v", s)
+	}
+	trace := faults.ZeroTrace(3, 1)
+	trace.ExecScale[0] = 4
+
+	ir, err := Inject(g, p, asg, s, Options{Faults: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ir.Degradation
+	wantPlacements := []sched.Placement{
+		{Proc: 0, Start: 0, Finish: 40},
+		{Proc: 0, Start: 40, Finish: 50},
+		{Proc: 0, Start: 50, Finish: 60},
+	}
+	if !reflect.DeepEqual(ir.Executed.Placements, wantPlacements) {
+		t.Fatalf("executed placements = %+v, want %+v", ir.Executed.Placements, wantPlacements)
+	}
+	if got, want := ir.Executed.Missed, []int{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("missed = %v, want %v", got, want)
+	}
+	if d.Misses != 2 || d.ETEMisses != 0 || d.Unplaced != 0 {
+		t.Errorf("Misses=%d ETEMisses=%d Unplaced=%d, want 2, 0, 0", d.Misses, d.ETEMisses, d.Unplaced)
+	}
+	if d.Overruns != 1 {
+		t.Errorf("Overruns = %d, want 1", d.Overruns)
+	}
+	if d.FirstMiss != 40 {
+		t.Errorf("FirstMiss = %d, want 40", d.FirstMiss)
+	}
+	if d.MaxLateness != 20 {
+		t.Errorf("MaxLateness = %d, want 20", d.MaxLateness)
+	}
+	if d.MeanLateness != 15 { // (20 + 10) / 2
+		t.Errorf("MeanLateness = %v, want 15", d.MeanLateness)
+	}
+	if !ir.Valid {
+		t.Errorf("injected run structurally invalid: %v", ir.Violations)
+	}
+
+	// With recovery: the same overrun triggers exactly one reclamation
+	// (the deadline accounting, judged against the original windows, is
+	// unchanged on a single processor where no reordering is possible).
+	ir2, err := Inject(g, p, asg, s, Options{Faults: trace, Reclaim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir2.Degradation.Reclamations != 1 {
+		t.Errorf("Reclamations = %d, want 1", ir2.Degradation.Reclamations)
+	}
+	if !reflect.DeepEqual(ir2.Executed.Placements, wantPlacements) {
+		t.Errorf("recovery changed a single-processor chain: %+v", ir2.Executed.Placements)
+	}
+}
+
+// Processor loss: the task running on the dying processor is aborted
+// and migrates to the survivor, exploiting relaxed locality.
+func TestProcessorLossMigration(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("a", c1(10), 0)
+	g.MustAddTask("b", c1(10), 0)
+	g.Task(0).ETEDeadline = 40
+	g.Task(1).ETEDeadline = 40
+	g.MustFreeze()
+	p := arch.Homogeneous(2)
+	est := []rtime.Time{10, 10}
+	asg, err := slicing.Distribute(g, est, 2, slicing.PURE(), slicing.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Dispatch(g, p, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := faults.ZeroTrace(2, 2)
+	trace.DownAt[0] = 5 // processor 0 dies mid-execution of task 0
+
+	ir, err := Inject(g, p, asg, s, Options{Faults: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ir.Degradation
+	if d.Aborted != 1 || d.Migrations != 1 {
+		t.Fatalf("Aborted=%d Migrations=%d, want 1, 1", d.Aborted, d.Migrations)
+	}
+	pl := ir.Executed.Placements
+	if pl[0].Proc != 1 || pl[0].Start != 10 || pl[0].Finish != 20 {
+		t.Errorf("migrated task placement = %+v, want proc 1 [10,20)", pl[0])
+	}
+	if pl[1].Proc != 1 || pl[1].Start != 0 || pl[1].Finish != 10 {
+		t.Errorf("survivor placement = %+v, want proc 1 [0,10)", pl[1])
+	}
+	if !ir.Executed.Feasible || d.Misses != 0 {
+		t.Errorf("run should still meet every deadline: %+v", d)
+	}
+	if !ir.Valid {
+		t.Errorf("injected run structurally invalid: %v", ir.Violations)
+	}
+}
+
+// Total loss: when every eligible processor is gone, the stranded tasks
+// are reported unplaced, not looped on forever.
+func TestProcessorLossStrandsTasks(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("a", c1(10), 0)
+	g.Task(0).ETEDeadline = 40
+	g.MustFreeze()
+	p := arch.Homogeneous(1)
+	asg, err := slicing.Distribute(g, []rtime.Time{10}, 1, slicing.PURE(), slicing.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Dispatch(g, p, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := faults.ZeroTrace(1, 1)
+	trace.DownAt[0] = 5
+
+	ir, err := Inject(g, p, asg, s, Options{Faults: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Degradation.Unplaced != 1 || ir.Degradation.Misses != 1 {
+		t.Fatalf("Unplaced=%d Misses=%d, want 1, 1", ir.Degradation.Unplaced, ir.Degradation.Misses)
+	}
+	if ir.Executed.Feasible {
+		t.Error("stranded run reported feasible")
+	}
+}
+
+// Bus jitter: a jittered message delays its consumer by exactly the
+// extra delay, and the injected replay verifies the late landing.
+func TestBusJitterDelaysConsumer(t *testing.T) {
+	// Two classes, one processor each; a runs only on class 0, b only
+	// on class 1, so the message must cross the bus (3 items × 1 unit).
+	g := taskgraph.NewGraph(2)
+	g.MustAddTask("a", []rtime.Time{10, rtime.Unset}, 0)
+	g.MustAddTask("b", []rtime.Time{rtime.Unset, 10}, 0)
+	g.MustAddArc(0, 1, 3)
+	g.Task(1).ETEDeadline = 60
+	g.MustFreeze()
+	p := arch.MustNew(arch.Unrelated,
+		[]arch.Class{{Name: "e0", Speed: 1}, {Name: "e1", Speed: 1}},
+		[]int{0, 1}, arch.Bus{DelayPerItem: 1})
+	est := []rtime.Time{10, 10}
+	asg, err := slicing.Distribute(g, est, 2, slicing.PURE(), slicing.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Dispatch(g, p, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal landing is 10 + 3 = 13, but the consumer's assigned
+	// arrival gates it until its window opens; 27 extra units push the
+	// landing past every nominal gate, so the start tracks the landing.
+	trace := faults.ZeroTrace(2, 2)
+	trace.MsgExtra[[2]int{0, 1}] = 27
+
+	ir, err := Inject(g, p, asg, s, Options{Faults: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.Transfers) != 1 || ir.Transfers[0].End-ir.Transfers[0].Start != 3+27 {
+		t.Fatalf("transfer = %+v, want 30 bus units", ir.Transfers)
+	}
+	if got, want := ir.Executed.Placements[1].Start, ir.Transfers[0].End; got != want {
+		t.Errorf("jittered consumer starts at %d, want the landing at %d", got, want)
+	}
+	if got := ir.Executed.Placements[1].Start; got <= s.Placements[1].Start {
+		t.Errorf("jitter did not delay the consumer: %d vs nominal %d", got, s.Placements[1].Start)
+	}
+	if !ir.Valid {
+		t.Errorf("injected run structurally invalid: %v", ir.Violations)
+	}
+}
+
+// Recovery effectiveness: on a fork where the overrun's sibling branch
+// hogs the EDF priority, reclamation re-prioritizes the starved
+// descendant and rescues the end-to-end deadline.
+func TestReclaimReordersDispatch(t *testing.T) {
+	// d0 → d1 and s0 → s1 compete for one processor. Nominal windows
+	// give d1 a later deadline than s1; after d0's overrun, d1's chain
+	// is the tight one — only reclamation notices.
+	g := taskgraph.NewGraph(1)
+	g.MustAddTask("d0", c1(10), 0)
+	g.MustAddTask("d1", c1(10), 0)
+	g.MustAddTask("s0", c1(10), 0)
+	g.MustAddTask("s1", c1(10), 0)
+	g.MustAddArc(0, 1, 0)
+	g.MustAddArc(2, 3, 0)
+	g.Task(1).ETEDeadline = 58
+	g.Task(3).ETEDeadline = 60
+	g.MustFreeze()
+	p := arch.Homogeneous(1)
+	est := []rtime.Time{10, 10, 10, 10}
+	asg, err := slicing.Distribute(g, est, 1, slicing.PURE(), slicing.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Dispatch(g, p, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := faults.ZeroTrace(4, 1)
+	trace.ExecScale[0] = 3.5 // d0 runs 35, past its window — observable overrun
+
+	plain, err := Inject(g, p, asg, s, Options{Faults: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Inject(g, p, asg, s, Options{Faults: trace, Reclaim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Degradation.Reclamations == 0 {
+		t.Fatal("no reclamation triggered")
+	}
+	if rec.Degradation.ETEMisses > plain.Degradation.ETEMisses {
+		t.Errorf("recovery made end-to-end misses worse: %d > %d",
+			rec.Degradation.ETEMisses, plain.Degradation.ETEMisses)
+	}
+	if !rec.Valid {
+		t.Errorf("recovered run structurally invalid: %v", rec.Violations)
+	}
+}
+
+// Injected executions must satisfy every structural obligation the
+// verifier checks, whatever the fault mix — the executor and the
+// verifier are independent implementations of the faulted semantics.
+func TestInjectedRunsReplayCleanly(t *testing.T) {
+	f := func(seed int64, mRaw uint8, intensityRaw uint8, reclaim bool) bool {
+		m := 2 + int(mRaw%6)
+		intensity := float64(intensityRaw%5) / 4
+		cfg := gen.Default(m)
+		cfg.Seed = seed
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+		if err != nil {
+			return false
+		}
+		asg, err := slicing.Distribute(w.Graph, est, m, slicing.AdaptL(), slicing.CalibratedParams())
+		if err != nil {
+			return false
+		}
+		s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+		if err != nil {
+			return false
+		}
+		var span rtime.Time
+		for _, o := range w.Graph.Outputs() {
+			if d := w.Graph.Task(o).ETEDeadline; d > span {
+				span = d
+			}
+		}
+		trace, err := faults.Scaled(intensity, seed+1).Materialize(w.Graph, w.Platform, span)
+		if err != nil {
+			return false
+		}
+		ir, err := Inject(w.Graph, w.Platform, asg, s, Options{Faults: trace, Reclaim: reclaim})
+		if err != nil {
+			return false
+		}
+		if !ir.Valid {
+			t.Logf("seed %d m %d intensity %.2f: %v", seed, m, intensity, ir.Violations)
+			return false
+		}
+		d := ir.Degradation
+		if d.Misses != len(ir.Executed.Missed) || d.MissRatio() < 0 || d.MissRatio() > 1 {
+			t.Logf("seed %d: inconsistent accounting %+v", seed, d)
+			return false
+		}
+		if d.Misses != len(ir.DeadlineMisses)+d.Unplaced {
+			t.Logf("seed %d: %d misses != %d placed + %d unplaced",
+				seed, d.Misses, len(ir.DeadlineMisses), d.Unplaced)
+			return false
+		}
+		if (d.Misses == 0) != ir.Executed.Feasible {
+			t.Logf("seed %d: feasibility disagreement", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/arch"
+	"repro/internal/faults"
 	"repro/internal/rtime"
 	"repro/internal/sched"
 	"repro/internal/slicing"
@@ -36,6 +37,46 @@ type Options struct {
 	// FCFS order of their ready times (ties broken by arc order). When
 	// false the paper's nominal-delay model is used.
 	SerializedBus bool
+	// Faults, when non-nil, switches Replay from verification to
+	// fault-injected execution: the schedule is re-executed by the
+	// time-driven dispatcher under the trace's WCET overruns, processor
+	// degradation/loss, and bus jitter, and the Report describes the
+	// perturbed run (see Inject for the full degradation accounting).
+	// A zero trace reproduces the nominal replay exactly.
+	Faults *faults.Trace
+	// Reclaim enables the online slack-reclamation recovery policy
+	// during fault-injected execution: when a task overruns its window,
+	// the remaining end-to-end slack is redistributed over its pending
+	// descendants using the active metric's virtual costs
+	// (slicing.ReclaimWindows), re-prioritizing the dispatcher.
+	Reclaim bool
+}
+
+// timing is the execution-time model a replay verifies against: nominal
+// replay expects WCET-exact execution, original arrivals, and nominal
+// bus delays; fault-injected replay expects the trace-perturbed
+// equivalents.
+type timing struct {
+	// exec is the expected execution length of task i on processor q.
+	exec func(i, q int) rtime.Time
+	// arrival is the effective arrival time of task i (slack
+	// reclamation may relax the assigned one).
+	arrival func(i int) rtime.Time
+	// extraMsg is additional bus delay for the (from, to) message.
+	extraMsg func(from, to int) rtime.Time
+	// allowUnplaced tolerates tasks with no placement: legitimate only
+	// for fault-injected runs where a processor loss stranded them.
+	allowUnplaced bool
+}
+
+// nominalTiming is the paper's model: WCET-exact on the landing class,
+// assigned arrivals, nominal bus.
+func nominalTiming(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) timing {
+	return timing{
+		exec:     func(i, q int) rtime.Time { return g.Task(i).WCET[p.ClassOf(q)] },
+		arrival:  func(i int) rtime.Time { return asg.Arrival[i] },
+		extraMsg: func(from, to int) rtime.Time { return 0 },
+	}
 }
 
 // Transfer describes one message movement over the bus.
@@ -87,9 +128,26 @@ func (r *Report) violate(format string, args ...any) {
 }
 
 // Replay re-executes schedule s for graph g on platform p under the
-// window assignment asg.
+// window assignment asg. When opts.Faults is set the schedule is
+// instead executed under the fault trace (see Inject) and the report
+// describes the perturbed run.
 func Replay(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 	s *sched.Schedule, opts Options) (*Report, error) {
+
+	if opts.Faults != nil {
+		ir, err := Inject(g, p, asg, s, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Report, nil
+	}
+	return replay(g, p, asg, s, opts, nominalTiming(g, p, asg))
+}
+
+// replay is the verification core, parameterized by the timing model
+// the schedule is held against.
+func replay(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
+	s *sched.Schedule, opts Options, tm timing) (*Report, error) {
 
 	n := g.NumTasks()
 	if len(s.Placements) != n {
@@ -106,7 +164,9 @@ func Replay(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 	for i := 0; i < n; i++ {
 		pl := s.Placements[i]
 		if pl.Proc < 0 {
-			r.violate("task %d was never placed", i)
+			if !tm.allowUnplaced {
+				r.violate("task %d was never placed", i)
+			}
 			continue
 		}
 		if pl.Proc >= p.M() {
@@ -121,11 +181,11 @@ func Replay(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 		if pin := g.Task(i).Pinned; pin >= 0 && pl.Proc != pin {
 			r.violate("task %d pinned to processor %d but placed on %d", i, pin, pl.Proc)
 		}
-		if got, want := pl.Finish-pl.Start, g.Task(i).WCET[class]; got != want {
+		if got, want := pl.Finish-pl.Start, tm.exec(i, pl.Proc); got != want {
 			r.violate("task %d executes for %d units, WCET on class %d is %d", i, got, class, want)
 		}
-		if pl.Start < asg.Arrival[i] {
-			r.violate("task %d starts at %d before its arrival %d", i, pl.Start, asg.Arrival[i])
+		if arr := tm.arrival(i); pl.Start < arr {
+			r.violate("task %d starts at %d before its arrival %d", i, pl.Start, arr)
 		}
 		perProc[pl.Proc] = append(perProc[pl.Proc], span{i, pl.Start, pl.Finish})
 		r.ProcBusy[pl.Proc] += pl.Finish - pl.Start
@@ -161,7 +221,7 @@ func Replay(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 			tr.Start, tr.End = from.Finish, from.Finish
 		} else {
 			tr.Start = from.Finish
-			tr.End = from.Finish + p.CommCost(from.Proc, to.Proc, a.Items)
+			tr.End = from.Finish + p.CommCost(from.Proc, to.Proc, a.Items) + tm.extraMsg(a.From, a.To)
 		}
 		r.Transfers = append(r.Transfers, tr)
 	}
@@ -184,7 +244,8 @@ func Replay(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 			}
 			start := rtime.Max(tr.Ready, busFree)
 			tr.Start = start
-			tr.End = start + p.CommCost(s.Placements[tr.From].Proc, s.Placements[tr.To].Proc, tr.Items)
+			tr.End = start + p.CommCost(s.Placements[tr.From].Proc, s.Placements[tr.To].Proc, tr.Items) +
+				tm.extraMsg(tr.From, tr.To)
 			busFree = tr.End
 		}
 	}

@@ -1,0 +1,128 @@
+package slicing
+
+import (
+	"math"
+
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// ReclaimWindows is the online slack-reclamation recovery policy: when
+// a task overruns its window at run time, the windows the slicer
+// assigned to its descendants are stale — the overrun consumed part of
+// their laxity. ReclaimWindows redistributes the slack that remains
+// between `now` (the overrunning task's actual finish) and the original
+// end-to-end deadlines over the pending downstream tasks, using the
+// same virtual execution times ĉ the active metric derived (so a
+// contention-aware metric like ADAPT-L re-awards proportionally more of
+// the surviving slack to contention-vulnerable tasks, exactly as it did
+// offline).
+//
+// The redistribution is a uniform laxity-ratio stretch: with top(j) the
+// largest ĉ-weighted chain length from any pending source through j
+// (inclusive), and E(o) the original absolute deadline of pending
+// output o, the stretch factor is
+//
+//	σ = min over pending outputs o of (E(o) − now) / top(o)
+//
+// and every pending task j receives the new absolute deadline
+// now + ⌊σ·top(j)⌋. By construction no output deadline ever moves past
+// its end-to-end bound (σ is the minimum ratio), sequential pending
+// tasks keep non-decreasing deadlines along every arc, and when the
+// remaining load no longer fits (σ < 1 per virtual unit) the shrinkage
+// is shared across the chain in metric proportion instead of falling
+// entirely on the last tasks.
+//
+// virtual[i] is the metric's virtual cost for task i (entries ≤ 0 fall
+// back to one unit, covering distributors that do not record virtual
+// costs). pending[i] selects the tasks whose windows are redistributed;
+// the set must be closed under successors (it is, for "unstarted
+// descendants of an overrunning task", since a successor of an
+// unstarted task cannot have started). deadline[i] is the original
+// absolute-deadline assignment.
+//
+// The returned slice has a new absolute deadline for every pending task
+// and rtime.Unset elsewhere; ok is false when there is nothing to do
+// (no pending task).
+func ReclaimWindows(g *taskgraph.Graph, virtual []rtime.Time, pending []bool,
+	now rtime.Time, deadline []rtime.Time) ([]rtime.Time, bool) {
+
+	n := g.NumTasks()
+	any := false
+	for i := 0; i < n; i++ {
+		if i < len(pending) && pending[i] {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil, false
+	}
+
+	cost := func(i int) float64 {
+		if i < len(virtual) && virtual[i] > 0 {
+			return float64(virtual[i])
+		}
+		return 1
+	}
+
+	// Longest ĉ-weighted chain from any pending source through each
+	// pending task, via one forward pass in topological order.
+	top := make([]float64, n)
+	for _, j := range g.TopoOrder() {
+		if !pending[j] {
+			continue
+		}
+		var in float64
+		for _, p := range g.Preds(j) {
+			if pending[p] && top[p] > in {
+				in = top[p]
+			}
+		}
+		top[j] = in + cost(j)
+	}
+
+	// The stretch factor: the tightest remaining-window-to-remaining-
+	// load ratio over the chains ending at pending sinks (tasks with no
+	// pending successor — in a successor-closed pending set these are
+	// exactly the pending graph outputs, whose deadlines carry the
+	// end-to-end bounds).
+	sigma := math.Inf(1)
+	for j := 0; j < n; j++ {
+		if !pending[j] {
+			continue
+		}
+		sink := true
+		for _, s := range g.Succs(j) {
+			if pending[s] {
+				sink = false
+				break
+			}
+		}
+		if !sink {
+			continue
+		}
+		window := float64(deadline[j] - now)
+		if window <= 0 {
+			sigma = 0
+			break
+		}
+		if r := window / top[j]; r < sigma {
+			sigma = r
+		}
+	}
+	if math.IsInf(sigma, 1) {
+		return nil, false
+	}
+
+	out := make([]rtime.Time, n)
+	for i := range out {
+		out[i] = rtime.Unset
+	}
+	for j := 0; j < n; j++ {
+		if pending[j] {
+			out[j] = now + rtime.Time(math.Floor(sigma*top[j]))
+		}
+	}
+	return out, true
+}

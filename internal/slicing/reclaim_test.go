@@ -1,0 +1,92 @@
+package slicing
+
+import (
+	"testing"
+
+	"repro/internal/rtime"
+)
+
+func TestReclaimChainProportional(t *testing.T) {
+	// Chain t0→t1→t2, windows [0,20)[20,40)[40,60) under PURE. t0
+	// overruns and finishes at 30: the remaining 30 units must be
+	// redistributed over t1 and t2 in virtual-cost proportion
+	// (equal costs → equal halves: deadlines 45 and 60).
+	g := chainGraph(t, []rtime.Time{10, 10, 10}, 60)
+	asg := mustDistribute(t, g, 2, PURE())
+
+	pending := []bool{false, true, true}
+	nd, ok := ReclaimWindows(g, asg.Virtual, pending, 30, asg.AbsDeadline)
+	if !ok {
+		t.Fatal("ReclaimWindows found nothing to do")
+	}
+	if nd[0] != rtime.Unset {
+		t.Errorf("non-pending task 0 got deadline %d, want unset", nd[0])
+	}
+	if nd[1] != 45 || nd[2] != 60 {
+		t.Errorf("reclaimed deadlines = %d, %d, want 45, 60", nd[1], nd[2])
+	}
+}
+
+func TestReclaimNeverExtendsOutputDeadline(t *testing.T) {
+	g := chainGraph(t, []rtime.Time{10, 30, 10, 10}, 100)
+	asg := mustDistribute(t, g, 2, NORM())
+	for _, now := range []rtime.Time{5, 20, 60, 95, 99} {
+		pending := []bool{false, true, true, true}
+		nd, ok := ReclaimWindows(g, asg.Virtual, pending, now, asg.AbsDeadline)
+		if !ok {
+			t.Fatalf("now=%d: nothing reclaimed", now)
+		}
+		if nd[3] > asg.AbsDeadline[3] {
+			t.Errorf("now=%d: output deadline extended to %d past %d",
+				now, nd[3], asg.AbsDeadline[3])
+		}
+		for i := 1; i < 3; i++ {
+			if nd[i] > nd[i+1] {
+				t.Errorf("now=%d: deadlines decrease along arc %d→%d: %d > %d",
+					now, i, i+1, nd[i], nd[i+1])
+			}
+		}
+	}
+}
+
+func TestReclaimOverload(t *testing.T) {
+	// No slack left at all: every pending deadline collapses to now.
+	g := chainGraph(t, []rtime.Time{10, 10}, 20)
+	asg := mustDistribute(t, g, 1, PURE())
+	nd, ok := ReclaimWindows(g, asg.Virtual, []bool{false, true}, 25, asg.AbsDeadline)
+	if !ok {
+		t.Fatal("nothing reclaimed")
+	}
+	if nd[1] != 25 {
+		t.Errorf("overloaded pending deadline = %d, want 25 (no slack)", nd[1])
+	}
+	// Past the end-to-end deadline entirely, windows collapse to now:
+	// the pending tasks are doomed and the policy signals it.
+	nd, ok = ReclaimWindows(g, asg.Virtual, []bool{false, true}, 120, asg.AbsDeadline)
+	if !ok || nd[1] != 120 {
+		t.Errorf("post-deadline reclamation = %d (ok=%v), want collapse to 120", nd[1], ok)
+	}
+}
+
+func TestReclaimEmptyPending(t *testing.T) {
+	g := chainGraph(t, []rtime.Time{10, 10}, 40)
+	asg := mustDistribute(t, g, 1, PURE())
+	if _, ok := ReclaimWindows(g, asg.Virtual, []bool{false, false}, 10, asg.AbsDeadline); ok {
+		t.Fatal("reclaimed an empty pending set")
+	}
+}
+
+func TestReclaimFallsBackWithoutVirtualCosts(t *testing.T) {
+	// Distributors outside the slicing family (UD/ED) record no virtual
+	// costs; reclamation must still work, treating every task as one
+	// unit of load.
+	g := chainGraph(t, []rtime.Time{10, 10, 10}, 60)
+	asg := mustDistribute(t, g, 2, PURE())
+	nd, ok := ReclaimWindows(g, nil, []bool{false, true, true}, 30, asg.AbsDeadline)
+	if !ok {
+		t.Fatal("nothing reclaimed")
+	}
+	if nd[1] != 45 || nd[2] != 60 {
+		t.Errorf("unit-cost reclaimed deadlines = %d, %d, want 45, 60", nd[1], nd[2])
+	}
+}
