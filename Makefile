@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check smoke faults
+.PHONY: all build test race vet fmt check smoke faults margins
 
 all: check
 
@@ -32,3 +32,10 @@ smoke:
 # Graceful-degradation curves under injected faults (robustness study).
 faults:
 	$(GO) run ./cmd/sweep -study faults
+
+# Robustness margins: breakdown factors, estimation-error sweep, and
+# adaptive re-slicing, checkpointed so an interrupted run can resume.
+# Small sample so the smoke run stays in CI budget; see EXPERIMENTS.md
+# for the 256-graph table.
+margins:
+	$(GO) run ./cmd/sweep -study margins -graphs 32 -checkpoint margins.jsonl

@@ -13,6 +13,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/optsched"
 	"repro/internal/periodic"
+	"repro/internal/robust"
 	"repro/internal/rtime"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -92,6 +93,72 @@ type (
 	// recovery events of an injected run.
 	Degradation = sim.Degradation
 )
+
+// Robustness-margin types (breakdown analysis and adaptive re-slicing).
+type (
+	// BreakdownOptions bounds the critical-factor bisection.
+	BreakdownOptions = robust.BreakdownOptions
+	// Breakdown is the critical WCET scaling factor of one assignment.
+	Breakdown = robust.Breakdown
+	// ResliceOptions bounds the adaptive re-slicing feedback loop.
+	ResliceOptions = robust.ResliceOptions
+	// ResliceResult reports the feedback iterations and their outcome.
+	ResliceResult = robust.ResliceResult
+	// WCETErrorModel is a parametric estimation-error scenario: true
+	// execution times deviating from the estimates the assignment was
+	// planned with.
+	WCETErrorModel = wcet.ErrorModel
+	// WCETErrorKind selects the deviation shape.
+	WCETErrorKind = wcet.ErrorKind
+	// MarginConfig parameterizes one robustness-margin data point.
+	MarginConfig = experiment.MarginConfig
+	// MarginPoint aggregates one estimation-error data point.
+	MarginPoint = experiment.MarginPoint
+	// BreakdownPoint aggregates one breakdown-factor data point.
+	BreakdownPoint = experiment.BreakdownPoint
+)
+
+// WCET estimation-error shapes (margin studies).
+const (
+	// WCETErrNone is the identity model: truth equals the estimate.
+	WCETErrNone = wcet.ErrNone
+	// WCETErrMultiplicative draws an independent uniform factor per task.
+	WCETErrMultiplicative = wcet.ErrMultiplicative
+	// WCETErrClassBias draws one factor per processor class (systematic
+	// mis-calibration of a class's timing model).
+	WCETErrClassBias = wcet.ErrClassBias
+	// WCETErrHeavyTail overruns rarely but severely (truncated Pareto).
+	WCETErrHeavyTail = wcet.ErrHeavyTail
+)
+
+// BreakdownFactor bisects for the critical uniform WCET scaling factor:
+// the largest φ such that the schedule built from the assignment still
+// meets every window when all execution times scale by φ. It is the
+// per-workload robustness margin of a deadline distribution.
+func BreakdownFactor(g *Graph, p *Platform, asg *Assignment, s *Schedule,
+	opt BreakdownOptions) (Breakdown, error) {
+	return robust.BreakdownFactor(g, p, asg, s, opt)
+}
+
+// ResliceLoop runs the adaptive re-slicing feedback loop: execute under
+// the fault trace, fold observed overruns back into the estimates
+// (bounded retries, backed-off inflation), and re-distribute deadlines
+// until the perturbed execution is clean or the loop provably cannot
+// learn more.
+func ResliceLoop(g *Graph, p *Platform, est []Time, metric Metric, params Params,
+	tr *FaultTrace, opt ResliceOptions) (*ResliceResult, error) {
+	return robust.ResliceLoop(g, p, est, metric, params, tr, opt)
+}
+
+// MarginStudy evaluates one estimation-error data point over the
+// workload sample: assignments planned from estimates, executed under
+// perturbed truth. The zero model reproduces the nominal success ratio
+// exactly.
+func MarginStudy(cfg MarginConfig) MarginPoint { return experiment.MarginRun(cfg) }
+
+// BreakdownStudy measures the breakdown-factor distribution of one
+// metric over the workload sample.
+func BreakdownStudy(cfg MarginConfig) BreakdownPoint { return experiment.BreakdownRun(cfg) }
 
 // Workload generation and experiment types.
 type (

@@ -288,3 +288,78 @@ func TestFaultInjectionThroughAPI(t *testing.T) {
 		t.Error("full-intensity plan injected no overruns")
 	}
 }
+
+func TestBreakdownFactorThroughAPI(t *testing.T) {
+	cfg := DefaultWorkloadConfig(3)
+	cfg.Seed = 33
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultPipeline().Run(w.Graph, w.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BreakdownFactor(w.Graph, w.Platform, res.Assignment, res.Schedule, BreakdownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SurvivesNominal != res.Schedule.Feasible {
+		t.Errorf("breakdown nominal %v, schedule feasible %v", b.SurvivesNominal, res.Schedule.Feasible)
+	}
+	if b.SurvivesNominal && b.Factor < 1 {
+		t.Errorf("nominally feasible but factor %.3f < 1", b.Factor)
+	}
+}
+
+func TestMarginStudyThroughAPI(t *testing.T) {
+	cfg := MarginConfig{
+		Gen:        DefaultWorkloadConfig(3),
+		Metric:     AdaptL(),
+		Params:     CalibratedParams(),
+		WCET:       WCETAvg,
+		NumGraphs:  10,
+		MasterSeed: 5,
+		Model:      WCETErrorModel{Kind: WCETErrMultiplicative, Level: 0.25},
+	}
+	pt := MarginStudy(cfg)
+	if pt.Success.Total != 10 || pt.Errors != 0 {
+		t.Fatalf("margin point malformed: %+v", pt)
+	}
+	bp := BreakdownStudy(cfg)
+	if bp.Nominal.Total != 10 || bp.Errors != 0 {
+		t.Fatalf("breakdown point malformed: %+v", bp)
+	}
+}
+
+func TestResliceLoopThroughAPI(t *testing.T) {
+	cfg := DefaultWorkloadConfig(3)
+	cfg.Seed = 11
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimates(w.Graph, w.Platform, WCETAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var span Time
+	for _, o := range w.Graph.Outputs() {
+		if d := w.Graph.Task(o).ETEDeadline; d > span {
+			span = d
+		}
+	}
+	tr, err := MaterializeFaults(ScaledFaultPlan(0, 3), w.Graph, w.Platform, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero trace needs no feedback: the loop must report immediate
+	// recovery (or an over-constrained base assignment) with 0 iterations.
+	rr, err := ResliceLoop(w.Graph, w.Platform, est, AdaptL(), CalibratedParams(), tr, ResliceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Iterations != 0 {
+		t.Errorf("zero trace demanded %d feedback iterations", rr.Iterations)
+	}
+}

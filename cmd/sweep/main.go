@@ -20,9 +20,17 @@
 //	-study faults  graceful degradation under injected faults (WCET
 //	               overruns, processor loss, bus jitter) with and without
 //	               online slack reclamation
+//	-study margins robustness margins: breakdown factors (the critical
+//	               WCET scaling each assignment survives), success under
+//	               WCET estimation error (multiplicative, class-bias,
+//	               heavy-tail), and adaptive re-slicing recovery
 //
 // Each study prints a success-ratio table over its parameter axis for a
 // three-processor system at the calibrated operating point.
+//
+// Long sweeps can checkpoint: -checkpoint journal.jsonl records every
+// completed cell, and -resume replays the journal so an interrupted run
+// recomputes only the missing cells and renders byte-identically.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/anneal"
 	"repro/internal/arch"
@@ -44,12 +53,16 @@ import (
 // cfgT carries the sweep-wide knobs; a value is built per invocation so
 // the study functions stay testable.
 type cfgT struct {
-	graphs  int
-	seed    int64
-	m       int
-	olr     float64
-	workers int
-	w       io.Writer
+	graphs     int
+	seed       int64
+	m          int
+	olr        float64
+	workers    int
+	checkpoint string
+	resume     bool
+	wtimeout   time.Duration
+	w          io.Writer
+	errw       io.Writer
 }
 
 var sw cfgT
@@ -68,29 +81,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	olr := fs.Float64("olr", experiment.DefaultOLR, "overall laxity ratio")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	study := fs.String("study", "", "study to run (empty = all)")
+	checkpoint := fs.String("checkpoint", "", "journal completed cells to this file (margins study)")
+	resume := fs.Bool("resume", false, "replay the -checkpoint journal before computing")
+	wtimeout := fs.Duration("wtimeout", 0, "per-workload wall-clock budget (0 = none; margins study)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	sw = cfgT{graphs: *graphs, seed: *seed, m: *m, olr: *olr, workers: *workers, w: stdout}
+	sw = cfgT{graphs: *graphs, seed: *seed, m: *m, olr: *olr, workers: *workers,
+		checkpoint: *checkpoint, resume: *resume, wtimeout: *wtimeout, w: stdout, errw: stderr}
 
-	studies := map[string]func(){
-		"kl":       studyKL,
-		"kg":       studyKG,
-		"cthres":   studyCThres,
-		"ccr":      studyCCR,
-		"mode":     studyMode,
-		"sched":    studySched,
-		"overlap":  studyOverlap,
-		"shape":    studyShape,
-		"res":      studyResources,
-		"optgap":   studyOptGap,
-		"late":     studyLateness,
-		"hom":      studyHom,
-		"policy":   studyPolicy,
-		"pinned":   studyPinned,
-		"headroom": studyHeadroom,
-		"adaptn":   studyAdaptN,
-		"faults":   studyFaults,
+	// ok adapts the infallible studies to the exit-code signature the
+	// checkpointing ones need.
+	ok := func(f func()) func() int {
+		return func() int { f(); return 0 }
+	}
+	studies := map[string]func() int{
+		"kl":       ok(studyKL),
+		"kg":       ok(studyKG),
+		"cthres":   ok(studyCThres),
+		"ccr":      ok(studyCCR),
+		"mode":     ok(studyMode),
+		"sched":    ok(studySched),
+		"overlap":  ok(studyOverlap),
+		"shape":    ok(studyShape),
+		"res":      ok(studyResources),
+		"optgap":   ok(studyOptGap),
+		"late":     ok(studyLateness),
+		"hom":      ok(studyHom),
+		"policy":   ok(studyPolicy),
+		"pinned":   ok(studyPinned),
+		"headroom": ok(studyHeadroom),
+		"adaptn":   ok(studyAdaptN),
+		"faults":   ok(studyFaults),
+		"margins":  studyMargins,
 	}
 	if *study != "" {
 		f, ok := studies[*study]
@@ -98,14 +121,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "sweep: unknown study %q\n", *study)
 			return 2
 		}
-		f()
-		return 0
+		return f()
 	}
-	for _, name := range []string{"kl", "kg", "cthres", "ccr", "mode", "sched", "overlap", "shape", "res", "optgap", "late", "hom", "policy", "pinned", "headroom", "adaptn", "faults"} {
-		studies[name]()
+	code := 0
+	for _, name := range []string{"kl", "kg", "cthres", "ccr", "mode", "sched", "overlap", "shape", "res", "optgap", "late", "hom", "policy", "pinned", "headroom", "adaptn", "faults", "margins"} {
+		if c := studies[name](); c != 0 {
+			code = c
+		}
 		fmt.Fprintln(sw.w)
 	}
-	return 0
+	return code
 }
 
 func genCfg() gen.Config {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -59,6 +61,102 @@ func TestRunFaultsStudyDeterministic(t *testing.T) {
 	}
 	if a, b := render(), render(); a != b {
 		t.Errorf("same seed, different tables:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+func TestRunMarginsStudy(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-study", "margins", "-graphs", "4"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"robustness margins", "breakdown factor",
+		"mult lvl=0.00", "tail lvl=0.50", "re-slicing recovery", "ADAPT-R"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The margins table is byte-identical whatever the worker count: the
+// pool collects per-index results and folds them in index order, so the
+// floating-point aggregation order never changes.
+func TestRunMarginsWorkerIndependent(t *testing.T) {
+	render := func(workers string) string {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-study", "margins", "-graphs", "4", "-workers", workers},
+			&out, &errBuf); code != 0 {
+			t.Fatalf("workers=%s: exit %d: %s", workers, code, errBuf.String())
+		}
+		return out.String()
+	}
+	one := render("1")
+	for _, workers := range []string{"2", "7"} {
+		if got := render(workers); got != one {
+			t.Errorf("workers=%s changed the table:\n--- workers=1\n%s--- workers=%s\n%s",
+				workers, one, workers, got)
+		}
+	}
+}
+
+// Kill-and-resume: a margins run checkpointed to a journal, interrupted
+// (journal truncated mid-cell, torn trailing line included), then
+// resumed, renders the final report byte-identically to the
+// uninterrupted run.
+func TestRunMarginsCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "margins.jsonl")
+	args := []string{"-study", "margins", "-graphs", "4", "-checkpoint", journal}
+
+	var full, errBuf bytes.Buffer
+	if code := run(args, &full, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+
+	// Simulate the crash: keep the header and the first few completed
+	// cells, then a torn partial write.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	torn := strings.Join(lines[:4], "") + `{"key":"margin/mult/0.25/PU`
+	if err := os.WriteFile(journal, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var resumed bytes.Buffer
+	errBuf.Reset()
+	if code := run(append(args, "-resume"), &resumed, &errBuf); code != 0 {
+		t.Fatalf("resume exit %d: %s", code, errBuf.String())
+	}
+	if resumed.String() != full.String() {
+		t.Errorf("resumed report differs from the uninterrupted one:\n--- full\n%s--- resumed\n%s",
+			full.String(), resumed.String())
+	}
+}
+
+// Resuming a journal written under a different configuration must be
+// refused (exit 2), not silently mixed in.
+func TestRunMarginsCheckpointHeaderMismatch(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "margins.jsonl")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-study", "margins", "-graphs", "4", "-checkpoint", journal},
+		&out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-study", "margins", "-graphs", "8", "-checkpoint", journal, "-resume"},
+		&out, &errBuf); code != 2 {
+		t.Fatalf("mismatched resume: exit %d, want 2 (stderr %q)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "header") {
+		t.Errorf("stderr = %q", errBuf.String())
 	}
 }
 

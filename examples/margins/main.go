@@ -1,0 +1,101 @@
+// Robustness margins: how much WCET estimation error can a deadline
+// distribution absorb before it breaks?
+//
+// The walkthrough measures three things on one workload family:
+//
+//  1. the breakdown factor — the critical uniform scaling of all
+//     execution times at which each metric's assignment first becomes
+//     unschedulable (bisection over injected executions);
+//  2. success ratios when the true WCETs deviate from the estimates
+//     under parametric error models (multiplicative noise, per-class
+//     bias, heavy-tail overruns);
+//  3. the adaptive re-slicing feedback loop — observed overruns fed
+//     back into the slicer until the corrected assignment survives.
+//
+// `go run ./cmd/sweep -study margins` runs the full paired study, with
+// -checkpoint/-resume for long sweeps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultWorkloadConfig(3)
+	cfg.Seed = 7
+	cfg.OLR = 0.55
+
+	w, err := repro.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Breakdown factor per metric on this one workload: the margin
+	// each deadline distribution leaves against uniform slowdown.
+	fmt.Println("breakdown factor per metric (critical uniform WCET scale):")
+	metrics := append(repro.Metrics(), repro.AdaptR())
+	for _, metric := range metrics {
+		est, err := repro.Estimates(w.Graph, w.Platform, repro.WCETAvg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		asg, err := repro.Distribute(w.Graph, est, w.Platform.M(), metric, repro.CalibratedParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := repro.Dispatch(w.Graph, w.Platform, asg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := repro.BreakdownFactor(w.Graph, w.Platform, asg, s, repro.BreakdownOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s nominal=%v  factor=%.3f  unbounded=%v\n",
+			metric.Name(), b.SurvivesNominal, b.Factor, b.Unbounded)
+	}
+
+	// 2. Estimation-error sweep over a small sample: plan with the
+	// estimates, execute under perturbed truth.
+	fmt.Println("\nsuccess over 64 workloads when true WCETs deviate from estimates:")
+	for _, kind := range []repro.WCETErrorKind{repro.WCETErrMultiplicative, repro.WCETErrClassBias, repro.WCETErrHeavyTail} {
+		for _, level := range []float64{0, 0.25, 0.5} {
+			pt := repro.MarginStudy(repro.MarginConfig{
+				Gen: cfg, Metric: repro.AdaptL(), Params: repro.CalibratedParams(),
+				WCET: repro.WCETAvg, NumGraphs: 64, MasterSeed: 1999,
+				Model: repro.WCETErrorModel{Kind: kind, Level: level},
+			})
+			fmt.Printf("  %-4v lvl=%.2f  ADAPT-L %5.1f%%  (%d overruns observed)\n",
+				kind, level, 100*pt.Success.Value(), pt.Overruns)
+		}
+	}
+
+	// 3. Adaptive re-slicing: manufacture a harsh overrun scenario and
+	// let the feedback loop correct the estimates it planned with.
+	est, err := repro.Estimates(w.Graph, w.Platform, repro.WCETAvg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var span repro.Time
+	for _, o := range w.Graph.Outputs() {
+		if d := w.Graph.Task(o).ETEDeadline; d > span {
+			span = d
+		}
+	}
+	tr, err := repro.MaterializeFaults(repro.ScaledFaultPlan(0.75, 1999), w.Graph, w.Platform, span)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rr, err := repro.ResliceLoop(w.Graph, w.Platform, est, repro.AdaptL(),
+		repro.CalibratedParams(), tr, repro.ResliceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-slicing under a harsh overrun trace: recovered=%v after %d feedback iterations\n",
+		rr.Recovered, rr.Iterations)
+	fmt.Printf("final execution: %d misses over %d tasks (over-constrained=%v)\n",
+		rr.Final.Degradation.Misses, w.Graph.NumTasks(), rr.OverConstrained)
+}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Journal is an append-only JSON-lines checkpoint for long sweeps. The
+// first line is a header fingerprinting the sweep configuration; each
+// subsequent line records one completed cell as {"key": ..., "value":
+// ...}. A sweep consults Lookup before computing a cell and Records the
+// result after, so an interrupted run replays instantly up to the crash
+// point on resume and recomputes only the missing cells. Because cells
+// are keyed (not positional) and the sweep itself folds them in a fixed
+// order, a resumed run renders byte-identically to an uninterrupted one.
+//
+// The journal tolerates a torn trailing line (a crash mid-write): on
+// open the valid prefix is kept and the file is rewritten without the
+// torn tail before appending resumes.
+type Journal struct {
+	f     *os.File
+	w     *bufio.Writer
+	cells map[string]json.RawMessage
+}
+
+// journalLine is one record of the file.
+type journalLine struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// ErrJournalHeader reports a resume attempt against a journal written
+// under a different sweep configuration.
+var ErrJournalHeader = errors.New("experiment: journal header does not match the sweep configuration")
+
+// OpenJournal opens (resume=true) or creates (resume=false) a
+// checkpoint journal. header fingerprints the sweep configuration; a
+// resumed journal whose header differs returns ErrJournalHeader rather
+// than silently mixing incompatible cells. A nil *Journal is a valid
+// no-op journal (Lookup misses, Record and Close do nothing), so
+// callers can thread an optional journal without branching.
+func OpenJournal(path, header string, resume bool) (*Journal, error) {
+	j := &Journal{cells: make(map[string]json.RawMessage)}
+	var lines []journalLine
+	if resume {
+		data, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("experiment: resume journal: %w", err)
+		}
+		if err == nil {
+			lines, err = parseJournal(data, header)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: create journal: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	if err := j.writeLine(journalLine{Key: "header", Value: mustJSON(header)}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	for _, ln := range lines {
+		j.cells[ln.Key] = ln.Value
+		if err := j.writeLine(ln); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := j.w.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: flush journal: %w", err)
+	}
+	return j, nil
+}
+
+// parseJournal validates the header and returns the valid cell lines,
+// dropping a torn trailing line.
+func parseJournal(data []byte, header string) ([]journalLine, error) {
+	var lines []journalLine
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	first := true
+	for sc.Scan() {
+		var ln journalLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			// A torn line can only be the last one; anything after it is
+			// unreachable because the writer is append-only.
+			break
+		}
+		if first {
+			var got string
+			if ln.Key != "header" || json.Unmarshal(ln.Value, &got) != nil || got != header {
+				return nil, ErrJournalHeader
+			}
+			first = false
+			continue
+		}
+		lines = append(lines, ln)
+	}
+	if first {
+		// Empty or torn-at-header journal: treat as fresh rather than
+		// resuming nothing against a mismatched fingerprint.
+		return nil, nil
+	}
+	return lines, nil
+}
+
+// Lookup fetches a previously recorded cell into out, reporting whether
+// the key was present.
+func (j *Journal) Lookup(key string, out any) (bool, error) {
+	if j == nil {
+		return false, nil
+	}
+	raw, ok := j.cells[key]
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("experiment: journal cell %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Record journals one completed cell and flushes it to the file, so a
+// crash immediately after still finds it on resume.
+func (j *Journal) Record(key string, value any) error {
+	if j == nil {
+		return nil
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("experiment: journal cell %q: %w", key, err)
+	}
+	j.cells[key] = raw
+	if err := j.writeLine(journalLine{Key: key, Value: raw}); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("experiment: flush journal: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("experiment: flush journal: %w", err)
+	}
+	return j.f.Close()
+}
+
+func (j *Journal) writeLine(ln journalLine) error {
+	b, err := json.Marshal(ln)
+	if err != nil {
+		return fmt.Errorf("experiment: journal line: %w", err)
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("experiment: write journal: %w", err)
+	}
+	return nil
+}
+
+func mustJSON(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type cell struct {
+	N int     `json:"n"`
+	X float64 `json:"x"`
+}
+
+// TestJournalRoundTrip checks Record → crash → resume → Lookup.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path, "cfg-v1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cell{N: 3, X: 0.6123456789012345}
+	if err := j.Record("a/b", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, "cfg-v1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var got cell
+	ok, err := j2.Lookup("a/b", &got)
+	if err != nil || !ok {
+		t.Fatalf("Lookup: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v (float must roundtrip exactly)", got, want)
+	}
+	if ok, _ := j2.Lookup("missing", &got); ok {
+		t.Fatal("Lookup hit on a missing key")
+	}
+}
+
+// TestJournalHeaderMismatch checks that resuming against a journal from
+// a different configuration is refused.
+func TestJournalHeaderMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path, "cfg-v1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := OpenJournal(path, "cfg-v2", true); !errors.Is(err, ErrJournalHeader) {
+		t.Fatalf("want ErrJournalHeader, got %v", err)
+	}
+}
+
+// TestJournalTornLine checks that a crash mid-write (torn trailing
+// line) loses only the torn cell.
+func TestJournalTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path, "cfg", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("ok", cell{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: append half a JSON line with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","value":{"n":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path, "cfg", true)
+	if err != nil {
+		t.Fatalf("torn journal should resume: %v", err)
+	}
+	defer j2.Close()
+	var c cell
+	if ok, _ := j2.Lookup("ok", &c); !ok || c.N != 1 {
+		t.Fatalf("valid prefix lost: ok=%v c=%+v", ok, c)
+	}
+	if ok, _ := j2.Lookup("torn", &c); ok {
+		t.Fatal("torn cell should be dropped")
+	}
+}
+
+// TestJournalResumeMissingFile checks resume against a not-yet-created
+// path starts fresh instead of failing.
+func TestJournalResumeMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	j, err := OpenJournal(path, "cfg", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var c cell
+	if ok, _ := j.Lookup("any", &c); ok {
+		t.Fatal("fresh journal should be empty")
+	}
+}
+
+// TestJournalNil checks the nil journal is a usable no-op.
+func TestJournalNil(t *testing.T) {
+	var j *Journal
+	var c cell
+	if ok, err := j.Lookup("k", &c); ok || err != nil {
+		t.Fatalf("nil Lookup: ok=%v err=%v", ok, err)
+	}
+	if err := j.Record("k", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

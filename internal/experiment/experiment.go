@@ -13,8 +13,6 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/feas"
 	"repro/internal/gen"
@@ -97,78 +95,65 @@ type Point struct {
 	Errors int
 }
 
-// Run evaluates one data point.
+// Run evaluates one data point. Workloads fan out over the
+// panic-isolated worker pool and their outcomes fold in index order, so
+// the point is byte-identical for every worker count; a workload that
+// panics counts as an error for that workload only.
 func Run(cfg Config) Point {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, 0, func(idx int) (any, error) {
+		return runOne(cfg, idx)
+	})
+	var point Point
+	for i := range outs {
+		if errs[i] != nil {
+			point.Errors++
+			continue
+		}
+		o := outs[i].(runOutcome)
+		point.Success.Add(o.feasible)
+		if o.overConstrained {
+			point.OverConstrained++
+		}
+		if o.provablyInfeasible {
+			point.ProvablyInfeasible++
+		}
+		point.Lateness.Add(o.maxLateness)
+		point.MinLaxity.Add(o.minLaxity)
 	}
-	if workers > cfg.NumGraphs {
-		workers = cfg.NumGraphs
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		point   Point
-		indices = make(chan int)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var local Point
-			for idx := range indices {
-				runOne(cfg, idx, &local)
-			}
-			mu.Lock()
-			point.Success.Succ += local.Success.Succ
-			point.Success.Total += local.Success.Total
-			point.OverConstrained += local.OverConstrained
-			point.ProvablyInfeasible += local.ProvablyInfeasible
-			point.Errors += local.Errors
-			point.Lateness.Merge(local.Lateness)
-			point.MinLaxity.Merge(local.MinLaxity)
-			mu.Unlock()
-		}()
-	}
-	for i := 0; i < cfg.NumGraphs; i++ {
-		indices <- i
-	}
-	close(indices)
-	wg.Wait()
 	return point
 }
 
+// runOutcome is the per-workload result Run folds.
+type runOutcome struct {
+	feasible           bool
+	overConstrained    bool
+	provablyInfeasible bool
+	maxLateness        float64
+	minLaxity          float64
+}
+
 // runOne runs the full pipeline — generate, estimate, slice, schedule —
-// for workload idx and folds the outcome into p.
-func runOne(cfg Config, idx int, p *Point) {
+// for workload idx.
+func runOne(cfg Config, idx int) (runOutcome, error) {
+	var o runOutcome
 	gcfg := cfg.Gen
 	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
 	w, err := gen.Generate(gcfg)
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
 	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
 	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
-	if asg.OverConstrained {
-		p.OverConstrained++
-	}
+	o.overConstrained = asg.OverConstrained
 	if cfg.Classify {
 		if bad, err := feas.Infeasible(w.Graph, w.Platform, asg); err == nil && bad {
-			p.ProvablyInfeasible++
+			o.provablyInfeasible = true
 		}
 	}
 	var s *sched.Schedule
@@ -178,12 +163,12 @@ func runOne(cfg Config, idx int, p *Point) {
 		s, err = sched.Dispatch(w.Graph, w.Platform, asg)
 	}
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
-	p.Success.Add(s.Feasible)
-	p.Lateness.Add(float64(s.MaxLateness))
-	p.MinLaxity.Add(float64(asg.MinLaxity(est)))
+	o.feasible = s.Feasible
+	o.maxLateness = float64(s.MaxLateness)
+	o.minLaxity = float64(asg.MinLaxity(est))
+	return o, nil
 }
 
 // Series is one labelled line of a figure.

@@ -1,9 +1,6 @@
 package experiment
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/rtime"
@@ -71,127 +68,84 @@ type FaultPoint struct {
 	Errors int
 }
 
-// FaultRun evaluates one robustness data point over the worker pool.
+// FaultRun evaluates one robustness data point over the panic-isolated
+// worker pool; outcomes fold in index order, so the point is
+// byte-identical for every worker count.
 func FaultRun(cfg FaultConfig) FaultPoint {
+	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, 0, func(idx int) (any, error) {
+		return faultRunOne(cfg, idx)
+	})
 	var point FaultPoint
-	forEachWorkload(cfg.Workers, cfg.NumGraphs, func() any { return &FaultPoint{} },
-		func(idx int, acc any) { faultRunOne(cfg, idx, acc.(*FaultPoint)) },
-		func(acc any) {
-			local := acc.(*FaultPoint)
-			point.Success.Succ += local.Success.Succ
-			point.Success.Total += local.Success.Total
-			point.MissRatio.Merge(local.MissRatio)
-			point.ETEMissRatio.Merge(local.ETEMissRatio)
-			point.MeanLateness.Merge(local.MeanLateness)
-			point.MaxLateness.Merge(local.MaxLateness)
-			point.FirstMiss.Merge(local.FirstMiss)
-			point.Overruns += local.Overruns
-			point.Aborted += local.Aborted
-			point.Migrations += local.Migrations
-			point.Reclamations += local.Reclamations
-			point.Errors += local.Errors
-		})
+	for i := range outs {
+		if errs[i] != nil {
+			point.Errors++
+			continue
+		}
+		o := outs[i].(faultOutcome)
+		d := o.deg
+		point.Success.Add(d.Misses == 0)
+		point.MissRatio.Add(d.MissRatio())
+		if o.outputs > 0 {
+			point.ETEMissRatio.Add(float64(d.ETEMisses) / float64(o.outputs))
+		}
+		point.MeanLateness.Add(d.MeanLateness)
+		point.MaxLateness.Add(float64(d.MaxLateness))
+		if d.FirstMiss.IsSet() {
+			point.FirstMiss.Add(float64(d.FirstMiss))
+		}
+		point.Overruns += d.Overruns
+		point.Aborted += d.Aborted
+		point.Migrations += d.Migrations
+		point.Reclamations += d.Reclamations
+	}
 	return point
 }
 
-// faultRunOne executes workload idx under its fault trace and folds the
-// degradation into p.
-func faultRunOne(cfg FaultConfig, idx int, p *FaultPoint) {
+// faultOutcome is the per-workload result FaultRun folds.
+type faultOutcome struct {
+	deg     sim.Degradation
+	outputs int
+}
+
+// faultRunOne executes workload idx under its fault trace.
+func faultRunOne(cfg FaultConfig, idx int) (faultOutcome, error) {
+	var o faultOutcome
 	gcfg := cfg.Gen
 	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
 	w, err := gen.Generate(gcfg)
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
 	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
 	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
 	s, err := sched.Dispatch(w.Graph, w.Platform, asg)
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
 	// The failure-instant horizon is the workload's end-to-end deadline:
 	// metric-independent, so identical across the compared series.
 	var span rtime.Time
-	for _, o := range w.Graph.Outputs() {
-		if d := w.Graph.Task(o).ETEDeadline; d > span {
+	for _, out := range w.Graph.Outputs() {
+		if d := w.Graph.Task(out).ETEDeadline; d > span {
 			span = d
 		}
 	}
 	plan := faults.Scaled(cfg.Intensity, gen.SubSeed(cfg.MasterSeed+1, idx))
 	trace, err := plan.Materialize(w.Graph, w.Platform, span)
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
 	ir, err := sim.Inject(w.Graph, w.Platform, asg, s, sim.Options{Faults: trace, Reclaim: cfg.Reclaim})
 	if err != nil {
-		p.Errors++
-		return
+		return o, err
 	}
-	d := ir.Degradation
-	p.Success.Add(d.Misses == 0)
-	p.MissRatio.Add(d.MissRatio())
-	if outs := len(w.Graph.Outputs()); outs > 0 {
-		p.ETEMissRatio.Add(float64(d.ETEMisses) / float64(outs))
-	}
-	p.MeanLateness.Add(d.MeanLateness)
-	p.MaxLateness.Add(float64(d.MaxLateness))
-	if d.FirstMiss.IsSet() {
-		p.FirstMiss.Add(float64(d.FirstMiss))
-	}
-	p.Overruns += d.Overruns
-	p.Aborted += d.Aborted
-	p.Migrations += d.Migrations
-	p.Reclamations += d.Reclamations
-}
-
-// forEachWorkload fans workload indices over a worker pool; each worker
-// folds into its own accumulator (newAcc) and the accumulators are
-// merged under a lock (merge). It mirrors Run's pool so the two studies
-// schedule identically.
-func forEachWorkload(workers, numGraphs int, newAcc func() any,
-	work func(idx int, acc any), merge func(acc any)) {
-
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > numGraphs {
-		workers = numGraphs
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		indices = make(chan int)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			acc := newAcc()
-			for idx := range indices {
-				work(idx, acc)
-			}
-			mu.Lock()
-			merge(acc)
-			mu.Unlock()
-		}()
-	}
-	for i := 0; i < numGraphs; i++ {
-		indices <- i
-	}
-	close(indices)
-	wg.Wait()
+	o.deg = ir.Degradation
+	o.outputs = len(w.Graph.Outputs())
+	return o, nil
 }

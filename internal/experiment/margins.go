@@ -1,0 +1,258 @@
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/robust"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/slicing"
+	"repro/internal/stats"
+	"repro/internal/wcet"
+)
+
+// MarginConfig describes one robustness-margin data point: a workload
+// distribution, a metric, and either an estimation-error model
+// (MarginRun) or a breakdown-factor search (BreakdownRun) to evaluate
+// the resulting assignments under.
+type MarginConfig struct {
+	// Gen is the workload generator configuration (Gen.Seed is ignored;
+	// per-graph seeds derive from MasterSeed).
+	Gen gen.Config
+	// Metric is the critical-path metric under evaluation.
+	Metric slicing.Metric
+	// Params are the adaptive-metric parameters.
+	Params slicing.Params
+	// WCET is the estimation strategy the assignments are derived from.
+	WCET wcet.Strategy
+	// NumGraphs is the sample size per point.
+	NumGraphs int
+	// MasterSeed makes the study reproducible. Workload idx draws its
+	// graph from SubSeed(MasterSeed, idx) and its perturbation from
+	// SubSeed(MasterSeed+2, idx) — the perturbation seed does not depend
+	// on the metric, so every metric faces the identical estimation
+	// error (paired comparison, as everywhere in the harness).
+	MasterSeed int64
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Model is the estimation-error scenario MarginRun executes under;
+	// the zero model reproduces nominal execution exactly.
+	Model wcet.ErrorModel
+	// Reclaim runs the online slack-reclamation policy during injected
+	// executions.
+	Reclaim bool
+	// Reslice, when MaxRetries > 0, runs the adaptive re-slicing
+	// feedback loop on every workload whose perturbed run misses a
+	// deadline, reporting recovery alongside the plain degradation.
+	Reslice robust.ResliceOptions
+	// Breakdown bounds BreakdownRun's critical-factor search.
+	Breakdown robust.BreakdownOptions
+	// Timeout is the per-workload wall-clock budget (0 = none); a
+	// workload over budget is abandoned and counted in Point.Timeouts.
+	Timeout time.Duration
+}
+
+// MarginPoint aggregates one estimation-error data point.
+type MarginPoint struct {
+	// Success counts runs that met every originally assigned deadline
+	// under the perturbed truth. At a zero error model it equals the
+	// nominal time-driven success ratio for the same (metric, seed).
+	Success stats.Ratio
+	// MissRatio accumulates the per-run task deadline-miss ratio.
+	MissRatio stats.Running
+	// ETEMissRatio accumulates the per-run end-to-end (output-task)
+	// miss ratio.
+	ETEMissRatio stats.Running
+	// Recovered counts, over the runs that missed a deadline, those the
+	// adaptive re-slicing loop brought back to a clean run (tracked only
+	// when Reslice.MaxRetries > 0).
+	Recovered stats.Ratio
+	// ResliceIters accumulates the feedback iterations of attempted
+	// recoveries.
+	ResliceIters stats.Running
+	// Overruns and Reclamations total the observed overruns and online
+	// slack reclamations of the first (pre-reslice) executions.
+	Overruns, Reclamations int
+	// Errors counts pipeline failures, including panicking workloads.
+	Errors int
+	// Timeouts counts workloads abandoned at the per-workload budget.
+	Timeouts int
+}
+
+// marginOutcome is the per-workload result MarginRun folds.
+type marginOutcome struct {
+	success      bool
+	missRatio    float64
+	eteMissRatio float64
+	outputs      int
+	overruns     int
+	reclamations int
+	attempted    bool // re-slicing ran
+	recovered    bool
+	iters        int
+}
+
+// MarginRun evaluates one estimation-error data point: every workload's
+// assignment is derived from the estimates, reality is perturbed by one
+// draw of cfg.Model, and the schedule is executed by the fault-injected
+// dispatcher. With Reslice.MaxRetries > 0, failing runs additionally go
+// through the adaptive re-slicing feedback loop.
+func MarginRun(cfg MarginConfig) MarginPoint {
+	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, cfg.Timeout, func(idx int) (any, error) {
+		return marginRunOne(cfg, idx)
+	})
+	var point MarginPoint
+	for i := range outs {
+		if errs[i] != nil {
+			point.Errors++
+			if _, ok := errs[i].(*TimeoutError); ok {
+				point.Timeouts++
+			}
+			continue
+		}
+		o := outs[i].(marginOutcome)
+		point.Success.Add(o.success)
+		point.MissRatio.Add(o.missRatio)
+		if o.outputs > 0 {
+			point.ETEMissRatio.Add(o.eteMissRatio)
+		}
+		point.Overruns += o.overruns
+		point.Reclamations += o.reclamations
+		if o.attempted {
+			point.Recovered.Add(o.recovered)
+			point.ResliceIters.Add(float64(o.iters))
+		}
+	}
+	return point
+}
+
+// perturbTrace converts a truth-vs-estimate perturbation into a fault
+// trace the injected executor understands: task factors become
+// per-task execution scales, class factors become per-processor
+// slowdowns.
+func perturbTrace(p wcet.Perturbation, m int, classOf func(q int) int) *faults.Trace {
+	tr := faults.ZeroTrace(len(p.TaskScale), m)
+	copy(tr.ExecScale, p.TaskScale)
+	for q := 0; q < m; q++ {
+		tr.Slow[q] = p.ClassScale[classOf(q)]
+	}
+	return tr
+}
+
+// marginRunOne executes workload idx under its estimation-error draw.
+func marginRunOne(cfg MarginConfig, idx int) (marginOutcome, error) {
+	var o marginOutcome
+	gcfg := cfg.Gen
+	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
+	w, err := gen.Generate(gcfg)
+	if err != nil {
+		return o, err
+	}
+	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
+	if err != nil {
+		return o, err
+	}
+	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
+	if err != nil {
+		return o, err
+	}
+	s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+	if err != nil {
+		return o, err
+	}
+	pert := cfg.Model.Draw(w.Graph.NumTasks(), w.Platform.NumClasses(),
+		gen.SubSeed(cfg.MasterSeed+2, idx))
+	tr := perturbTrace(pert, w.Platform.M(), w.Platform.ClassOf)
+	ir, err := sim.Inject(w.Graph, w.Platform, asg, s, sim.Options{Faults: tr, Reclaim: cfg.Reclaim})
+	if err != nil {
+		return o, err
+	}
+	d := ir.Degradation
+	o.success = d.Misses == 0
+	o.missRatio = d.MissRatio()
+	o.outputs = len(w.Graph.Outputs())
+	if o.outputs > 0 {
+		o.eteMissRatio = float64(d.ETEMisses) / float64(o.outputs)
+	}
+	o.overruns = d.Overruns
+	o.reclamations = d.Reclamations
+	if !o.success && cfg.Reslice.MaxRetries > 0 {
+		rr, err := robust.ResliceLoop(w.Graph, w.Platform, est, cfg.Metric, cfg.Params,
+			tr, cfg.Reslice)
+		if err != nil {
+			return o, err
+		}
+		o.attempted = true
+		o.recovered = rr.Recovered
+		o.iters = rr.Iterations
+	}
+	return o, nil
+}
+
+// BreakdownPoint aggregates one breakdown-factor data point.
+type BreakdownPoint struct {
+	// Factor accumulates the per-workload critical WCET scaling factors
+	// (workloads that survive at the search cap contribute the cap, so
+	// the mean is cap-censored).
+	Factor stats.Running
+	// Unbounded counts workloads whose assignment survived at the
+	// search ceiling.
+	Unbounded int
+	// Nominal counts workloads that survive unscaled execution — by
+	// construction exactly the nominal time-driven success ratio.
+	Nominal stats.Ratio
+	// Errors counts pipeline failures, including panicking workloads.
+	Errors int
+	// Timeouts counts workloads abandoned at the per-workload budget.
+	Timeouts int
+}
+
+// BreakdownRun measures the distribution of critical WCET scaling
+// factors (robust.BreakdownFactor) over the workload sample.
+func BreakdownRun(cfg MarginConfig) BreakdownPoint {
+	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, cfg.Timeout, func(idx int) (any, error) {
+		return breakdownRunOne(cfg, idx)
+	})
+	var point BreakdownPoint
+	for i := range outs {
+		if errs[i] != nil {
+			point.Errors++
+			if _, ok := errs[i].(*TimeoutError); ok {
+				point.Timeouts++
+			}
+			continue
+		}
+		b := outs[i].(robust.Breakdown)
+		point.Factor.Add(b.Factor)
+		if b.Unbounded {
+			point.Unbounded++
+		}
+		point.Nominal.Add(b.SurvivesNominal)
+	}
+	return point
+}
+
+func breakdownRunOne(cfg MarginConfig, idx int) (robust.Breakdown, error) {
+	var b robust.Breakdown
+	gcfg := cfg.Gen
+	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
+	w, err := gen.Generate(gcfg)
+	if err != nil {
+		return b, err
+	}
+	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
+	if err != nil {
+		return b, err
+	}
+	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
+	if err != nil {
+		return b, err
+	}
+	s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+	if err != nil {
+		return b, err
+	}
+	return robust.BreakdownFactor(w.Graph, w.Platform, asg, s, cfg.Breakdown)
+}

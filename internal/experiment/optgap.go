@@ -2,8 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/gen"
 	"repro/internal/optsched"
@@ -69,46 +67,47 @@ type OptGapConfig struct {
 	Workers int
 }
 
-// OptGap runs the study.
+// optGapOutcome classifies one workload of the study.
+type optGapOutcome int
+
+const (
+	optGapDispatchOK optGapOutcome = iota
+	optGapRescued
+	optGapInfeasible
+	optGapInconclusive
+)
+
+// OptGap runs the study over the panic-isolated worker pool; a
+// panicking workload counts as inconclusive for that workload only, and
+// the tallies are independent of the worker count.
 func OptGap(cfg OptGapConfig) OptGapResult {
 	if cfg.NodeBudget <= 0 {
 		cfg.NodeBudget = 2_000_000
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, 0, func(idx int) (any, error) {
+		return optGapOne(cfg, idx), nil
+	})
+	res := OptGapResult{Graphs: cfg.NumGraphs}
+	for i := range outs {
+		o := optGapInconclusive
+		if errs[i] == nil {
+			o = outs[i].(optGapOutcome)
+		}
+		switch o {
+		case optGapDispatchOK:
+			res.DispatchOK++
+		case optGapRescued:
+			res.RescuedByExact++
+		case optGapInfeasible:
+			res.WindowsInfeasible++
+		default:
+			res.Inconclusive++
+		}
 	}
-	var (
-		mu  sync.Mutex
-		wg  sync.WaitGroup
-		res = OptGapResult{Graphs: cfg.NumGraphs}
-		ch  = make(chan int)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range ch {
-				var local OptGapResult
-				optGapOne(cfg, idx, &local)
-				mu.Lock()
-				res.DispatchOK += local.DispatchOK
-				res.RescuedByExact += local.RescuedByExact
-				res.WindowsInfeasible += local.WindowsInfeasible
-				res.Inconclusive += local.Inconclusive
-				mu.Unlock()
-			}
-		}()
-	}
-	for i := 0; i < cfg.NumGraphs; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
 	return res
 }
 
-func optGapOne(cfg OptGapConfig, idx int, out *OptGapResult) {
+func optGapOne(cfg OptGapConfig, idx int) optGapOutcome {
 	gcfg := gen.Default(cfg.M)
 	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
 	gcfg.OLR = cfg.OLR
@@ -116,40 +115,33 @@ func optGapOne(cfg OptGapConfig, idx int, out *OptGapResult) {
 	gcfg.MinDepth, gcfg.MaxDepth = 2, 4
 	w, err := gen.Generate(gcfg)
 	if err != nil {
-		out.Inconclusive++
-		return
+		return optGapInconclusive
 	}
 	est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
 	if err != nil {
-		out.Inconclusive++
-		return
+		return optGapInconclusive
 	}
 	asg, err := slicing.Distribute(w.Graph, est, cfg.M, cfg.Metric, cfg.Params)
 	if err != nil {
-		out.Inconclusive++
-		return
+		return optGapInconclusive
 	}
 	d, err := sched.Dispatch(w.Graph, w.Platform, asg)
 	if err != nil {
-		out.Inconclusive++
-		return
+		return optGapInconclusive
 	}
 	if d.Feasible {
-		out.DispatchOK++
-		return
+		return optGapDispatchOK
 	}
 	exact, err := optsched.Schedule(w.Graph, w.Platform, asg,
 		optsched.Options{NodeBudget: cfg.NodeBudget, StopAtFeasible: true})
 	if err != nil {
-		out.Inconclusive++
-		return
+		return optGapInconclusive
 	}
 	switch {
 	case exact.Schedule != nil && exact.Schedule.Feasible:
-		out.RescuedByExact++
+		return optGapRescued
 	case exact.Optimal:
-		out.WindowsInfeasible++
-	default:
-		out.Inconclusive++
+		return optGapInfeasible
 	}
+	return optGapInconclusive
 }

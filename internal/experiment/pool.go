@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// PanicError is a workload panic converted into a per-workload error by
+// the pool: one panicking workload fails only its own data point, never
+// the process (or the other workloads of the point).
+type PanicError struct {
+	// Idx is the workload index that panicked.
+	Idx int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment: workload %d panicked: %v", e.Idx, e.Value)
+}
+
+// TimeoutError reports a workload that exceeded its per-workload
+// deadline and was abandoned.
+type TimeoutError struct {
+	// Idx is the workload index that timed out.
+	Idx int
+	// Limit is the per-workload budget it exceeded.
+	Limit time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("experiment: workload %d exceeded its %v budget", e.Idx, e.Limit)
+}
+
+// guard runs one workload with panic isolation.
+func guard(idx int, run func(idx int) (any, error)) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, &PanicError{Idx: idx, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return run(idx)
+}
+
+// guardTimed is guard with a wall-clock budget per workload. The
+// workload body is CPU-bound and cannot observe cancellation, so on
+// timeout its goroutine is abandoned: it finishes (or panics) harmlessly
+// in the background and its result is discarded.
+func guardTimed(idx int, limit time.Duration, run func(idx int) (any, error)) (any, error) {
+	if limit <= 0 {
+		return guard(idx, run)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), limit)
+	defer cancel()
+	type result struct {
+		out any
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := guard(idx, run)
+		ch <- result{out, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-ctx.Done():
+		return nil, &TimeoutError{Idx: idx, Limit: limit}
+	}
+}
+
+// runIndexed fans workload indices 0..num−1 over a worker pool and
+// collects one result (or error) per index. The caller folds the
+// returned slices in index order, which makes every aggregate — success
+// counts and floating-point accumulations alike — byte-identical
+// regardless of the worker count or goroutine interleaving.
+//
+// Each workload runs panic-isolated (PanicError) and, when timeout > 0,
+// under a per-workload wall-clock budget (TimeoutError). workers ≤ 0
+// means GOMAXPROCS.
+func runIndexed(workers, num int, timeout time.Duration,
+	run func(idx int) (any, error)) ([]any, []error) {
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > num {
+		workers = num
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outs := make([]any, num)
+	errs := make([]error, num)
+	var wg sync.WaitGroup
+	indices := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range indices {
+				outs[idx], errs[idx] = guardTimed(idx, timeout, run)
+			}
+		}()
+	}
+	for i := 0; i < num; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	return outs, errs
+}

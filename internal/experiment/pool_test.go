@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRunIndexedOrder checks that results land at their own index for
+// every worker count.
+func TestRunIndexedOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		outs, errs := runIndexed(workers, 20, 0, func(idx int) (any, error) {
+			return idx * idx, nil
+		})
+		for i := range outs {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d idx=%d: unexpected error %v", workers, i, errs[i])
+			}
+			if outs[i].(int) != i*i {
+				t.Fatalf("workers=%d idx=%d: got %v, want %d", workers, i, outs[i], i*i)
+			}
+		}
+	}
+}
+
+// TestRunIndexedPanicIsolation checks that a panicking workload fails
+// only its own index: the process survives and every other workload
+// completes normally.
+func TestRunIndexedPanicIsolation(t *testing.T) {
+	const bad = 5
+	outs, errs := runIndexed(4, 10, 0, func(idx int) (any, error) {
+		if idx == bad {
+			panic("boom")
+		}
+		return idx, nil
+	})
+	for i := range outs {
+		if i == bad {
+			var pe *PanicError
+			if !errors.As(errs[i], &pe) {
+				t.Fatalf("idx %d: want PanicError, got %v", i, errs[i])
+			}
+			if pe.Idx != bad || pe.Value != "boom" || len(pe.Stack) == 0 {
+				t.Fatalf("idx %d: malformed PanicError %+v", i, pe)
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("idx %d: healthy workload got error %v", i, errs[i])
+		}
+		if outs[i].(int) != i {
+			t.Fatalf("idx %d: got %v", i, outs[i])
+		}
+	}
+}
+
+// TestRunIndexedError checks plain errors propagate per index.
+func TestRunIndexedError(t *testing.T) {
+	wantErr := fmt.Errorf("nope")
+	_, errs := runIndexed(2, 4, 0, func(idx int) (any, error) {
+		if idx == 2 {
+			return nil, wantErr
+		}
+		return nil, nil
+	})
+	if !errors.Is(errs[2], wantErr) {
+		t.Fatalf("idx 2: got %v", errs[2])
+	}
+	for _, i := range []int{0, 1, 3} {
+		if errs[i] != nil {
+			t.Fatalf("idx %d: got %v", i, errs[i])
+		}
+	}
+}
+
+// TestRunIndexedTimeout checks that a workload exceeding the budget is
+// abandoned with a TimeoutError while fast workloads complete.
+func TestRunIndexedTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	outs, errs := runIndexed(4, 6, 20*time.Millisecond, func(idx int) (any, error) {
+		if idx == 3 {
+			<-block
+		}
+		return idx, nil
+	})
+	var te *TimeoutError
+	if !errors.As(errs[3], &te) {
+		t.Fatalf("idx 3: want TimeoutError, got %v", errs[3])
+	}
+	if te.Idx != 3 {
+		t.Fatalf("TimeoutError.Idx = %d", te.Idx)
+	}
+	for _, i := range []int{0, 1, 2, 4, 5} {
+		if errs[i] != nil || outs[i].(int) != i {
+			t.Fatalf("idx %d: out=%v err=%v", i, outs[i], errs[i])
+		}
+	}
+}
+
+// TestRunIndexedTimeoutPanic checks panics inside a timed workload are
+// still converted, not lost in the extra goroutine.
+func TestRunIndexedTimeoutPanic(t *testing.T) {
+	_, errs := runIndexed(2, 2, time.Second, func(idx int) (any, error) {
+		if idx == 1 {
+			panic("timed boom")
+		}
+		return idx, nil
+	})
+	var pe *PanicError
+	if !errors.As(errs[1], &pe) {
+		t.Fatalf("want PanicError, got %v", errs[1])
+	}
+}

@@ -1,0 +1,200 @@
+package robust
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+	"repro/internal/wcet"
+)
+
+// chain builds a single-class linear chain with the given WCETs and an
+// end-to-end deadline on the last task.
+func chain(t testing.TB, costs []rtime.Time, ete rtime.Time) *taskgraph.Graph {
+	t.Helper()
+	g := taskgraph.NewGraph(1)
+	for _, c := range costs {
+		g.MustAddTask("", []rtime.Time{c}, 0)
+	}
+	for i := 1; i < len(costs); i++ {
+		g.MustAddArc(i-1, i, 0)
+	}
+	g.Task(len(costs) - 1).ETEDeadline = ete
+	g.MustFreeze()
+	return g
+}
+
+func pipeline(t testing.TB, g *taskgraph.Graph, p *arch.Platform,
+	metric slicing.Metric) ([]rtime.Time, *slicing.Assignment, *sched.Schedule) {
+	t.Helper()
+	est, err := wcet.Estimates(g, p, wcet.AVG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := slicing.Distribute(g, est, p.M(), metric, slicing.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Dispatch(g, p, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, asg, s
+}
+
+func TestBreakdownFactorChain(t *testing.T) {
+	// PURE windows [0,20)[20,40)[40,60): each task survives scaling up
+	// to exactly 2 (ceil(10φ) ≤ 20 with arrival-gated starts), so the
+	// bisection must land just below 2.
+	g := chain(t, []rtime.Time{10, 10, 10}, 60)
+	p := arch.Homogeneous(1)
+	_, asg, s := pipeline(t, g, p, slicing.PURE())
+	b, err := BreakdownFactor(g, p, asg, s, BreakdownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.SurvivesNominal {
+		t.Error("nominal chain should survive")
+	}
+	if b.Unbounded {
+		t.Error("chain breakdown reported unbounded")
+	}
+	if b.Factor < 1.9 || b.Factor > 2.0 {
+		t.Errorf("breakdown factor = %v, want ≈ 2", b.Factor)
+	}
+}
+
+func TestBreakdownFactorBelowOne(t *testing.T) {
+	// ETE 15 cannot hold 20 units of work: nominal fails and the
+	// breakdown factor is the speedup reality needs. The slicer gives
+	// task 0 the window [0,5), so survival requires ceil(10φ) ≤ 5,
+	// i.e. φ* = 0.5 exactly.
+	g := chain(t, []rtime.Time{10, 10}, 15)
+	p := arch.Homogeneous(1)
+	_, asg, s := pipeline(t, g, p, slicing.PURE())
+	b, err := BreakdownFactor(g, p, asg, s, BreakdownOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SurvivesNominal {
+		t.Error("over-tight chain should not survive nominally")
+	}
+	if b.Factor < 0.5-1.0/64 || b.Factor > 0.5+1.0/64 {
+		t.Errorf("breakdown factor = %v, want ≈ 0.5", b.Factor)
+	}
+}
+
+func TestBreakdownFactorUnbounded(t *testing.T) {
+	g := chain(t, []rtime.Time{10, 10}, 1000)
+	p := arch.Homogeneous(1)
+	_, asg, s := pipeline(t, g, p, slicing.PURE())
+	b, err := BreakdownFactor(g, p, asg, s, BreakdownOptions{MaxFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Unbounded || b.Factor != 4 {
+		t.Errorf("breakdown = %+v, want unbounded at the cap", b)
+	}
+}
+
+func TestBreakdownFactorDeterministic(t *testing.T) {
+	cfg := gen.Default(3)
+	for idx := 0; idx < 4; idx++ {
+		cfg.Seed = gen.SubSeed(1, idx)
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, asg, s := pipeline(t, w.Graph, w.Platform, slicing.AdaptL())
+		a, err := BreakdownFactor(w.Graph, w.Platform, asg, s, BreakdownOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BreakdownFactor(w.Graph, w.Platform, asg, s, BreakdownOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("seed %d: breakdown not deterministic: %+v vs %+v", idx, a, b)
+		}
+		if a.Factor < 0 {
+			t.Errorf("seed %d: negative factor %v", idx, a.Factor)
+		}
+	}
+}
+
+func TestResliceLoopRecovers(t *testing.T) {
+	// Task 0 overruns 2.5×: it finishes at 25, past its window [0,20).
+	// One re-slice round with the observed cost (25) widens its slice
+	// to [0,30) and the run comes back clean.
+	g := chain(t, []rtime.Time{10, 10, 10}, 60)
+	p := arch.Homogeneous(1)
+	est, _, _ := pipeline(t, g, p, slicing.PURE())
+	tr := faults.ZeroTrace(g.NumTasks(), p.M())
+	tr.ExecScale[0] = 2.5
+	res, err := ResliceLoop(g, p, est, slicing.PURE(), slicing.DefaultParams(), tr, ResliceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatalf("not recovered: %+v, degradation %+v", res, res.Final.Degradation)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", res.Iterations)
+	}
+	if res.Estimates[0] < 25 {
+		t.Errorf("corrected estimate = %d, want ≥ 25 (the observation)", res.Estimates[0])
+	}
+	if res.Final.Degradation.Misses != 0 {
+		t.Errorf("final run still misses %d tasks", res.Final.Degradation.Misses)
+	}
+}
+
+func TestResliceLoopOverload(t *testing.T) {
+	// A 7× overrun (70 units) can never fit the 60-unit end-to-end
+	// window: after one correction the estimates match reality exactly
+	// (nothing left to learn), so the loop must stop early — well
+	// before the retry bound — without claiming recovery.
+	g := chain(t, []rtime.Time{10, 10, 10}, 60)
+	p := arch.Homogeneous(1)
+	est, _, _ := pipeline(t, g, p, slicing.PURE())
+	tr := faults.ZeroTrace(g.NumTasks(), p.M())
+	tr.ExecScale[0] = 7
+	res, err := ResliceLoop(g, p, est, slicing.PURE(), slicing.DefaultParams(), tr, ResliceOptions{MaxRetries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered {
+		t.Error("recovered an impossible overload")
+	}
+	if res.Iterations >= 6 {
+		t.Errorf("iterations = %d, want an early nothing-to-learn stop", res.Iterations)
+	}
+	if res.Final.Degradation.Misses == 0 {
+		t.Error("final run reports no misses despite the overload")
+	}
+	if res.Estimates[0] < 70 {
+		t.Errorf("corrected estimate = %d, want the full observation 70", res.Estimates[0])
+	}
+}
+
+func TestResliceLoopZeroTraceIdentity(t *testing.T) {
+	// Under a zero trace a feasible workload needs no feedback at all.
+	g := chain(t, []rtime.Time{10, 10, 10}, 60)
+	p := arch.Homogeneous(1)
+	est, _, _ := pipeline(t, g, p, slicing.PURE())
+	res, err := ResliceLoop(g, p, est, slicing.PURE(), slicing.DefaultParams(),
+		faults.ZeroTrace(g.NumTasks(), p.M()), ResliceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered || res.Iterations != 0 {
+		t.Errorf("zero trace: recovered=%v iterations=%d, want clean nominal run",
+			res.Recovered, res.Iterations)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/rtime"
+	"repro/internal/taskgraph"
 )
 
 func TestReclaimChainProportional(t *testing.T) {
@@ -73,6 +74,54 @@ func TestReclaimEmptyPending(t *testing.T) {
 	asg := mustDistribute(t, g, 1, PURE())
 	if _, ok := ReclaimWindows(g, asg.Virtual, []bool{false, false}, 10, asg.AbsDeadline); ok {
 		t.Fatal("reclaimed an empty pending set")
+	}
+}
+
+func TestReclaimZeroRemainingSlack(t *testing.T) {
+	// The overrunning task finishes exactly at the end-to-end deadline:
+	// zero remaining slack, so every pending deadline collapses to now
+	// (σ = 0) — the policy reports the chain as doomed rather than
+	// inventing time past the bound.
+	g := chainGraph(t, []rtime.Time{10, 10, 10}, 60)
+	asg := mustDistribute(t, g, 2, PURE())
+	nd, ok := ReclaimWindows(g, asg.Virtual, []bool{false, true, true}, 60, asg.AbsDeadline)
+	if !ok {
+		t.Fatal("nothing reclaimed")
+	}
+	if nd[1] != 60 || nd[2] != 60 {
+		t.Errorf("zero-slack deadlines = %d, %d, want collapse to 60, 60", nd[1], nd[2])
+	}
+}
+
+func TestReclaimSinkOverrun(t *testing.T) {
+	// The overrunning task is a graph sink: it has no descendants, so the
+	// pending set is empty and there is nothing to reclaim — the policy
+	// must decline instead of fabricating a deadline set.
+	g := chainGraph(t, []rtime.Time{10, 10, 10}, 60)
+	asg := mustDistribute(t, g, 2, PURE())
+	pending := make([]bool, g.NumTasks()) // no descendants of task 2
+	if _, ok := ReclaimWindows(g, asg.Virtual, pending, 70, asg.AbsDeadline); ok {
+		t.Fatal("reclaimed windows for a sink overrun with no descendants")
+	}
+}
+
+func TestReclaimAllDescendantsCompleted(t *testing.T) {
+	// Fork 0→{1,2}: task 1 overruns, but its only descendants are
+	// already accounted for (none pending). The unaffected sibling
+	// branch must not be touched — reclamation declines entirely rather
+	// than stretching windows of tasks outside the overrunner's cone.
+	g := taskgraph.NewGraph(1)
+	for i := 0; i < 3; i++ {
+		g.MustAddTask("", c1(10), 0)
+	}
+	g.MustAddArc(0, 1, 1)
+	g.MustAddArc(0, 2, 1)
+	g.Task(1).ETEDeadline = 60
+	g.Task(2).ETEDeadline = 60
+	g.MustFreeze()
+	asg := mustDistribute(t, g, 2, PURE())
+	if _, ok := ReclaimWindows(g, asg.Virtual, []bool{false, false, false}, 55, asg.AbsDeadline); ok {
+		t.Fatal("reclaimed windows although every descendant had completed")
 	}
 }
 

@@ -1,0 +1,81 @@
+package wcet
+
+import "testing"
+
+func TestErrorModelZeroLevelIsIdentity(t *testing.T) {
+	for _, kind := range append([]ErrorKind{ErrNone}, ErrorKinds...) {
+		m := ErrorModel{Kind: kind, Level: 0}
+		if !m.Zero() {
+			t.Errorf("%v at level 0: Zero() = false", kind)
+		}
+		p := m.Draw(20, 3, 42)
+		if !p.Zero() {
+			t.Errorf("%v at level 0: non-identity perturbation %+v", kind, p)
+		}
+	}
+}
+
+func TestErrorModelDeterministic(t *testing.T) {
+	for _, kind := range ErrorKinds {
+		m := ErrorModel{Kind: kind, Level: 0.5}
+		a := m.Draw(30, 2, 7)
+		b := m.Draw(30, 2, 7)
+		for i := range a.TaskScale {
+			if a.TaskScale[i] != b.TaskScale[i] {
+				t.Fatalf("%v: task %d scale differs across identical draws", kind, i)
+			}
+		}
+		for k := range a.ClassScale {
+			if a.ClassScale[k] != b.ClassScale[k] {
+				t.Fatalf("%v: class %d scale differs across identical draws", kind, k)
+			}
+		}
+	}
+}
+
+func TestErrorModelShapes(t *testing.T) {
+	// Multiplicative noise perturbs tasks only; class bias perturbs
+	// classes only; heavy tail only ever inflates.
+	mult := ErrorModel{Kind: ErrMultiplicative, Level: 0.5}.Draw(50, 3, 1)
+	for k, s := range mult.ClassScale {
+		if s != 1 {
+			t.Errorf("mult: class %d scaled to %v", k, s)
+		}
+	}
+	touched := false
+	for _, s := range mult.TaskScale {
+		if s < 0.5-1e-9 || s > 1.5+1e-9 {
+			t.Errorf("mult: task scale %v outside [0.5, 1.5]", s)
+		}
+		if s != 1 {
+			touched = true
+		}
+	}
+	if !touched {
+		t.Error("mult at level 0.5 perturbed nothing")
+	}
+
+	bias := ErrorModel{Kind: ErrClassBias, Level: 0.5}.Draw(50, 3, 1)
+	for i, s := range bias.TaskScale {
+		if s != 1 {
+			t.Errorf("bias: task %d scaled to %v", i, s)
+		}
+	}
+
+	tail := ErrorModel{Kind: ErrHeavyTail, Level: 1}.Draw(400, 3, 1)
+	overruns := 0
+	for _, s := range tail.TaskScale {
+		if s < 1 {
+			t.Errorf("tail: deflating scale %v", s)
+		}
+		if s > 1+heavyTailCap {
+			t.Errorf("tail: scale %v above cap", s)
+		}
+		if s > 1 {
+			overruns++
+		}
+	}
+	if overruns == 0 || overruns == 400 {
+		t.Errorf("tail: %d/400 overruns, want a sparse non-empty set", overruns)
+	}
+}
