@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check smoke faults margins
+.PHONY: all build test race vet fmt check smoke faults margins degrade fuzz
 
 all: check
 
@@ -39,3 +39,16 @@ faults:
 # for the 256-graph table.
 margins:
 	$(GO) run ./cmd/sweep -study margins -graphs 32 -checkpoint margins.jsonl
+
+# Graceful degradation: achieved value vs fault intensity on
+# mixed-criticality workloads, across the degradation policies. Small
+# sample and a per-workload budget so the smoke run stays in CI budget;
+# see EXPERIMENTS.md for the 256-graph table.
+degrade:
+	$(GO) run ./cmd/sweep -study degrade -graphs 24 -wtimeout 30s
+
+# Native fuzzers: the checkpoint-journal parser and the workload
+# reader, each briefly past their checked-in seed corpora.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseJournal -fuzztime=10s ./internal/experiment/
+	$(GO) test -run='^$$' -fuzz=FuzzReadWorkload -fuzztime=10s ./internal/graphio/

@@ -7,6 +7,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/arch"
 	"repro/internal/deadline"
+	"repro/internal/degrade"
 	"repro/internal/experiment"
 	"repro/internal/faults"
 	"repro/internal/feas"
@@ -93,6 +94,80 @@ type (
 	// recovery events of an injected run.
 	Degradation = sim.Degradation
 )
+
+// Graceful-degradation types (mixed-criticality mode changes).
+type (
+	// Criticality classifies a task as Mandatory or Optional.
+	Criticality = taskgraph.Criticality
+	// DegradePolicy selects how optional work is degraded as the mode
+	// level rises.
+	DegradePolicy = degrade.Policy
+	// DegradeOptions configures mode-ladder construction.
+	DegradeOptions = degrade.Options
+	// DegradeMode is one operating point of the degradation ladder: a
+	// reduced (or budget-shrunk) task graph plus its retained-value
+	// fraction and ID maps back to the full application.
+	DegradeMode = degrade.Mode
+	// ModeController is the online overload-triggered mode-change state
+	// machine: immediate escalation, hysteretic re-admission with
+	// backed-off probes, bounded lockout.
+	ModeController = degrade.Controller
+	// ModeControllerOptions tunes the controller's hysteresis.
+	ModeControllerOptions = degrade.ControllerOptions
+	// ModeObservation is what the controller sees of one executed frame.
+	ModeObservation = degrade.Observation
+	// ModeTransition records one controller decision.
+	ModeTransition = degrade.Transition
+	// DegradeConfig parameterizes one graceful-degradation study series.
+	DegradeConfig = experiment.DegradeConfig
+	// DegradePoint aggregates one intensity of a degradation series.
+	DegradePoint = experiment.DegradePoint
+	// DegradeCurve is one policy/metric series over the intensity ramp.
+	DegradeCurve = experiment.DegradeCurve
+)
+
+// Task criticalities (the imprecise-computation split).
+const (
+	// Mandatory tasks must meet their deadlines in every operating mode.
+	Mandatory = taskgraph.Mandatory
+	// Optional tasks add value when they complete in time but may be
+	// shed or shrunk under overload.
+	Optional = taskgraph.Optional
+)
+
+// Degradation policies.
+const (
+	// DegradeNone disables degradation: only the full mode exists.
+	DegradeNone = degrade.None
+	// DegradeShedLowestValue sheds sheddable tasks cheapest-first.
+	DegradeShedLowestValue = degrade.ShedLowestValue
+	// DegradeShedLargestParallelSet sheds the most contended tasks first.
+	DegradeShedLargestParallelSet = degrade.ShedLargestParallelSet
+	// DegradeProportionalBudget shrinks optional execution budgets.
+	DegradeProportionalBudget = degrade.ProportionalBudget
+)
+
+// DegradeModes builds the degradation ladder of a frozen
+// mixed-criticality graph: mode 0 is the full application, each higher
+// mode sheds or shrinks strictly more optional value, the mandatory
+// subgraph survives at every level, and newly exposed outputs inherit
+// end-to-end deadlines so every mode re-slices and re-verifies cleanly.
+func DegradeModes(g *Graph, opt DegradeOptions) ([]*DegradeMode, error) {
+	return degrade.Modes(g, opt)
+}
+
+// NewModeController returns the online mode-change controller, starting
+// at level 0 (the full application).
+func NewModeController(opt ModeControllerOptions) *ModeController {
+	return degrade.NewController(opt)
+}
+
+// DegradeStudy evaluates one graceful-degradation series: achieved
+// value versus fault intensity, with one controller instance carrying
+// each workload up the ascending intensity ramp. With no optional tasks
+// or the DegradeNone policy, each point's Fault baseline is
+// byte-identical to MarginStudy's sibling FaultRun.
+func DegradeStudy(cfg DegradeConfig) (DegradeCurve, error) { return experiment.DegradeRun(cfg) }
 
 // Robustness-margin types (breakdown analysis and adaptive re-slicing).
 type (

@@ -363,3 +363,69 @@ func TestResliceLoopThroughAPI(t *testing.T) {
 		t.Errorf("zero trace demanded %d feedback iterations", rr.Iterations)
 	}
 }
+
+func TestDegradationThroughAPI(t *testing.T) {
+	cfg := DefaultWorkloadConfig(3)
+	cfg.Seed = 13
+	cfg.OptionalProb = 0.5
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes, err := DegradeModes(w.Graph, DegradeOptions{Policy: DegradeShedLowestValue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) < 2 {
+		t.Fatalf("no degraded modes at p(optional)=0.5: %d", len(modes))
+	}
+	if modes[0].Graph != w.Graph || modes[0].Quality != 1 {
+		t.Errorf("mode 0 is not the full application: %+v", modes[0])
+	}
+	for _, m := range modes[1:] {
+		if m.Quality >= 1 || m.Shed == 0 {
+			t.Errorf("mode %d sheds nothing: quality %v, shed %d", m.Level, m.Quality, m.Shed)
+		}
+		for old, crit := range criticalities(w.Graph) {
+			if crit == Mandatory && m.Old2New[old] < 0 {
+				t.Errorf("mode %d shed mandatory task %d", m.Level, old)
+			}
+		}
+	}
+
+	// The controller escalates on a hot frame and probes back after a
+	// clean streak.
+	ctl := NewModeController(ModeControllerOptions{MaxLevel: len(modes) - 1, CleanStreak: 2})
+	if tr := ctl.Observe(ModeObservation{MandatoryMisses: 1}); tr.To != 1 {
+		t.Errorf("no escalation: %+v", tr)
+	}
+	ctl.Observe(ModeObservation{})
+	if tr := ctl.Observe(ModeObservation{}); tr.To != 0 {
+		t.Errorf("no probe after a clean streak: %+v", tr)
+	}
+
+	curve, err := DegradeStudy(DegradeConfig{
+		Gen: cfg, Metric: AdaptL(), Params: CalibratedParams(), WCET: WCETAvg,
+		NumGraphs: 4, MasterSeed: 5, Intensities: []float64{0, 1},
+		Degrade: DegradeOptions{Policy: DegradeProportionalBudget},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("points: %d", len(curve.Points))
+	}
+	if curve.Points[0].Value.Mean() < curve.Points[1].Value.Mean() {
+		t.Errorf("achieved value increased with intensity: %v then %v",
+			curve.Points[0].Value.Mean(), curve.Points[1].Value.Mean())
+	}
+}
+
+// criticalities flattens the graph's criticality labels by task ID.
+func criticalities(g *Graph) []Criticality {
+	out := make([]Criticality, g.NumTasks())
+	for i := range out {
+		out[i] = g.Task(i).Criticality
+	}
+	return out
+}

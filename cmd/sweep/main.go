@@ -24,6 +24,10 @@
 //	               WCET scaling each assignment survives), success under
 //	               WCET estimation error (multiplicative, class-bias,
 //	               heavy-tail), and adaptive re-slicing recovery
+//	-study degrade graceful degradation on mixed-criticality workloads:
+//	               achieved value vs fault intensity as the online mode
+//	               controller sheds optional work (shed-value, shed-pset,
+//	               budget policies)
 //
 // Each study prints a success-ratio table over its parameter axis for a
 // three-processor system at the calibrated operating point.
@@ -114,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"adaptn":   ok(studyAdaptN),
 		"faults":   ok(studyFaults),
 		"margins":  studyMargins,
+		"degrade":  studyDegrade,
 	}
 	if *study != "" {
 		f, ok := studies[*study]
@@ -124,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return f()
 	}
 	code := 0
-	for _, name := range []string{"kl", "kg", "cthres", "ccr", "mode", "sched", "overlap", "shape", "res", "optgap", "late", "hom", "policy", "pinned", "headroom", "adaptn", "faults", "margins"} {
+	for _, name := range []string{"kl", "kg", "cthres", "ccr", "mode", "sched", "overlap", "shape", "res", "optgap", "late", "hom", "policy", "pinned", "headroom", "adaptn", "faults", "margins", "degrade"} {
 		if c := studies[name](); c != 0 {
 			code = c
 		}

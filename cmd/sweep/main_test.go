@@ -64,6 +64,38 @@ func TestRunFaultsStudyDeterministic(t *testing.T) {
 	}
 }
 
+func TestRunDegradeStudy(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-study", "degrade", "-graphs", "4"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"graceful degradation", "policy shed-value",
+		"policy shed-pset", "policy budget", "i=0.00", "i=1.00", "ADAPT-L", "ADAPT-R",
+		"mean level"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The degradation study is seed-stable for the same reason the faults
+// study is: workloads and fault scenarios are derived from the master
+// seed alone, and outcomes fold in index order.
+func TestRunDegradeStudyDeterministic(t *testing.T) {
+	render := func(workers string) string {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-study", "degrade", "-graphs", "4", "-seed", "7",
+			"-workers", workers}, &out, &errBuf); code != 0 {
+			t.Fatalf("exit %d: %s", code, errBuf.String())
+		}
+		return out.String()
+	}
+	if a, b := render("1"), render("5"); a != b {
+		t.Errorf("same seed, different tables:\n--- workers=1\n%s--- workers=5\n%s", a, b)
+	}
+}
+
 func TestRunMarginsStudy(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"-study", "margins", "-graphs", "4"}, &out, &errBuf); code != 0 {

@@ -21,6 +21,14 @@
 // measures (ScaledFaultPlan, MaterializeFaults, InjectFaults; `go run
 // ./cmd/sweep -study faults`).
 //
+// When overload exceeds every margin, the graceful-degradation
+// subsystem (internal/degrade) sheds quality instead of correctness:
+// tasks carry a Mandatory/Optional criticality, DegradeModes builds a
+// ladder of re-planned reduced operating modes whose mandatory subgraph
+// survives at every level, and the online ModeController escalates
+// under overload and re-admits shed work through bounded, backed-off
+// probes (DegradeStudy; `go run ./cmd/sweep -study degrade`).
+//
 // This root package is the public API: it re-exports the stable types
 // and provides the Pipeline convenience for the common
 // generate → estimate → slice → schedule → replay flow. The underlying

@@ -1,0 +1,186 @@
+package degrade
+
+import "fmt"
+
+// ControllerOptions tunes the online mode-change controller.
+type ControllerOptions struct {
+	// MaxLevel is the highest mode level the controller may escalate to
+	// (the top of the ladder Modes built).
+	MaxLevel int
+	// CleanStreak is the number of consecutive clean frames required
+	// before the controller probes one level down (default 3).
+	CleanStreak int
+	// Backoff multiplies the required clean streak after every failed
+	// re-admission probe (default 2), so a marginal system probes ever
+	// more rarely instead of oscillating.
+	Backoff float64
+	// MaxReadmissions bounds the failed re-admission probes before the
+	// controller locks at its current level for good (default 3).
+	MaxReadmissions int
+}
+
+// withDefaults fills the zero fields.
+func (o ControllerOptions) withDefaults() ControllerOptions {
+	if o.CleanStreak <= 0 {
+		o.CleanStreak = 3
+	}
+	if o.Backoff < 1 {
+		o.Backoff = 2
+	}
+	if o.MaxReadmissions <= 0 {
+		o.MaxReadmissions = 3
+	}
+	return o
+}
+
+// Observation is what the controller sees of one executed frame: the
+// degradation accounting of the fault-injected run of the current mode.
+type Observation struct {
+	// MandatoryMisses counts mandatory tasks that missed (or were never
+	// placed). Any non-zero value makes the frame inadmissible.
+	MandatoryMisses int
+	// OptionalMisses counts optional tasks that missed — quality the
+	// current mode promised but failed to deliver, so the controller
+	// treats it as overload too (a higher mode stops promising it).
+	OptionalMisses int
+	// Overruns counts observed WCET overruns (informational; overruns
+	// absorbed by slack do not make a frame hot).
+	Overruns int
+	// Aborts counts executions lost to processor failures.
+	Aborts int
+}
+
+// Hot reports whether the frame shows overload the controller must
+// react to: any missed work or lost execution.
+func (o Observation) Hot() bool {
+	return o.MandatoryMisses > 0 || o.OptionalMisses > 0 || o.Aborts > 0
+}
+
+// Cause classifies a controller transition.
+type Cause int
+
+const (
+	// Hold: no change this frame.
+	Hold Cause = iota
+	// Escalate: overload at the current level, moved one level up.
+	Escalate
+	// Saturated: overload at the top level with nowhere left to go.
+	Saturated
+	// Probe: a sustained clean streak, probing one level down.
+	Probe
+	// ProbeFailed: the frame after a probe was hot — back up a level,
+	// clean-streak requirement backed off.
+	ProbeFailed
+	// Readmitted: the frame after a probe was clean — the lower level
+	// is re-admitted and the streak requirement resets.
+	Readmitted
+	// Locked: too many failed probes; the controller stays at its
+	// current level permanently.
+	Locked
+)
+
+// String implements fmt.Stringer.
+func (c Cause) String() string {
+	switch c {
+	case Hold:
+		return "hold"
+	case Escalate:
+		return "escalate"
+	case Saturated:
+		return "saturated"
+	case Probe:
+		return "probe"
+	case ProbeFailed:
+		return "probe-failed"
+	case Readmitted:
+		return "readmitted"
+	case Locked:
+		return "locked"
+	}
+	return fmt.Sprintf("Cause(%d)", int(c))
+}
+
+// Transition records one controller decision.
+type Transition struct {
+	// From and To are the mode levels before and after the decision.
+	From, To int
+	// Cause says why.
+	Cause Cause
+}
+
+// Controller is the online mode-change state machine. Escalation is
+// immediate (an overloaded frame is evidence enough); de-escalation is
+// hysteretic (a sustained clean streak earns a one-level probe, a hot
+// probe is rolled back and the streak requirement backed off, and after
+// MaxReadmissions failed probes the controller locks). The mandatory
+// set is safe at every reachable level by Modes' construction, so no
+// controller state ever abandons it.
+type Controller struct {
+	opt      ControllerOptions
+	level    int
+	streak   int
+	required int  // current clean-streak requirement (grows by Backoff)
+	fails    int  // failed re-admission probes so far
+	probing  bool // last transition was a downward probe awaiting its frame
+	locked   bool
+}
+
+// NewController returns a controller starting at level 0 (the full
+// application).
+func NewController(opt ControllerOptions) *Controller {
+	opt = opt.withDefaults()
+	return &Controller{opt: opt, required: opt.CleanStreak}
+}
+
+// Level returns the current mode level.
+func (c *Controller) Level() int { return c.level }
+
+// LockedOut reports whether re-admission is permanently disabled.
+func (c *Controller) LockedOut() bool { return c.locked }
+
+// Observe feeds one frame's outcome to the controller and returns the
+// transition it decides.
+func (c *Controller) Observe(obs Observation) Transition {
+	from := c.level
+	switch {
+	case obs.Hot() && c.probing:
+		// The probe frame itself was hot: roll back up and back off.
+		c.probing = false
+		c.fails++
+		c.required = int(float64(c.required)*c.opt.Backoff + 0.5)
+		if c.level < c.opt.MaxLevel {
+			c.level++
+		}
+		c.streak = 0
+		if c.fails >= c.opt.MaxReadmissions {
+			c.locked = true
+			return Transition{From: from, To: c.level, Cause: Locked}
+		}
+		return Transition{From: from, To: c.level, Cause: ProbeFailed}
+
+	case obs.Hot():
+		c.streak = 0
+		if c.level >= c.opt.MaxLevel {
+			return Transition{From: from, To: c.level, Cause: Saturated}
+		}
+		c.level++
+		return Transition{From: from, To: c.level, Cause: Escalate}
+
+	case c.probing:
+		// The probe frame ran clean: the lower level is re-admitted.
+		c.probing = false
+		c.required = c.opt.CleanStreak
+		c.streak = 1
+		return Transition{From: from, To: c.level, Cause: Readmitted}
+
+	default:
+		c.streak++
+		if c.level > 0 && !c.locked && c.streak >= c.required {
+			c.level--
+			c.probing = true
+			c.streak = 0
+			return Transition{From: from, To: c.level, Cause: Probe}
+		}
+		return Transition{From: from, To: c.level, Cause: Hold}
+	}
+}

@@ -1,0 +1,371 @@
+// Package degrade implements graceful degradation for mixed-criticality
+// task graphs, in the imprecise-computation tradition: every task is
+// either Mandatory (its deadline must hold in every operating mode) or
+// Optional (it adds value when it completes in time but may be shed
+// under overload).
+//
+// A degradation Policy turns one task graph into a ladder of operating
+// Modes: level 0 is the full application, each higher level sheds (or
+// shrinks) more optional work, and the mandatory subgraph survives at
+// every level by construction. Mode graphs are real reduced task graphs
+// — the deadline-distribution step re-slices their end-to-end deadlines
+// and the dispatcher re-verifies them — so a mode is not a scheduling
+// heuristic but a full re-planned application.
+//
+// The Controller is the online half: it watches the degradation
+// accounting of the fault-injected executor (package sim) frame by
+// frame and moves along the mode ladder — escalating on overload,
+// de-escalating only after a sustained clean streak, with bounded,
+// backed-off re-admission probes so a marginal system cannot oscillate.
+// It never proposes a mode that abandons the mandatory set, because no
+// such mode exists.
+package degrade
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// Policy selects how optional work is degraded as the level rises.
+type Policy int
+
+const (
+	// None builds only the full-application mode: degradation disabled.
+	// With None the study machinery reduces exactly to the plain
+	// fault-injection study, which anchors the zero-degradation identity
+	// property.
+	None Policy = iota
+	// ShedLowestValue sheds sheddable optional tasks cheapest-first (by
+	// value weight), maximizing retained value per shed task.
+	ShedLowestValue
+	// ShedLargestParallelSet sheds sheddable optional tasks with the
+	// largest parallel sets first: tasks that compete with the most
+	// other work are the ones whose removal relieves contention the
+	// most (the same |Ψᵢ| signal the ADAPT-L metric prices).
+	ShedLargestParallelSet
+	// ProportionalBudget keeps every task but shrinks the execution
+	// budget of all optional tasks proportionally — the milestone-style
+	// imprecise-computation model where optional parts refine a result
+	// and can be cut anywhere. The final level sheds the sheddable
+	// tasks entirely.
+	ProportionalBudget
+)
+
+// Policies lists the active degradation policies in presentation order.
+var Policies = []Policy{ShedLowestValue, ShedLargestParallelSet, ProportionalBudget}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case None:
+		return "none"
+	case ShedLowestValue:
+		return "shed-value"
+	case ShedLargestParallelSet:
+		return "shed-pset"
+	case ProportionalBudget:
+		return "budget"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// DefaultLevels is the mode-ladder depth used when Options.Levels is 0.
+const DefaultLevels = 3
+
+// Options configures mode-ladder construction.
+type Options struct {
+	// Policy selects the degradation policy (None disables shedding).
+	Policy Policy
+	// Levels is the number of degraded levels above the full mode
+	// (default DefaultLevels). Level ℓ targets shedding a value
+	// fraction ℓ/Levels of the total sheddable value.
+	Levels int
+}
+
+// Mode is one operating point of the degradation ladder.
+type Mode struct {
+	// Level is the mode's position on the ladder (0 = full application).
+	Level int
+	// Graph is the mode's task graph: the original graph at level 0
+	// (same pointer), a reduced frozen copy above.
+	Graph *taskgraph.Graph
+	// New2Old maps the mode graph's task IDs back to the original
+	// graph's; Old2New is the inverse with −1 for shed tasks.
+	New2Old, Old2New []int
+	// Quality is the value fraction the mode retains, in (0, 1]: the
+	// value-weight sum of its (unshrunk) tasks over the original total.
+	// Strictly decreasing up the ladder.
+	Quality float64
+	// Shed counts original tasks absent from this mode.
+	Shed int
+	// BudgetFactor is the execution-budget scale applied to optional
+	// tasks (1 except under ProportionalBudget).
+	BudgetFactor float64
+}
+
+// Modes builds the degradation ladder for g under the options: modes[0]
+// is always the full application, and each subsequent mode sheds or
+// shrinks strictly more optional value than the one before (levels that
+// would change nothing are dropped, so the ladder can be shorter than
+// Options.Levels+1). The graph must be frozen. Mandatory tasks appear
+// in every mode, and every kept precedence constraint of the original
+// graph is preserved; outputs exposed by shedding inherit the tightest
+// end-to-end deadline of the original outputs they used to feed, so
+// every mode re-slices cleanly.
+func Modes(g *taskgraph.Graph, opt Options) ([]*Mode, error) {
+	levels := opt.Levels
+	if levels == 0 {
+		levels = DefaultLevels
+	}
+	if levels < 0 {
+		return nil, fmt.Errorf("degrade: Levels %d is negative", levels)
+	}
+	switch opt.Policy {
+	case None, ShedLowestValue, ShedLargestParallelSet, ProportionalBudget:
+	default:
+		return nil, fmt.Errorf("degrade: unknown policy %v", opt.Policy)
+	}
+
+	n := g.NumTasks()
+	ident := make([]int, n)
+	for i := range ident {
+		ident[i] = i
+	}
+	modes := []*Mode{{
+		Level: 0, Graph: g,
+		New2Old: ident, Old2New: append([]int(nil), ident...),
+		Quality: 1, BudgetFactor: 1,
+	}}
+	if opt.Policy == None {
+		return modes, nil
+	}
+
+	var totalValue, optValue float64
+	for _, t := range g.Tasks() {
+		v := t.ValueWeight()
+		totalValue += v
+		if t.Criticality == taskgraph.Optional {
+			optValue += v
+		}
+	}
+	if optValue == 0 {
+		return modes, nil // all-mandatory: nothing to degrade
+	}
+
+	if opt.Policy == ProportionalBudget {
+		return budgetModes(g, modes, levels, totalValue, optValue)
+	}
+	return shedModes(g, modes, opt.Policy, levels, totalValue)
+}
+
+// shedModes builds the ladder for the shedding policies: a single
+// policy-ordered walk over the sheddable tasks, cut into nested
+// cumulative shed sets targeting value fractions ℓ/levels.
+func shedModes(g *taskgraph.Graph, modes []*Mode, pol Policy, levels int,
+	totalValue float64) ([]*Mode, error) {
+
+	sheddable := g.Sheddable()
+	var cands []int
+	var shedValue float64
+	for id, ok := range sheddable {
+		if ok {
+			cands = append(cands, id)
+			shedValue += g.Task(id).ValueWeight()
+		}
+	}
+	if len(cands) == 0 {
+		return modes, nil
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		ta, tb := g.Task(cands[a]), g.Task(cands[b])
+		switch pol {
+		case ShedLargestParallelSet:
+			pa, pb := g.ParallelSetSize(cands[a]), g.ParallelSetSize(cands[b])
+			if pa != pb {
+				return pa > pb
+			}
+		default: // ShedLowestValue
+			if ta.ValueWeight() != tb.ValueWeight() {
+				return ta.ValueWeight() < tb.ValueWeight()
+			}
+		}
+		return cands[a] < cands[b]
+	})
+
+	inherited := g.InheritedETE()
+	inShed := make([]bool, g.NumTasks())
+	var accum float64
+	ci := 0
+	for l := 1; l <= levels; l++ {
+		target := shedValue * float64(l) / float64(levels)
+		for accum < target*(1-1e-9) && ci < len(cands) {
+			c := cands[ci]
+			ci++
+			if inShed[c] {
+				continue
+			}
+			// Shed c together with its (all sheddable) descendants, so
+			// the shed set stays closed.
+			accum += shedTree(g, c, inShed)
+		}
+		m, err := shedMode(g, inShed, inherited, len(modes), (totalValue-accum)/totalValue)
+		if err != nil {
+			return nil, err
+		}
+		if m == nil || m.Shed == modes[len(modes)-1].Shed {
+			continue // no progress at this level (or nothing would remain)
+		}
+		modes = append(modes, m)
+	}
+	return modes, nil
+}
+
+// shedTree marks id and its not-yet-shed descendants shed, returning the
+// value weight newly removed.
+func shedTree(g *taskgraph.Graph, id int, inShed []bool) float64 {
+	if inShed[id] {
+		return 0
+	}
+	inShed[id] = true
+	v := g.Task(id).ValueWeight()
+	for _, s := range g.Succs(id) {
+		v += shedTree(g, s, inShed)
+	}
+	return v
+}
+
+// shedMode materializes one reduced mode from a shed mask, or nil when
+// nothing would remain.
+func shedMode(g *taskgraph.Graph, inShed []bool, inherited []rtime.Time,
+	level int, quality float64) (*Mode, error) {
+
+	keep := make([]bool, len(inShed))
+	kept := 0
+	for i, s := range inShed {
+		keep[i] = !s
+		if keep[i] {
+			kept++
+		}
+	}
+	if kept == 0 {
+		return nil, nil
+	}
+	ng, old2new, new2old, err := g.Induce(keep)
+	if err != nil {
+		return nil, err
+	}
+	if err := inheritDeadlines(g, ng, keep, old2new, inherited); err != nil {
+		return nil, err
+	}
+	if err := ng.Freeze(); err != nil {
+		return nil, err
+	}
+	return &Mode{
+		Level: level, Graph: ng,
+		New2Old: new2old, Old2New: old2new,
+		Quality: quality, Shed: len(inShed) - kept, BudgetFactor: 1,
+	}, nil
+}
+
+// inheritDeadlines assigns end-to-end deadlines to tasks that shedding
+// turned into outputs: a kept task with no kept successor and no
+// deadline of its own inherits the tightest deadline among the original
+// outputs it reached, so the reduced graph's deadline distribution is
+// never looser than any constraint the task was originally under.
+func inheritDeadlines(g *taskgraph.Graph, ng *taskgraph.Graph, keep []bool,
+	old2new []int, inherited []rtime.Time) error {
+
+	for oi, k := range keep {
+		if !k {
+			continue
+		}
+		keptSucc := false
+		for _, s := range g.Succs(oi) {
+			if keep[s] {
+				keptSucc = true
+				break
+			}
+		}
+		if keptSucc || g.Task(oi).ETEDeadline.IsSet() {
+			continue
+		}
+		d := inherited[oi]
+		if !d.IsSet() {
+			return fmt.Errorf("degrade: task %d exposed as output but no reachable original output has a deadline", oi)
+		}
+		ng.Task(old2new[oi]).ETEDeadline = d
+	}
+	return nil
+}
+
+// budgetModes builds the ProportionalBudget ladder: level ℓ < levels
+// scales every optional task's execution budget by 1−ℓ/levels; the
+// final level sheds the sheddable tasks outright and clamps any
+// remaining (unsheddable) optional task to a one-unit budget.
+func budgetModes(g *taskgraph.Graph, modes []*Mode, levels int,
+	totalValue, optValue float64) ([]*Mode, error) {
+
+	n := g.NumTasks()
+	keepAll := make([]bool, n)
+	for i := range keepAll {
+		keepAll[i] = true
+	}
+	for l := 1; l < levels; l++ {
+		factor := 1 - float64(l)/float64(levels)
+		ng, old2new, new2old, err := g.Induce(keepAll)
+		if err != nil {
+			return nil, err
+		}
+		scaleOptional(ng, factor)
+		if err := ng.Freeze(); err != nil {
+			return nil, err
+		}
+		modes = append(modes, &Mode{
+			Level: len(modes), Graph: ng,
+			New2Old: new2old, Old2New: old2new,
+			Quality:      (totalValue - optValue + factor*optValue) / totalValue,
+			BudgetFactor: factor,
+		})
+	}
+	// Final level: the sheddable tasks go entirely; optional tasks that
+	// cannot be shed (they feed mandatory work) keep a one-unit budget.
+	inShed := g.Sheddable()
+	inherited := g.InheritedETE()
+	m, err := shedMode(g, inShed, inherited, len(modes), (totalValue-optValue)/totalValue)
+	if err != nil {
+		return nil, err
+	}
+	if m != nil {
+		scaleOptional(m.Graph, 0)
+		m.BudgetFactor = 0
+		modes = append(modes, m)
+	}
+	return modes, nil
+}
+
+// scaleOptional rescales the per-class execution budgets of every
+// optional task of a graph copy by factor, never below one unit. The
+// frozen-graph invariants (topology, reachability) never read WCET, so
+// scaling is safe both before Freeze (the interior budget levels) and
+// after (the final shed level returned frozen by shedMode).
+func scaleOptional(ng *taskgraph.Graph, factor float64) {
+	for _, t := range ng.Tasks() {
+		if t.Criticality != taskgraph.Optional {
+			continue
+		}
+		for k, c := range t.WCET {
+			if !c.IsSet() {
+				continue
+			}
+			v := rtime.Time(math.Ceil(factor * float64(c)))
+			if v < 1 {
+				v = 1
+			}
+			t.WCET[k] = v
+		}
+	}
+}

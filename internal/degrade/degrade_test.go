@@ -1,0 +1,297 @@
+package degrade
+
+import (
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+func c1(v rtime.Time) []rtime.Time { return []rtime.Time{v} }
+
+// mixed builds the reference mixed-criticality graph:
+//
+//	A(m) → B(m) → E(o, 0.5, ETE 90)
+//	A(m) → C(o, 2) → D(o, 2, ETE 100)
+//
+// Values: A=B=1 (default), C=D=2, E=0.5; total 6.5, sheddable 4.5.
+func mixed(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g := taskgraph.NewGraph(1)
+	a := g.MustAddTask("A", c1(10), 0)
+	b := g.MustAddTask("B", c1(10), 0)
+	cc := g.MustAddTask("C", c1(10), 0)
+	d := g.MustAddTask("D", c1(10), 0)
+	e := g.MustAddTask("E", c1(10), 0)
+	cc.Criticality, cc.Value = taskgraph.Optional, 2
+	d.Criticality, d.Value = taskgraph.Optional, 2
+	e.Criticality, e.Value = taskgraph.Optional, 0.5
+	d.ETEDeadline = 100
+	e.ETEDeadline = 90
+	g.MustAddArc(a.ID, b.ID, 1)
+	g.MustAddArc(a.ID, cc.ID, 1)
+	g.MustAddArc(cc.ID, d.ID, 1)
+	g.MustAddArc(b.ID, e.ID, 1)
+	g.MustFreeze()
+	return g
+}
+
+// checkLadder asserts the invariants every mode ladder must satisfy.
+func checkLadder(t *testing.T, g *taskgraph.Graph, modes []*Mode) {
+	t.Helper()
+	if len(modes) == 0 || modes[0].Graph != g || modes[0].Quality != 1 || modes[0].Shed != 0 {
+		t.Fatalf("mode 0 is not the full application: %+v", modes[0])
+	}
+	for l, m := range modes {
+		if m.Level != l {
+			t.Errorf("modes[%d].Level = %d", l, m.Level)
+		}
+		if l > 0 && m.Quality >= modes[l-1].Quality {
+			t.Errorf("quality not strictly decreasing at level %d: %v then %v",
+				l, modes[l-1].Quality, m.Quality)
+		}
+		if !m.Graph.Frozen() {
+			t.Fatalf("mode %d graph not frozen", l)
+		}
+		// Every mandatory task survives in every mode.
+		for _, ot := range g.Tasks() {
+			if ot.Criticality == taskgraph.Mandatory && m.Old2New[ot.ID] < 0 {
+				t.Errorf("mode %d shed mandatory task %d", l, ot.ID)
+			}
+		}
+		// Every mode output carries an end-to-end deadline, so the mode
+		// re-slices cleanly.
+		for _, out := range m.Graph.Outputs() {
+			if !m.Graph.Task(out).ETEDeadline.IsSet() {
+				t.Errorf("mode %d output %d has no deadline", l, out)
+			}
+		}
+		// Map consistency.
+		for ni, oi := range m.New2Old {
+			if m.Old2New[oi] != ni {
+				t.Errorf("mode %d map mismatch at new task %d", l, ni)
+			}
+		}
+	}
+}
+
+func TestModesNone(t *testing.T) {
+	g := mixed(t)
+	modes, err := Modes(g, Options{Policy: None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 1 {
+		t.Fatalf("None built %d modes, want 1", len(modes))
+	}
+	checkLadder(t, g, modes)
+}
+
+func TestModesAllMandatory(t *testing.T) {
+	g := taskgraph.NewGraph(1)
+	a := g.MustAddTask("A", c1(10), 0)
+	b := g.MustAddTask("B", c1(10), 0)
+	b.ETEDeadline = 50
+	g.MustAddArc(a.ID, b.ID, 1)
+	g.MustFreeze()
+	for _, pol := range Policies {
+		modes, err := Modes(g, Options{Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(modes) != 1 {
+			t.Errorf("%v on all-mandatory graph built %d modes, want 1", pol, len(modes))
+		}
+	}
+}
+
+func TestModesShedLowestValue(t *testing.T) {
+	g := mixed(t)
+	modes, err := Modes(g, Options{Policy: ShedLowestValue, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLadder(t, g, modes)
+	// Cheapest-first: E (0.5) goes first, then the C subtree drags D
+	// along; every later level target is already met, so one shed level.
+	if len(modes) != 2 {
+		t.Fatalf("built %d modes, want 2", len(modes))
+	}
+	m := modes[1]
+	if m.Shed != 3 {
+		t.Errorf("level 1 shed %d tasks, want 3", m.Shed)
+	}
+	// B lost its only successor E and must inherit E's deadline.
+	nb := m.Old2New[1]
+	if d := m.Graph.Task(nb).ETEDeadline; d != 90 {
+		t.Errorf("exposed output B inherited deadline %v, want 90", d)
+	}
+}
+
+func TestModesShedLargestParallelSet(t *testing.T) {
+	g := mixed(t)
+	modes, err := Modes(g, Options{Policy: ShedLargestParallelSet, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLadder(t, g, modes)
+	// C's subtree (value 4) first, then E: two distinct shed levels.
+	if len(modes) != 3 {
+		t.Fatalf("built %d modes, want 3", len(modes))
+	}
+	if modes[1].Shed != 2 || modes[2].Shed != 3 {
+		t.Errorf("shed counts %d, %d; want 2, 3", modes[1].Shed, modes[2].Shed)
+	}
+}
+
+func TestModesProportionalBudget(t *testing.T) {
+	g := mixed(t)
+	modes, err := Modes(g, Options{Policy: ProportionalBudget, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLadder(t, g, modes)
+	if len(modes) != 4 {
+		t.Fatalf("built %d modes, want 4", len(modes))
+	}
+	// Interior levels keep every task but shrink optional budgets.
+	for l := 1; l <= 2; l++ {
+		m := modes[l]
+		if m.Shed != 0 || m.Graph.NumTasks() != g.NumTasks() {
+			t.Errorf("budget level %d sheds tasks", l)
+		}
+		wantW := rtime.Time(7) // ceil(10·2/3)
+		if l == 2 {
+			wantW = 4 // ceil(10·1/3)
+		}
+		if w := m.Graph.Task(m.Old2New[2]).WCET[0]; w != wantW {
+			t.Errorf("level %d optional budget %v, want %v", l, w, wantW)
+		}
+		if w := m.Graph.Task(m.Old2New[0]).WCET[0]; w != 10 {
+			t.Errorf("level %d mandatory budget %v, want 10", l, w)
+		}
+	}
+	// The final level sheds the sheddable tasks outright.
+	last := modes[3]
+	if last.Shed != 3 || last.BudgetFactor != 0 {
+		t.Errorf("final budget level: shed %d, factor %v; want 3, 0", last.Shed, last.BudgetFactor)
+	}
+	// The original graph's budgets are untouched throughout.
+	if g.Task(2).WCET[0] != 10 {
+		t.Errorf("original graph budget mutated to %v", g.Task(2).WCET[0])
+	}
+}
+
+func TestModesBadOptions(t *testing.T) {
+	g := mixed(t)
+	if _, err := Modes(g, Options{Policy: Policy(42)}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := Modes(g, Options{Policy: ShedLowestValue, Levels: -1}); err == nil {
+		t.Error("negative Levels accepted")
+	}
+}
+
+func TestControllerEscalation(t *testing.T) {
+	c := NewController(ControllerOptions{MaxLevel: 2, CleanStreak: 2})
+	hot := Observation{MandatoryMisses: 1}
+	if tr := c.Observe(hot); tr.Cause != Escalate || tr.To != 1 {
+		t.Fatalf("transition %+v, want escalate to 1", tr)
+	}
+	if tr := c.Observe(hot); tr.Cause != Escalate || tr.To != 2 {
+		t.Fatalf("transition %+v, want escalate to 2", tr)
+	}
+	if tr := c.Observe(hot); tr.Cause != Saturated || tr.To != 2 {
+		t.Fatalf("transition %+v, want saturated at 2", tr)
+	}
+}
+
+func TestControllerHysteresisAndBackoff(t *testing.T) {
+	c := NewController(ControllerOptions{MaxLevel: 2, CleanStreak: 2, Backoff: 2, MaxReadmissions: 3})
+	hot := Observation{OptionalMisses: 1}
+	var clean Observation
+	c.Observe(hot)
+	c.Observe(hot) // at level 2
+	if tr := c.Observe(clean); tr.Cause != Hold {
+		t.Fatalf("transition %+v, want hold", tr)
+	}
+	if tr := c.Observe(clean); tr.Cause != Probe || tr.To != 1 {
+		t.Fatalf("transition %+v, want probe to 1", tr)
+	}
+	// The probe frame is hot: rolled back, requirement doubled to 4.
+	if tr := c.Observe(hot); tr.Cause != ProbeFailed || tr.To != 2 {
+		t.Fatalf("transition %+v, want probe-failed back to 2", tr)
+	}
+	for i := 0; i < 3; i++ {
+		if tr := c.Observe(clean); tr.Cause != Hold {
+			t.Fatalf("clean frame %d: %+v, want hold (backed-off streak)", i, tr)
+		}
+	}
+	if tr := c.Observe(clean); tr.Cause != Probe || tr.To != 1 {
+		t.Fatalf("transition %+v, want probe to 1 after backed-off streak", tr)
+	}
+	// The probe frame is clean: re-admitted, requirement resets to 2.
+	if tr := c.Observe(clean); tr.Cause != Readmitted || tr.To != 1 {
+		t.Fatalf("transition %+v, want readmitted at 1", tr)
+	}
+	if tr := c.Observe(clean); tr.Cause != Probe || tr.To != 0 {
+		t.Fatalf("transition %+v, want probe to 0 (reset streak)", tr)
+	}
+	if tr := c.Observe(clean); tr.Cause != Readmitted || tr.To != 0 {
+		t.Fatalf("transition %+v, want readmitted at 0", tr)
+	}
+	if c.Level() != 0 {
+		t.Errorf("final level %d, want 0", c.Level())
+	}
+}
+
+func TestControllerLockout(t *testing.T) {
+	c := NewController(ControllerOptions{MaxLevel: 1, CleanStreak: 1, MaxReadmissions: 1})
+	hot := Observation{Aborts: 1}
+	var clean Observation
+	c.Observe(hot) // level 1
+	if tr := c.Observe(clean); tr.Cause != Probe || tr.To != 0 {
+		t.Fatalf("transition %+v, want probe to 0", tr)
+	}
+	if tr := c.Observe(hot); tr.Cause != Locked || tr.To != 1 {
+		t.Fatalf("transition %+v, want locked at 1", tr)
+	}
+	if !c.LockedOut() {
+		t.Fatal("controller not locked out")
+	}
+	for i := 0; i < 5; i++ {
+		if tr := c.Observe(clean); tr.Cause != Hold || tr.To != 1 {
+			t.Fatalf("locked controller moved: %+v", tr)
+		}
+	}
+}
+
+func TestObservationHot(t *testing.T) {
+	cases := []struct {
+		obs  Observation
+		want bool
+	}{
+		{Observation{}, false},
+		{Observation{Overruns: 3}, false}, // absorbed overruns are fine
+		{Observation{MandatoryMisses: 1}, true},
+		{Observation{OptionalMisses: 1}, true},
+		{Observation{Aborts: 1}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.obs.Hot(); got != tc.want {
+			t.Errorf("Hot(%+v) = %v, want %v", tc.obs, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{
+		None: "none", ShedLowestValue: "shed-value",
+		ShedLargestParallelSet: "shed-pset", ProportionalBudget: "budget",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/degrade"
+	"repro/internal/gen"
+	"repro/internal/slicing"
+	"repro/internal/wcet"
+)
+
+func smallDegradeConfig(metric slicing.Metric, optProb float64, pol degrade.Policy) DegradeConfig {
+	g := gen.Default(3)
+	g.OLR = DefaultOLR
+	g.OptionalProb = optProb
+	return DegradeConfig{
+		Gen:         g,
+		Metric:      metric,
+		Params:      slicing.CalibratedParams(),
+		WCET:        wcet.AVG,
+		NumGraphs:   25,
+		MasterSeed:  42,
+		Intensities: []float64{0, 0.4, 0.8, 1},
+		Degrade:     degrade.Options{Policy: pol},
+	}
+}
+
+// Zero-degradation identity: with no optional tasks, or with the policy
+// disabled, the study's baseline points must be byte-identical to the
+// plain fault study at every intensity of the ramp — the degradation
+// machinery is a strict superset.
+func TestDegradeRunIdentity(t *testing.T) {
+	cases := []struct {
+		name    string
+		optProb float64
+		pol     degrade.Policy
+	}{
+		{"all-mandatory", 0, degrade.ShedLowestValue},
+		{"policy-none", 0.4, degrade.None},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallDegradeConfig(slicing.AdaptL(), tc.optProb, tc.pol)
+			curve, err := DegradeRun(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, intensity := range cfg.Intensities {
+				fcfg := FaultConfig{
+					Gen: cfg.Gen, Metric: cfg.Metric, Params: cfg.Params,
+					WCET: cfg.WCET, NumGraphs: cfg.NumGraphs,
+					MasterSeed: cfg.MasterSeed, Intensity: intensity,
+				}
+				want := FaultRun(fcfg)
+				if !reflect.DeepEqual(curve.Points[p].Fault, want) {
+					t.Errorf("intensity %v: baseline diverged from FaultRun:\n got %+v\nwant %+v",
+						intensity, curve.Points[p].Fault, want)
+				}
+				// With a single-mode ladder the achieved value is 1
+				// wherever the mandatory (= whole) set held.
+				pt := curve.Points[p]
+				if pt.Escalations != 0 || pt.ModeErrors != 0 {
+					t.Errorf("intensity %v: single-mode ladder escalated", intensity)
+				}
+			}
+		})
+	}
+}
+
+// The study's headline guarantees: the achieved-value curve is
+// non-increasing along the intensity ramp, and every admitted workload
+// held its mandatory deadlines.
+func TestDegradeRunMonotoneValue(t *testing.T) {
+	for _, pol := range degrade.Policies {
+		cfg := smallDegradeConfig(slicing.AdaptL(), 0.5, pol)
+		curve, err := DegradeRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, pt := range curve.Points {
+			if pt.Errors != 0 {
+				t.Fatalf("%v intensity %v: %d errors", pol, curve.Intensities[p], pt.Errors)
+			}
+			// Admission implies a mandatory-clean frame: the two counts
+			// must partition the sample.
+			if pt.MandatoryMet.Succ+pt.Rejected != cfg.NumGraphs {
+				t.Errorf("%v intensity %v: %d mandatory-clean + %d rejected ≠ %d workloads",
+					pol, curve.Intensities[p], pt.MandatoryMet.Succ, pt.Rejected, cfg.NumGraphs)
+			}
+			if p == 0 {
+				continue
+			}
+			prev := curve.Points[p-1]
+			if pt.Value.Mean() > prev.Value.Mean()+1e-12 {
+				t.Errorf("%v: value rose %.4f → %.4f at intensity %v",
+					pol, prev.Value.Mean(), pt.Value.Mean(), curve.Intensities[p])
+			}
+			if pt.Level.Mean() < prev.Level.Mean()-1e-12 {
+				t.Errorf("%v: admitted level fell %.3f → %.3f at intensity %v",
+					pol, prev.Level.Mean(), pt.Level.Mean(), curve.Intensities[p])
+			}
+			if pt.Rejected < prev.Rejected {
+				t.Errorf("%v: rejection latch released: %d → %d",
+					pol, prev.Rejected, pt.Rejected)
+			}
+		}
+		// At full intensity something must actually have degraded, or
+		// the study exercises nothing.
+		last := curve.Points[len(curve.Points)-1]
+		if last.Escalations == 0 && last.Rejected == 0 && last.Saturated == 0 {
+			t.Errorf("%v: full intensity triggered no degradation at all", pol)
+		}
+	}
+}
+
+// At intensity 0 nothing is hot, so every workload stays at level 0 with
+// full value.
+func TestDegradeRunNominalFullValue(t *testing.T) {
+	cfg := smallDegradeConfig(slicing.AdaptL(), 0.5, degrade.ShedLowestValue)
+	cfg.Intensities = []float64{0}
+	curve, err := DegradeRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := curve.Points[0]
+	// Frames can only be hot at intensity 0 if the nominal schedule
+	// already misses; those escalate or reject. Everything admitted at
+	// level 0 carries value 1.
+	if pt.MandatoryMet.Succ > 0 && pt.Value.Mean() > 1 {
+		t.Errorf("value mean %v exceeds 1", pt.Value.Mean())
+	}
+	if pt.Level.Mean() > 0 && pt.Escalations == 0 {
+		t.Errorf("level mean %v with no escalations", pt.Level.Mean())
+	}
+}
+
+func TestDegradeRunConfigErrors(t *testing.T) {
+	cfg := smallDegradeConfig(slicing.PURE(), 0.3, degrade.ShedLowestValue)
+	cfg.Intensities = nil
+	if _, err := DegradeRun(cfg); err == nil {
+		t.Error("empty intensity ramp accepted")
+	}
+	cfg.Intensities = []float64{0.5, 0.2}
+	if _, err := DegradeRun(cfg); err == nil {
+		t.Error("descending intensity ramp accepted")
+	}
+}
+
+// The curve must be byte-identical regardless of worker count: the
+// index-ordered fold erases scheduling nondeterminism.
+func TestDegradeRunWorkerInvariance(t *testing.T) {
+	cfg := smallDegradeConfig(slicing.AdaptG(), 0.5, degrade.ProportionalBudget)
+	cfg.NumGraphs = 10
+	cfg.Intensities = []float64{0, 1}
+	cfg.Workers = 1
+	a, err := DegradeRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 7
+	b, err := DegradeRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("curve depends on worker count")
+	}
+}

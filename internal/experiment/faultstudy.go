@@ -81,24 +81,30 @@ func FaultRun(cfg FaultConfig) FaultPoint {
 			point.Errors++
 			continue
 		}
-		o := outs[i].(faultOutcome)
-		d := o.deg
-		point.Success.Add(d.Misses == 0)
-		point.MissRatio.Add(d.MissRatio())
-		if o.outputs > 0 {
-			point.ETEMissRatio.Add(float64(d.ETEMisses) / float64(o.outputs))
-		}
-		point.MeanLateness.Add(d.MeanLateness)
-		point.MaxLateness.Add(float64(d.MaxLateness))
-		if d.FirstMiss.IsSet() {
-			point.FirstMiss.Add(float64(d.FirstMiss))
-		}
-		point.Overruns += d.Overruns
-		point.Aborted += d.Aborted
-		point.Migrations += d.Migrations
-		point.Reclamations += d.Reclamations
+		point.fold(outs[i].(faultOutcome))
 	}
 	return point
+}
+
+// fold accumulates one workload outcome into the point. DegradeRun
+// reuses it so its per-intensity baseline points stay byte-identical to
+// FaultRun's.
+func (point *FaultPoint) fold(o faultOutcome) {
+	d := o.deg
+	point.Success.Add(d.Misses == 0)
+	point.MissRatio.Add(d.MissRatio())
+	if o.outputs > 0 {
+		point.ETEMissRatio.Add(float64(d.ETEMisses) / float64(o.outputs))
+	}
+	point.MeanLateness.Add(d.MeanLateness)
+	point.MaxLateness.Add(float64(d.MaxLateness))
+	if d.FirstMiss.IsSet() {
+		point.FirstMiss.Add(float64(d.FirstMiss))
+	}
+	point.Overruns += d.Overruns
+	point.Aborted += d.Aborted
+	point.Migrations += d.Migrations
+	point.Reclamations += d.Reclamations
 }
 
 // faultOutcome is the per-workload result FaultRun folds.

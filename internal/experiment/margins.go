@@ -144,6 +144,9 @@ func perturbTrace(p wcet.Perturbation, m int, classOf func(q int) int) *faults.T
 // marginRunOne executes workload idx under its estimation-error draw.
 func marginRunOne(cfg MarginConfig, idx int) (marginOutcome, error) {
 	var o marginOutcome
+	if err := cfg.Model.Validate(); err != nil {
+		return o, err
+	}
 	gcfg := cfg.Gen
 	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
 	w, err := gen.Generate(gcfg)

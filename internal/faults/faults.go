@@ -73,29 +73,41 @@ func (p Plan) Zero() bool {
 	return p.OverrunProb <= 0 && p.SlowProb <= 0 && p.FailProb <= 0 && p.JitterProb <= 0
 }
 
-// Validate checks the plan for consistency.
+// Validate checks the plan for consistency. Violations are reported as
+// *ParamError values naming the rejected field; NaN and Inf are rejected
+// explicitly rather than slipping past range comparisons.
 func (p Plan) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+		prob bool
+	}{
+		{"OverrunProb", p.OverrunProb, true},
+		{"OverrunFactor", p.OverrunFactor, false},
+		{"SlowProb", p.SlowProb, true},
+		{"SlowFactor", p.SlowFactor, false},
+		{"FailProb", p.FailProb, true},
+		{"FailFrac", p.FailFrac, true},
+		{"JitterProb", p.JitterProb, true},
+	} {
+		var err *ParamError
+		if c.prob {
+			err = checkProb(c.name, c.v)
+		} else {
+			err = checkFactor(c.name, c.v)
+		}
+		if err != nil {
+			return err
+		}
+	}
 	switch {
-	case p.OverrunProb < 0 || p.OverrunProb > 1:
-		return fmt.Errorf("faults: OverrunProb %v outside [0, 1]", p.OverrunProb)
-	case p.OverrunFactor < 0:
-		return fmt.Errorf("faults: OverrunFactor %v", p.OverrunFactor)
 	case p.OverrunAdd < 0:
-		return fmt.Errorf("faults: OverrunAdd %d", p.OverrunAdd)
-	case p.SlowProb < 0 || p.SlowProb > 1:
-		return fmt.Errorf("faults: SlowProb %v outside [0, 1]", p.SlowProb)
-	case p.SlowFactor < 0:
-		return fmt.Errorf("faults: SlowFactor %v", p.SlowFactor)
-	case p.FailProb < 0 || p.FailProb > 1:
-		return fmt.Errorf("faults: FailProb %v outside [0, 1]", p.FailProb)
-	case p.FailFrac < 0 || p.FailFrac > 1:
-		return fmt.Errorf("faults: FailFrac %v outside [0, 1]", p.FailFrac)
-	case p.JitterProb < 0 || p.JitterProb > 1:
-		return fmt.Errorf("faults: JitterProb %v outside [0, 1]", p.JitterProb)
+		return &ParamError{Param: "OverrunAdd", Value: float64(p.OverrunAdd), Reason: "is negative"}
 	case p.JitterMax < 0:
-		return fmt.Errorf("faults: JitterMax %d", p.JitterMax)
+		return &ParamError{Param: "JitterMax", Value: float64(p.JitterMax), Reason: "is negative"}
 	case p.JitterProb > 0 && p.JitterMax < 1:
-		return fmt.Errorf("faults: JitterProb %v with JitterMax %d", p.JitterProb, p.JitterMax)
+		return &ParamError{Param: "JitterMax", Value: float64(p.JitterMax),
+			Reason: fmt.Sprintf("cannot host jitter with JitterProb %v", p.JitterProb)}
 	}
 	return nil
 }
@@ -209,6 +221,38 @@ func (t *Trace) Exec(i, q int, wcet rtime.Time) rtime.Time {
 // ExtraMsg returns the extra bus delay of the (from, to) message.
 func (t *Trace) ExtraMsg(from, to int) rtime.Time {
 	return t.MsgExtra[[2]int{from, to}]
+}
+
+// Project restricts the trace to a subgraph: new2old maps the reduced
+// graph's task IDs to the original ones the trace was materialized for.
+// Per-task perturbations follow the surviving tasks, per-processor state
+// (slowdowns, failure instants) is platform-wide and carries over
+// unchanged, and message jitter survives for arcs whose both endpoints
+// are kept. The graceful-degradation machinery uses this so that every
+// operating mode of a workload faces the *same* fault scenario — paired
+// comparison across degradation levels.
+func (t *Trace) Project(new2old []int) *Trace {
+	out := &Trace{
+		ExecScale: make([]float64, len(new2old)),
+		ExecAdd:   make([]rtime.Time, len(new2old)),
+		Slow:      append([]float64(nil), t.Slow...),
+		DownAt:    append([]rtime.Time(nil), t.DownAt...),
+		MsgExtra:  map[[2]int]rtime.Time{},
+	}
+	old2new := map[int]int{}
+	for ni, oi := range new2old {
+		out.ExecScale[ni] = t.ExecScale[oi]
+		out.ExecAdd[ni] = t.ExecAdd[oi]
+		old2new[oi] = ni
+	}
+	for arc, extra := range t.MsgExtra {
+		nf, okF := old2new[arc[0]]
+		nt, okT := old2new[arc[1]]
+		if okF && okT {
+			out.MsgExtra[[2]int{nf, nt}] = extra
+		}
+	}
+	return out
 }
 
 // Materialize draws one concrete fault trace for the given workload.

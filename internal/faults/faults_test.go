@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"errors"
+	"math"
 	"reflect"
 	"testing"
 
@@ -98,26 +100,84 @@ func TestMaterializeSeverityBounds(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	bad := []Plan{
-		{OverrunProb: -0.1},
-		{OverrunProb: 1.1},
-		{OverrunFactor: -1},
-		{SlowProb: 2},
-		{SlowFactor: -0.5},
-		{FailProb: -1},
-		{FailFrac: 1.5},
-		{JitterProb: 0.5, JitterMax: 0},
-		{JitterMax: -1},
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name  string
+		plan  Plan
+		param string // expected ParamError.Param, "" for valid
+	}{
+		{"zero plan", Plan{}, ""},
+		{"scaled full", Scaled(1, 1), ""},
+		{"neg overrun prob", Plan{OverrunProb: -0.1}, "OverrunProb"},
+		{"overrun prob above 1", Plan{OverrunProb: 1.1}, "OverrunProb"},
+		{"nan overrun prob", Plan{OverrunProb: nan}, "OverrunProb"},
+		{"inf overrun prob", Plan{OverrunProb: inf}, "OverrunProb"},
+		{"neg overrun factor", Plan{OverrunFactor: -1}, "OverrunFactor"},
+		{"nan overrun factor", Plan{OverrunFactor: nan}, "OverrunFactor"},
+		{"inf overrun factor", Plan{OverrunFactor: inf}, "OverrunFactor"},
+		{"neg overrun add", Plan{OverrunAdd: -3}, "OverrunAdd"},
+		{"slow prob above 1", Plan{SlowProb: 2}, "SlowProb"},
+		{"nan slow prob", Plan{SlowProb: nan}, "SlowProb"},
+		{"neg slow factor", Plan{SlowFactor: -0.5}, "SlowFactor"},
+		{"inf slow factor", Plan{SlowFactor: inf}, "SlowFactor"},
+		{"neg fail prob", Plan{FailProb: -1}, "FailProb"},
+		{"fail frac above 1", Plan{FailFrac: 1.5}, "FailFrac"},
+		{"nan fail frac", Plan{FailFrac: nan}, "FailFrac"},
+		{"nan jitter prob", Plan{JitterProb: nan}, "JitterProb"},
+		{"jitter without room", Plan{JitterProb: 0.5, JitterMax: 0}, "JitterMax"},
+		{"neg jitter max", Plan{JitterMax: -1}, "JitterMax"},
 	}
-	for _, p := range bad {
-		if err := p.Validate(); err == nil {
-			t.Errorf("Validate(%+v) = nil, want error", p)
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if tc.param == "" {
+			if err != nil {
+				t.Errorf("%s: Validate = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		var pe *ParamError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: Validate = %v, want *ParamError", tc.name, err)
+			continue
+		}
+		if pe.Param != tc.param {
+			t.Errorf("%s: rejected %q, want %q (%v)", tc.name, pe.Param, tc.param, pe)
 		}
 	}
-	if err := (Plan{}).Validate(); err != nil {
-		t.Errorf("zero plan invalid: %v", err)
+}
+
+// A NaN intensity slips through Scaled's clamps into every probability;
+// Materialize must reject the resulting plan rather than draw from it.
+func TestMaterializeRejectsNaNIntensity(t *testing.T) {
+	w := testWorkload(t, 5)
+	plan := Scaled(math.NaN(), 7)
+	if _, err := plan.Materialize(w.Graph, w.Platform, 100); err == nil {
+		t.Fatal("NaN-intensity plan materialized")
 	}
-	if err := Scaled(1, 1).Validate(); err != nil {
-		t.Errorf("Scaled(1) invalid: %v", err)
+}
+
+func TestTraceProject(t *testing.T) {
+	tr := ZeroTrace(4, 2)
+	tr.ExecScale[1], tr.ExecScale[3] = 1.5, 2
+	tr.ExecAdd[3] = 7
+	tr.Slow[1] = 1.25
+	tr.DownAt[0] = 40
+	tr.MsgExtra[[2]int{0, 1}] = 3 // endpoint 1 kept
+	tr.MsgExtra[[2]int{1, 2}] = 5 // endpoint 2 shed
+	tr.MsgExtra[[2]int{1, 3}] = 9 // both kept
+
+	p := tr.Project([]int{1, 3}) // keep old tasks 1 and 3
+	if p.ExecScale[0] != 1.5 || p.ExecScale[1] != 2 || p.ExecAdd[1] != 7 {
+		t.Errorf("per-task perturbations not remapped: %+v", p)
+	}
+	if p.Slow[1] != 1.25 || p.DownAt[0] != 40 {
+		t.Errorf("platform-wide state not carried over: %+v", p)
+	}
+	if len(p.MsgExtra) != 1 || p.MsgExtra[[2]int{0, 1}] != 9 {
+		t.Errorf("MsgExtra = %v, want {[0 1]:9}", p.MsgExtra)
+	}
+	// The original is untouched.
+	if tr.ExecScale[0] != 1 || len(tr.MsgExtra) != 3 {
+		t.Error("Project mutated its receiver")
 	}
 }

@@ -1,0 +1,50 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// ParamError is a typed rejection of one fault-model parameter: which
+// field was bad, the offending value, and why. Plan.Validate (and hence
+// Materialize) returns it instead of letting NaN/Inf probabilities or
+// negative severities silently produce nonsense traces; callers can
+// errors.As for it to distinguish configuration mistakes from pipeline
+// failures.
+type ParamError struct {
+	// Param is the rejected field, e.g. "OverrunProb".
+	Param string
+	// Value is the offending value as a float (rtime fields are
+	// converted).
+	Value float64
+	// Reason says what was expected, e.g. "outside [0, 1]".
+	Reason string
+}
+
+// Error implements error.
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("faults: %s = %v %s", e.Param, e.Value, e.Reason)
+}
+
+// checkProb rejects probabilities outside [0, 1], including NaN and Inf
+// (which pass naive < / > comparisons).
+func checkProb(name string, v float64) *ParamError {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return &ParamError{Param: name, Value: v, Reason: "is not a finite probability"}
+	}
+	if v < 0 || v > 1 {
+		return &ParamError{Param: name, Value: v, Reason: "outside [0, 1]"}
+	}
+	return nil
+}
+
+// checkFactor rejects negative, NaN, and Inf severity factors.
+func checkFactor(name string, v float64) *ParamError {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return &ParamError{Param: name, Value: v, Reason: "is not a finite factor"}
+	}
+	if v < 0 {
+		return &ParamError{Param: name, Value: v, Reason: "is negative"}
+	}
+	return nil
+}

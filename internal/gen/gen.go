@@ -70,6 +70,15 @@ type Config struct {
 	// ResourceProb is the probability that a task requires one
 	// (uniformly chosen) resource.
 	ResourceProb float64
+	// OptionalProb drives the mixed-criticality labelling for the
+	// graceful-degradation studies: walking the graph bottom-up, a task
+	// whose successors are all optional becomes Optional with this
+	// probability (and draws a value weight uniform in [0.5, 1.5)), so
+	// the optional set is always shed-closed — every optional task is
+	// sheddable together with its descendants. 0 (the paper's setup)
+	// leaves every task mandatory and the workload byte-identical to
+	// pre-extension generation.
+	OptionalProb float64
 	// PinProb is the probability that an input or output task is under
 	// a strict locality constraint (§1: sensors and actuators bound to
 	// their physical processor): it is pinned to a uniformly chosen
@@ -140,6 +149,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gen: ResourceProb %v with no resources", c.ResourceProb)
 	case c.PinProb < 0 || c.PinProb > 1:
 		return fmt.Errorf("gen: PinProb %v outside [0, 1]", c.PinProb)
+	case math.IsNaN(c.OptionalProb) || c.OptionalProb < 0 || c.OptionalProb > 1:
+		return fmt.Errorf("gen: OptionalProb %v outside [0, 1]", c.OptionalProb)
 	}
 	return nil
 }
@@ -218,8 +229,40 @@ func Generate(cfg Config) (*Workload, error) {
 			}
 		}
 	}
+	// Mixed-criticality labelling for the graceful-degradation studies.
+	// A separate generator keeps the draw stream of everything above
+	// untouched, so OptionalProb = 0 workloads stay byte-identical to
+	// pre-extension generation. The bottom-up walk only lets a task go
+	// optional when all its successors already are, so the optional set
+	// is shed-closed by construction.
+	if cfg.OptionalProb > 0 {
+		org := rand.New(rand.NewSource(cfg.Seed ^ optionalSeedMix))
+		topo := g.TopoOrder()
+		for i := len(topo) - 1; i >= 0; i-- {
+			id := topo[i]
+			closed := true
+			for _, s := range g.Succs(id) {
+				if g.Task(s).Criticality != taskgraph.Optional {
+					closed = false
+					break
+				}
+			}
+			if !closed {
+				continue
+			}
+			if org.Float64() < cfg.OptionalProb {
+				t := g.Task(id)
+				t.Criticality = taskgraph.Optional
+				t.Value = 0.5 + org.Float64()
+			}
+		}
+	}
 	return &Workload{Graph: g, Platform: platform, AvgWork: avgWork}, nil
 }
+
+// optionalSeedMix decorrelates the criticality-labelling stream from the
+// structural stream of the same workload seed.
+const optionalSeedMix = 0x5DEECE66D
 
 // MustGenerate is Generate that panics on error; configuration errors
 // are programming errors in experiment setup.

@@ -1,0 +1,47 @@
+package graphio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadWorkload hammers the workload reader with malformed JSON. The
+// contract: it never panics (malformed structure is an error, not a
+// crash), and any workload it accepts survives an encode/decode
+// round-trip unchanged.
+func FuzzReadWorkload(f *testing.F) {
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]},{"wcet":[3],"eteDeadline":40,"criticality":1,"value":2}],"arcs":[{"from":0,"to":1,"items":2}]}}`))
+	f.Add([]byte(`{"graph":{"numClasses":2,"tasks":[{"wcet":[5,-1],"pinned":0}],"arcs":[]},"platform":{"kind":"unrelated","classes":[{"name":"a","speed":1},{"name":"b","speed":2}],"classOf":[0,1],"busDelayPerItem":1,"links":[{"a":0,"b":1,"perItem":3}]}}`))
+	f.Add([]byte(`{"graph":{"numClasses":0,"tasks":[],"arcs":[]}}`))
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]}],"arcs":[{"from":0,"to":7}]}}`))
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5],"criticality":9}]}}`))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, p, err := ReadWorkload(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !g.Frozen() {
+			t.Fatal("accepted graph is not frozen")
+		}
+		var buf bytes.Buffer
+		if err := WriteWorkload(&buf, g, p); err != nil {
+			t.Fatalf("accepted workload does not re-encode: %v", err)
+		}
+		g2, p2, err := ReadWorkload(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded workload does not re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(EncodeGraph(g), EncodeGraph(g2)) {
+			t.Fatal("graph round-trip changed the graph")
+		}
+		if (p == nil) != (p2 == nil) {
+			t.Fatal("platform presence changed in round-trip")
+		}
+		if p != nil && !reflect.DeepEqual(EncodePlatform(p), EncodePlatform(p2)) {
+			t.Fatal("platform round-trip changed the platform")
+		}
+	})
+}

@@ -28,6 +28,10 @@ type TaskJSON struct {
 	ETEDeadline *rtime.Time  `json:"eteDeadline,omitempty"`
 	Pinned      *int         `json:"pinned,omitempty"`
 	Resources   []int        `json:"resources,omitempty"`
+	// Criticality is 0 (mandatory, omitted) or 1 (optional); Value is
+	// the optional task's value weight (0 means unset, weighed as 1).
+	Criticality int     `json:"criticality,omitempty"`
+	Value       float64 `json:"value,omitempty"`
 }
 
 // ArcJSON is the serialized form of one precedence arc.
@@ -73,7 +77,7 @@ func EncodeGraph(g *taskgraph.Graph) GraphJSON {
 	out := GraphJSON{NumClasses: g.NumClasses}
 	for _, t := range g.Tasks() {
 		tj := TaskJSON{Name: t.Name, WCET: t.WCET, Phase: t.Phase, Period: t.Period,
-			Resources: t.Resources}
+			Resources: t.Resources, Criticality: int(t.Criticality), Value: t.Value}
 		if t.Pinned >= 0 {
 			pin := t.Pinned
 			tj.Pinned = &pin
@@ -92,14 +96,22 @@ func EncodeGraph(g *taskgraph.Graph) GraphJSON {
 
 // DecodeGraph rebuilds a frozen graph from its serialized form.
 func DecodeGraph(in GraphJSON) (*taskgraph.Graph, error) {
+	if in.NumClasses <= 0 {
+		return nil, fmt.Errorf("graphio: graph declares %d processor classes", in.NumClasses)
+	}
 	g := taskgraph.NewGraph(in.NumClasses)
 	for i, tj := range in.Tasks {
+		if tj.Criticality != int(taskgraph.Mandatory) && tj.Criticality != int(taskgraph.Optional) {
+			return nil, fmt.Errorf("graphio: task %d has unknown criticality %d", i, tj.Criticality)
+		}
 		t, err := g.AddTask(tj.Name, tj.WCET, tj.Phase)
 		if err != nil {
 			return nil, fmt.Errorf("graphio: task %d: %w", i, err)
 		}
 		t.Period = tj.Period
 		t.Resources = tj.Resources
+		t.Criticality = taskgraph.Criticality(tj.Criticality)
+		t.Value = tj.Value
 		if tj.Pinned != nil {
 			t.Pinned = *tj.Pinned
 		}

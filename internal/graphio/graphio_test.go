@@ -30,6 +30,7 @@ func TestGraphRoundTrip(t *testing.T) {
 	b := g.MustAddTask("b", []rtime.Time{rtime.Unset, 20}, 0)
 	a.Period = 100
 	b.ETEDeadline = 80
+	b.Criticality, b.Value = taskgraph.Optional, 2.5
 	g.MustAddArc(a.ID, b.ID, 5)
 	g.MustFreeze()
 
@@ -50,6 +51,9 @@ func TestGraphRoundTrip(t *testing.T) {
 	if got.MessageItems(0, 1) != 5 {
 		t.Error("arc weight lost")
 	}
+	if ga.Criticality != taskgraph.Mandatory || gb.Criticality != taskgraph.Optional || gb.Value != 2.5 {
+		t.Errorf("criticality lost: %+v, %+v", ga, gb)
+	}
 }
 
 func TestDecodeGraphRejectsBadInput(t *testing.T) {
@@ -61,6 +65,13 @@ func TestDecodeGraphRejectsBadInput(t *testing.T) {
 	bad2 := GraphJSON{NumClasses: 1, Tasks: []TaskJSON{{WCET: []rtime.Time{-3}}}}
 	if _, err := DecodeGraph(bad2); err == nil {
 		t.Error("negative WCET accepted")
+	}
+	if _, err := DecodeGraph(GraphJSON{NumClasses: 0}); err == nil {
+		t.Error("zero-class graph accepted (NewGraph would panic)")
+	}
+	bad3 := GraphJSON{NumClasses: 1, Tasks: []TaskJSON{{WCET: []rtime.Time{5}, Criticality: 7}}}
+	if _, err := DecodeGraph(bad3); err == nil {
+		t.Error("unknown criticality accepted")
 	}
 }
 

@@ -26,6 +26,11 @@ type Degradation struct {
 	// ETEMisses counts output tasks among Misses — end-to-end deadline
 	// violations, the failures the application actually observes.
 	ETEMisses int
+	// MandatoryMisses counts tasks of Mandatory criticality among
+	// Misses (including unplaced mandatory tasks). For all-mandatory
+	// graphs it equals Misses; the graceful-degradation mode controller
+	// treats any non-zero value as an inadmissible frame.
+	MandatoryMisses int
 	// MeanLateness is the mean positive lateness over missing placed
 	// tasks (0 when nothing missed).
 	MeanLateness float64
@@ -426,6 +431,9 @@ func Inject(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 	for _, i := range ex.Missed {
 		if outputs[i] {
 			deg.ETEMisses++
+		}
+		if g.Task(i).Criticality == taskgraph.Mandatory {
+			deg.MandatoryMisses++
 		}
 		if ex.Placements[i].Proc < 0 {
 			deg.Unplaced++

@@ -1,0 +1,144 @@
+package taskgraph
+
+import (
+	"fmt"
+
+	"repro/internal/rtime"
+)
+
+// Criticality classifies a task for graceful degradation, following the
+// imprecise-computation model: mandatory tasks must always meet their
+// deadlines, optional tasks add value when they complete in time but may
+// be shed under overload. The zero value is Mandatory, so graphs built
+// before the mixed-criticality extension are all-mandatory unchanged.
+type Criticality int
+
+const (
+	// Mandatory tasks are never shed; the degradation machinery
+	// guarantees their end-to-end deadlines at every degradation level.
+	Mandatory Criticality = iota
+	// Optional tasks contribute Value when they finish in time and are
+	// the shedding candidates of the degradation policies.
+	Optional
+)
+
+// String implements fmt.Stringer.
+func (c Criticality) String() string {
+	switch c {
+	case Mandatory:
+		return "mandatory"
+	case Optional:
+		return "optional"
+	}
+	return fmt.Sprintf("Criticality(%d)", int(c))
+}
+
+// ValueWeight returns the task's value weight for quality accounting: the
+// declared Value, or 1 when none was set (Value ≤ 0), so graphs that
+// never assign values weigh every task equally.
+func (t *Task) ValueWeight() float64 {
+	if t.Value <= 0 {
+		return 1
+	}
+	return t.Value
+}
+
+// Sheddable returns, for every task, whether it may be removed from the
+// graph without orphaning mandatory work: the task and its entire
+// descendant set are optional. Shedding a sheddable task together with
+// its descendants is always closed (no shed task feeds a kept one), so
+// the reduced graph preserves every precedence constraint among the
+// kept tasks.
+func (g *Graph) Sheddable() []bool {
+	g.mustBeFrozen("Sheddable")
+	n := len(g.tasks)
+	ok := make([]bool, n)
+	// Reverse topological order: a task is sheddable iff it is optional
+	// and every immediate successor is sheddable.
+	for i := n - 1; i >= 0; i-- {
+		v := g.topo[i]
+		if g.tasks[v].Criticality != Optional {
+			continue
+		}
+		ok[v] = true
+		for _, s := range g.succs[v] {
+			if !ok[s] {
+				ok[v] = false
+				break
+			}
+		}
+	}
+	return ok
+}
+
+// InheritedETE returns, for every task, the tightest end-to-end deadline
+// among the output tasks it reaches (its own when it is an output), or
+// rtime.Unset when no reachable output declares one. When shedding turns
+// an interior task into an output, this is the deadline the reduced
+// graph inherits for it: no later than any constraint the task was
+// originally on the hook for.
+func (g *Graph) InheritedETE() []rtime.Time {
+	g.mustBeFrozen("InheritedETE")
+	n := len(g.tasks)
+	ete := make([]rtime.Time, n)
+	for i := n - 1; i >= 0; i-- {
+		v := g.topo[i]
+		best := rtime.Unset
+		if len(g.succs[v]) == 0 {
+			best = g.tasks[v].ETEDeadline
+		}
+		for _, s := range g.succs[v] {
+			if d := ete[s]; d.IsSet() && (!best.IsSet() || d < best) {
+				best = d
+			}
+		}
+		ete[v] = best
+	}
+	return ete
+}
+
+// Induce returns an unfrozen copy of g restricted to the tasks with
+// keep[id] set, together with the old→new (−1 for removed tasks) and
+// new→old ID maps. Task attributes are copied; arcs survive when both
+// endpoints are kept. The caller may adjust the copied tasks (e.g.
+// assign inherited end-to-end deadlines to freshly exposed outputs) and
+// must Freeze the copy before use.
+func (g *Graph) Induce(keep []bool) (*Graph, []int, []int, error) {
+	if len(keep) != len(g.tasks) {
+		return nil, nil, nil, fmt.Errorf("taskgraph: Induce mask covers %d tasks, graph has %d",
+			len(keep), len(g.tasks))
+	}
+	out := NewGraph(g.NumClasses)
+	old2new := make([]int, len(g.tasks))
+	var new2old []int
+	for id, t := range g.tasks {
+		if !keep[id] {
+			old2new[id] = -1
+			continue
+		}
+		nt, err := out.AddTask(t.Name, t.WCET, t.Phase)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		nt.Period = t.Period
+		nt.ETEDeadline = t.ETEDeadline
+		nt.Pinned = t.Pinned
+		nt.Resources = append([]int(nil), t.Resources...)
+		nt.Criticality = t.Criticality
+		nt.Value = t.Value
+		old2new[id] = nt.ID
+		new2old = append(new2old, id)
+	}
+	if len(new2old) == 0 {
+		return nil, nil, nil, fmt.Errorf("taskgraph: Induce keeps no task")
+	}
+	for _, a := range g.arcs {
+		if old2new[a.From] < 0 || old2new[a.To] < 0 {
+			continue
+		}
+		if err := out.AddArc(old2new[a.From], old2new[a.To], a.Items); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return out, old2new, new2old, nil
+}

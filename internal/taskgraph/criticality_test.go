@@ -1,0 +1,148 @@
+package taskgraph
+
+import (
+	"testing"
+
+	"repro/internal/rtime"
+)
+
+// mixed builds the reference mixed-criticality graph:
+//
+//	A(m) → B(m) → E(o, 0.5, ETE 90)
+//	A(m) → C(o, 2) → D(o, 2, ETE 100)
+func mixed(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(1)
+	a := g.MustAddTask("A", c(10), 0)
+	b := g.MustAddTask("B", c(10), 0)
+	cc := g.MustAddTask("C", c(10), 0)
+	d := g.MustAddTask("D", c(10), 0)
+	e := g.MustAddTask("E", c(10), 0)
+	cc.Criticality, cc.Value = Optional, 2
+	d.Criticality, d.Value = Optional, 2
+	e.Criticality, e.Value = Optional, 0.5
+	d.ETEDeadline = 100
+	e.ETEDeadline = 90
+	g.MustAddArc(a.ID, b.ID, 1)
+	g.MustAddArc(a.ID, cc.ID, 1)
+	g.MustAddArc(cc.ID, d.ID, 1)
+	g.MustAddArc(b.ID, e.ID, 1)
+	g.MustFreeze()
+	return g
+}
+
+func TestValueWeight(t *testing.T) {
+	if w := (&Task{}).ValueWeight(); w != 1 {
+		t.Errorf("default ValueWeight = %v, want 1", w)
+	}
+	if w := (&Task{Value: -3}).ValueWeight(); w != 1 {
+		t.Errorf("negative Value weight = %v, want 1", w)
+	}
+	if w := (&Task{Value: 2.5}).ValueWeight(); w != 2.5 {
+		t.Errorf("ValueWeight = %v, want 2.5", w)
+	}
+}
+
+func TestSheddable(t *testing.T) {
+	g := mixed(t)
+	want := []bool{false, false, true, true, true} // A B mandatory
+	got := g.Sheddable()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sheddable[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// An optional task feeding a mandatory one is not sheddable.
+	g2 := NewGraph(1)
+	o := g2.MustAddTask("O", c(5), 0)
+	o.Criticality = Optional
+	m := g2.MustAddTask("M", c(5), 0)
+	g2.MustAddArc(o.ID, m.ID, 0)
+	g2.MustFreeze()
+	if s := g2.Sheddable(); s[o.ID] || s[m.ID] {
+		t.Errorf("Sheddable = %v, want all false", s)
+	}
+}
+
+func TestSheddableClosed(t *testing.T) {
+	g := mixed(t)
+	s := g.Sheddable()
+	for id, ok := range s {
+		if !ok {
+			continue
+		}
+		for _, succ := range g.Succs(id) {
+			if !s[succ] {
+				t.Errorf("sheddable task %d has unsheddable successor %d", id, succ)
+			}
+		}
+	}
+}
+
+func TestInheritedETE(t *testing.T) {
+	g := mixed(t)
+	ete := g.InheritedETE()
+	want := []rtime.Time{90, 90, 100, 100, 90} // A min(90,100)=90, B→E 90
+	for i := range want {
+		if ete[i] != want[i] {
+			t.Errorf("InheritedETE[%d] = %v, want %v", i, ete[i], want[i])
+		}
+	}
+}
+
+func TestInduce(t *testing.T) {
+	g := mixed(t)
+	// Shed the C→D subtree.
+	keep := []bool{true, true, false, false, true}
+	ng, old2new, new2old, err := g.Induce(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Frozen() {
+		t.Fatal("Induce returned a frozen graph")
+	}
+	ng.MustFreeze()
+	if ng.NumTasks() != 3 || ng.NumArcs() != 2 {
+		t.Fatalf("induced graph has %d tasks / %d arcs, want 3 / 2", ng.NumTasks(), ng.NumArcs())
+	}
+	if old2new[2] != -1 || old2new[3] != -1 {
+		t.Errorf("shed tasks mapped to %d, %d; want -1, -1", old2new[2], old2new[3])
+	}
+	for ni, oi := range new2old {
+		if old2new[oi] != ni {
+			t.Errorf("map mismatch: new2old[%d] = %d but old2new[%d] = %d", ni, oi, oi, old2new[oi])
+		}
+		ot, nt := g.Task(oi), ng.Task(ni)
+		if nt.Name != ot.Name || nt.Criticality != ot.Criticality || nt.Value != ot.Value ||
+			nt.ETEDeadline != ot.ETEDeadline {
+			t.Errorf("task %d attributes not copied", oi)
+		}
+	}
+	// Arc A→B and B→E survive with their items.
+	if _, ok := ng.ArcBetween(old2new[0], old2new[1]); !ok {
+		t.Error("arc A→B lost")
+	}
+	if _, ok := ng.ArcBetween(old2new[1], old2new[4]); !ok {
+		t.Error("arc B→E lost")
+	}
+}
+
+func TestInduceErrors(t *testing.T) {
+	g := mixed(t)
+	if _, _, _, err := g.Induce([]bool{true}); err == nil {
+		t.Error("short mask accepted")
+	}
+	if _, _, _, err := g.Induce(make([]bool, g.NumTasks())); err == nil {
+		t.Error("empty keep set accepted")
+	}
+}
+
+func TestCriticalityString(t *testing.T) {
+	if Mandatory.String() != "mandatory" || Optional.String() != "optional" {
+		t.Error("Criticality strings wrong")
+	}
+	if Criticality(7).String() != "Criticality(7)" {
+		t.Error("unknown Criticality string wrong")
+	}
+}

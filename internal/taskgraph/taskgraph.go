@@ -60,6 +60,15 @@ type Task struct {
 	// dispatcher in package sched and the ADAPT-R metric in package
 	// slicing. Empty for the paper's core experiments.
 	Resources []int
+	// Criticality classifies the task for graceful degradation
+	// (imprecise-computation model): Mandatory tasks must always meet
+	// their deadlines, Optional tasks may be shed under overload. The
+	// zero value is Mandatory.
+	Criticality Criticality
+	// Value is the task's value weight for degraded-quality accounting;
+	// ValueWeight treats non-positive values as 1. Only meaningful
+	// relative to the other tasks of the same graph.
+	Value float64
 }
 
 // SharesResource reports whether the two tasks require at least one

@@ -62,6 +62,43 @@ type ErrorModel struct {
 // perturbations.
 func (e ErrorModel) Zero() bool { return e.Kind == ErrNone || e.Level == 0 }
 
+// ParamError is a typed rejection of an error-model parameter, so
+// callers can errors.As for configuration mistakes (negative levels,
+// NaN/Inf, unknown kinds) instead of silently drawing nonsense
+// perturbations.
+type ParamError struct {
+	// Param is the rejected field, "Kind" or "Level".
+	Param string
+	// Value is the offending value.
+	Value float64
+	// Reason says what was expected.
+	Reason string
+}
+
+// Error implements error.
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("wcet: error-model %s = %v %s", e.Param, e.Value, e.Reason)
+}
+
+// Validate checks the model: the kind must be known and the level a
+// finite non-negative magnitude. NaN and Inf are rejected explicitly —
+// they pass naive range comparisons and would otherwise propagate into
+// every drawn scale factor.
+func (e ErrorModel) Validate() error {
+	switch e.Kind {
+	case ErrNone, ErrMultiplicative, ErrClassBias, ErrHeavyTail:
+	default:
+		return &ParamError{Param: "Kind", Value: float64(e.Kind), Reason: "is not a known error kind"}
+	}
+	if math.IsNaN(e.Level) || math.IsInf(e.Level, 0) {
+		return &ParamError{Param: "Level", Value: e.Level, Reason: "is not a finite magnitude"}
+	}
+	if e.Level < 0 {
+		return &ParamError{Param: "Level", Value: e.Level, Reason: "is negative"}
+	}
+	return nil
+}
+
 // Perturbation is one concrete draw of truth-vs-estimate scale factors
 // for a workload: per-task multiplicative factors and per-class
 // multiplicative factors (both 1 when unperturbed). The sim package's

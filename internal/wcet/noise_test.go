@@ -1,6 +1,10 @@
 package wcet
 
-import "testing"
+import (
+	"errors"
+	"math"
+	"testing"
+)
 
 func TestErrorModelZeroLevelIsIdentity(t *testing.T) {
 	for _, kind := range append([]ErrorKind{ErrNone}, ErrorKinds...) {
@@ -77,5 +81,41 @@ func TestErrorModelShapes(t *testing.T) {
 	}
 	if overruns == 0 || overruns == 400 {
 		t.Errorf("tail: %d/400 overruns, want a sparse non-empty set", overruns)
+	}
+}
+
+func TestErrorModelValidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name  string
+		model ErrorModel
+		param string // expected ParamError.Param, "" for valid
+	}{
+		{"zero model", ErrorModel{}, ""},
+		{"mult", ErrorModel{Kind: ErrMultiplicative, Level: 0.3}, ""},
+		{"bias", ErrorModel{Kind: ErrClassBias, Level: 1}, ""},
+		{"tail", ErrorModel{Kind: ErrHeavyTail, Level: 0.5}, ""},
+		{"unknown kind", ErrorModel{Kind: ErrorKind(99)}, "Kind"},
+		{"negative level", ErrorModel{Kind: ErrMultiplicative, Level: -0.1}, "Level"},
+		{"nan level", ErrorModel{Kind: ErrClassBias, Level: nan}, "Level"},
+		{"inf level", ErrorModel{Kind: ErrHeavyTail, Level: inf}, "Level"},
+		{"neg inf level", ErrorModel{Kind: ErrMultiplicative, Level: math.Inf(-1)}, "Level"},
+	}
+	for _, tc := range cases {
+		err := tc.model.Validate()
+		if tc.param == "" {
+			if err != nil {
+				t.Errorf("%s: Validate = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		var pe *ParamError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: Validate = %v, want *ParamError", tc.name, err)
+			continue
+		}
+		if pe.Param != tc.param {
+			t.Errorf("%s: rejected %q, want %q (%v)", tc.name, pe.Param, tc.param, pe)
+		}
 	}
 }
