@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check smoke faults margins degrade fuzz
+.PHONY: all build test race vet fmt check smoke faults margins degrade fuzz bench
 
 all: check
 
@@ -46,6 +46,13 @@ margins:
 # see EXPERIMENTS.md for the 256-graph table.
 degrade:
 	$(GO) run ./cmd/sweep -study degrade -graphs 24 -wtimeout 30s
+
+# Pipeline-core performance baseline: runs the benchmark suite and
+# refreshes the checked-in BENCH_pipeline.json (cold vs cached builds,
+# fingerprint cost, and the breakdown bisection with the plan cache off
+# and on).
+bench:
+	$(GO) run ./cmd/benchpipe -o BENCH_pipeline.json
 
 # Native fuzzers: the checkpoint-journal parser and the workload
 # reader, each briefly past their checked-in seed corpora.

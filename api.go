@@ -14,6 +14,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/optsched"
 	"repro/internal/periodic"
+	"repro/internal/pipeline"
 	"repro/internal/robust"
 	"repro/internal/rtime"
 	"repro/internal/sched"
@@ -308,30 +309,30 @@ func CalibratedParams() Params { return slicing.CalibratedParams() }
 // Estimates computes the estimated WCET c̄ of every task under the given
 // strategy.
 func Estimates(g *Graph, p *Platform, s WCETStrategy) ([]Time, error) {
-	return wcet.Estimates(g, p, s)
+	return pipeline.Estimate(g, p, s)
 }
 
 // Distribute runs the slicing technique (Figure 1) over the graph.
 func Distribute(g *Graph, est []Time, m int, metric Metric, params Params) (*Assignment, error) {
-	return slicing.Distribute(g, est, m, metric, params)
+	return pipeline.Slice(g, est, m, metric, params)
 }
 
 // Dispatch schedules the assignment with the paper's non-preemptive
 // time-driven EDF dispatcher.
 func Dispatch(g *Graph, p *Platform, asg *Assignment) (*Schedule, error) {
-	return sched.Dispatch(g, p, asg)
+	return pipeline.TimeDriven().Run(g, p, asg)
 }
 
 // PlanEDF schedules the assignment with the offline greedy EDF list
 // scheduler.
 func PlanEDF(g *Graph, p *Platform, asg *Assignment) (*Schedule, error) {
-	return sched.EDF(g, p, asg)
+	return pipeline.Planner().Run(g, p, asg)
 }
 
 // InsertEDF schedules with the insertion-based (backfilling) offline EDF
 // variant.
 func InsertEDF(g *Graph, p *Platform, asg *Assignment) (*Schedule, error) {
-	return sched.InsertEDF(g, p, asg)
+	return pipeline.Insertion().Run(g, p, asg)
 }
 
 // DispatchPreemptive schedules with the global preemptive EDF dispatcher
@@ -468,6 +469,45 @@ func Figure(n int, opts ExperimentOptions) (FigureTable, error) {
 // point.
 func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
 
+// Instrumented pipeline-core types. The internal pipeline package is
+// the single owner of the estimate → slice → dispatch sequence; every
+// experiment, study, and command routes planning through it, and these
+// aliases expose its artifacts to library users.
+type (
+	// Plan is the immutable artifact of one pipeline build: estimates,
+	// window assignment, schedule, verdict, and per-stage timing.
+	Plan = pipeline.Plan
+	// PlanKey identifies a plan in the cache: workload fingerprint plus
+	// every policy knob that shaped the plan.
+	PlanKey = pipeline.Key
+	// PlanVerdict summarizes a plan's schedulability outcome.
+	PlanVerdict = pipeline.Verdict
+	// PlanStats carries per-stage wall time and allocation counters.
+	PlanStats = pipeline.PlanStats
+	// StageStats instruments one pipeline stage.
+	StageStats = pipeline.StageStats
+	// PlanCache is a thread-safe LRU cache of immutable plans.
+	PlanCache = pipeline.Cache
+	// PlanRecorder aggregates build/hit counts and stage timings across
+	// pipeline runs.
+	PlanRecorder = pipeline.Recorder
+	// PlanSummary is a recorder's aggregate view.
+	PlanSummary = pipeline.Summary
+)
+
+// NewPlanCache returns an LRU plan cache holding up to capacity plans.
+func NewPlanCache(capacity int) *PlanCache { return pipeline.NewCache(capacity) }
+
+// NewPlanRecorder returns a pipeline instrumentation recorder;
+// withAllocs additionally counts per-stage heap allocations (slower:
+// it reads runtime memory stats around every stage).
+func NewPlanRecorder(withAllocs bool) *PlanRecorder { return pipeline.NewRecorder(withAllocs) }
+
+// WorkloadFingerprint hashes the planning-relevant content of a
+// workload — task timing, precedence, platform shape, communication
+// costs — ignoring display names. It is the workload half of a PlanKey.
+func WorkloadFingerprint(g *Graph, p *Platform) uint64 { return pipeline.Fingerprint(g, p) }
+
 // Result bundles the artifacts of one pipeline run.
 type Result struct {
 	// Estimates are the c̄ values used for deadline distribution.
@@ -478,6 +518,10 @@ type Result struct {
 	Schedule *Schedule
 	// Report is the replay verification of the schedule.
 	Report *Report
+	// Plan is the underlying pipeline artifact, carrying the cache key,
+	// the verdict, and per-stage timing. Plans are immutable and may be
+	// shared with the cache: do not mutate through this pointer.
+	Plan *Plan
 }
 
 // Pipeline is the generate-to-verify flow with pluggable policies.
@@ -493,6 +537,11 @@ type Pipeline struct {
 	UsePlanner bool
 	// SerializedBus verifies the schedule under exclusive bus use.
 	SerializedBus bool
+	// Cache, when non-nil, memoizes plans across Run calls keyed by
+	// (workload fingerprint, metric, params, scheduler).
+	Cache *PlanCache
+	// Recorder, when non-nil, accumulates per-stage instrumentation.
+	Recorder *PlanRecorder
 }
 
 // DefaultPipeline returns the paper's default policy set with this
@@ -511,26 +560,30 @@ func (pl Pipeline) Run(g *Graph, p *Platform) (*Result, error) {
 	if params == (Params{}) {
 		params = slicing.CalibratedParams()
 	}
-	est, err := wcet.Estimates(g, p, pl.WCET)
-	if err != nil {
-		return nil, err
-	}
-	asg, err := slicing.Distribute(g, est, p.M(), metric, params)
-	if err != nil {
-		return nil, err
-	}
-	var s *Schedule
+	disp := pipeline.TimeDriven()
 	if pl.UsePlanner {
-		s, err = sched.EDF(g, p, asg)
-	} else {
-		s, err = sched.Dispatch(g, p, asg)
+		disp = pipeline.Planner()
 	}
+	b := &pipeline.Builder{
+		Estimator:   pipeline.StrategyEstimator(pl.WCET),
+		Distributor: deadline.Sliced{Metric: metric, Params: params},
+		Dispatcher:  disp,
+		Cache:       pl.Cache,
+		Recorder:    pl.Recorder,
+	}
+	plan, err := b.Build(pipeline.Spec{Graph: g, Platform: p})
 	if err != nil {
 		return nil, err
 	}
-	rep, err := sim.Replay(g, p, asg, s, sim.Options{SerializedBus: pl.SerializedBus})
+	rep, err := sim.Replay(g, p, plan.Assignment, plan.Schedule, sim.Options{SerializedBus: pl.SerializedBus})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Estimates: est, Assignment: asg, Schedule: s, Report: rep}, nil
+	return &Result{
+		Estimates:  plan.Estimates,
+		Assignment: plan.Assignment,
+		Schedule:   plan.Schedule,
+		Report:     rep,
+		Plan:       plan,
+	}, nil
 }

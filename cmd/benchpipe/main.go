@@ -1,0 +1,158 @@
+// Command benchpipe runs the pipeline-core benchmark suite through
+// testing.Benchmark and renders the results as JSON. `make bench`
+// writes the output to BENCH_pipeline.json, the repo's checked-in
+// performance baseline.
+//
+// The suite mirrors internal/pipeline/pipeline_bench_test.go:
+//
+//   - build/cold            one full estimate→slice→dispatch build
+//   - build/cached          the same spec through a warm plan cache
+//   - fingerprint           the workload hash alone
+//   - breakdown/cache=off   breakdown-factor bisection, re-planning on
+//     every probe
+//   - breakdown/cache=on    the same bisection planning once
+//
+// The off/on contrast is the headline number: the plan cache is what
+// makes the robustness bisection affordable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pipeline"
+	"repro/internal/robust"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Go      string   `json:"go"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	Results []result `json:"results"`
+	// BreakdownSpeedup is breakdown/cache=off ns divided by
+	// breakdown/cache=on ns: how much faster the bisection runs when
+	// probes hit the plan cache instead of re-planning.
+	BreakdownSpeedup float64 `json:"breakdown_speedup"`
+}
+
+func workload(seed int64) (*gen.Workload, error) {
+	cfg := gen.Default(3)
+	cfg.Seed = seed
+	return gen.Generate(cfg)
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpipe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	w, err := workload(11)
+	if err != nil {
+		return err
+	}
+	spec := pipeline.Spec{Graph: w.Graph, Platform: w.Platform}
+
+	const samples = 8
+	bw := make([]*gen.Workload, samples)
+	for i := range bw {
+		if bw[i], err = workload(100 + int64(i)); err != nil {
+			return err
+		}
+	}
+	bisect := func(b *testing.B, cached bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ww := bw[i%samples]
+			builder := &pipeline.Builder{}
+			if cached {
+				builder.Cache = pipeline.NewCache(1)
+			}
+			if _, err := robust.BreakdownVia(builder,
+				pipeline.Spec{Graph: ww.Graph, Platform: ww.Platform},
+				robust.BreakdownOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	rep := report{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	bench := func(name string, f func(b *testing.B)) *result {
+		r := testing.Benchmark(f)
+		rep.Results = append(rep.Results, result{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		return &rep.Results[len(rep.Results)-1]
+	}
+
+	bench("build/cold", func(b *testing.B) {
+		builder := &pipeline.Builder{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := builder.Build(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	bench("build/cached", func(b *testing.B) {
+		builder := &pipeline.Builder{Cache: pipeline.NewCache(8)}
+		if _, err := builder.Build(spec); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := builder.Build(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	bench("fingerprint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pipeline.Fingerprint(w.Graph, w.Platform)
+		}
+	})
+	off := bench("breakdown/cache=off", func(b *testing.B) { bisect(b, false) })
+	on := bench("breakdown/cache=on", func(b *testing.B) { bisect(b, true) })
+	if on.NsPerOp > 0 {
+		rep.BreakdownSpeedup = off.NsPerOp / on.NsPerOp
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (breakdown bisection speedup with plan cache: %.1fx)\n",
+		out, rep.BreakdownSpeedup)
+	return nil
+}

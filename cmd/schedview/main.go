@@ -23,6 +23,7 @@ import (
 	"repro/internal/feas"
 	"repro/internal/gen"
 	"repro/internal/graphio"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/slicing"
@@ -110,11 +111,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		g, p = w.Graph, w.Platform
 	}
 
-	est, err := wcet.Estimates(g, p, strat)
+	est, err := pipeline.Estimate(g, p, strat)
 	if err != nil {
 		fatal(err)
 	}
-	asg, err := slicing.Distribute(g, est, p.M(), metric, slicing.CalibratedParams())
+	asg, err := pipeline.Slice(g, est, p.M(), metric, slicing.CalibratedParams())
 	if err != nil {
 		fatal(err)
 	}
@@ -124,12 +125,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	)
 	switch *schedName {
 	case "dispatch":
-		s, err = sched.Dispatch(g, p, asg)
+		s, err = pipeline.TimeDriven().Run(g, p, asg)
 	case "planner":
-		s, err = sched.EDF(g, p, asg)
+		s, err = pipeline.Planner().Run(g, p, asg)
 	case "insert":
-		s, err = sched.InsertEDF(g, p, asg)
+		s, err = pipeline.Insertion().Run(g, p, asg)
 	case "preempt":
+		// The viewer needs the concrete preemptive schedule (slices,
+		// preemption/migration counts), which the generic dispatcher
+		// hook flattens away.
 		pre, err = sched.DispatchPreemptive(g, p, asg)
 		if pre != nil {
 			s = &pre.Schedule

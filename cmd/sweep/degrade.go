@@ -30,6 +30,7 @@ func studyDegrade() int {
 			Degrade:     degrade.Options{Policy: pol},
 			Reclaim:     true,
 			Timeout:     sw.wtimeout,
+			Pipe:        sw.pipe,
 		})
 		if err != nil {
 			fmt.Fprintf(sw.errw, "sweep: %v\n", err)

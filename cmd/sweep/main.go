@@ -42,6 +42,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/anneal"
@@ -49,6 +51,7 @@ import (
 	"repro/internal/deadline"
 	"repro/internal/experiment"
 	"repro/internal/gen"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
 	"repro/internal/slicing"
 	"repro/internal/wcet"
@@ -65,6 +68,8 @@ type cfgT struct {
 	checkpoint string
 	resume     bool
 	wtimeout   time.Duration
+	stats      bool
+	pipe       pipeline.Shared
 	w          io.Writer
 	errw       io.Writer
 }
@@ -88,11 +93,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkpoint := fs.String("checkpoint", "", "journal completed cells to this file (margins study)")
 	resume := fs.Bool("resume", false, "replay the -checkpoint journal before computing")
 	wtimeout := fs.Duration("wtimeout", 0, "per-workload wall-clock budget (0 = none; margins study)")
+	stats := fs.Bool("stats", false, "print the pipeline per-stage time/alloc breakdown after the studies")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	sw = cfgT{graphs: *graphs, seed: *seed, m: *m, olr: *olr, workers: *workers,
-		checkpoint: *checkpoint, resume: *resume, wtimeout: *wtimeout, w: stdout, errw: stderr}
+		checkpoint: *checkpoint, resume: *resume, wtimeout: *wtimeout, stats: *stats,
+		w: stdout, errw: stderr}
+	// One plan cache and recorder shared by every study of the
+	// invocation: workloads revisited across studies (same seed, metric,
+	// parameters, scheduler) reuse their plans, and -stats aggregates
+	// every build. Allocation counters need per-stage ReadMemStats
+	// sampling, so they are only taken when -stats asks for the table.
+	sw.pipe = pipeline.Shared{Cache: pipeline.NewCache(4096)}
+	if sw.stats {
+		sw.pipe.Recorder = pipeline.NewRecorder(true)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "sweep: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "sweep: %v\n", err)
+			}
+		}()
+	}
+	if sw.stats {
+		defer func() {
+			fmt.Fprintf(sw.w, "\n%s  plan cache: %d plans resident\n",
+				sw.pipe.Recorder.Summary().Format(), sw.pipe.Cache.Len())
+		}()
+	}
 
 	// ok adapts the infallible studies to the exit-code signature the
 	// checkpointing ones need.
@@ -148,8 +200,43 @@ func runPoint(g gen.Config, metric slicing.Metric, params slicing.Params, schd e
 	pt := experiment.Run(experiment.Config{
 		Gen: g, Metric: metric, Params: params, WCET: wcet.AVG,
 		NumGraphs: sw.graphs, MasterSeed: sw.seed, Workers: sw.workers, Scheduler: schd,
+		Pipe: sw.pipe,
 	})
 	return 100 * pt.Success.Value()
+}
+
+// pointSucc renders the success percentage of one ad-hoc pipeline
+// configuration — any distributor, any dispatcher — over the standard
+// workload sample. A workload failing at any stage simply does not
+// count as a success, as in all the ablation studies.
+func pointSucc(cfg gen.Config, dist deadline.Distributor, disp pipeline.Dispatcher) float64 {
+	b := &pipeline.Builder{
+		Distributor: dist,
+		Dispatcher:  disp,
+		Cache:       sw.pipe.Cache,
+		Recorder:    sw.pipe.Recorder,
+	}
+	succ := 0
+	for idx := 0; idx < sw.graphs; idx++ {
+		cfg.Seed = gen.SubSeed(sw.seed, idx)
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			continue
+		}
+		plan, err := b.Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
+		if err != nil {
+			continue
+		}
+		if plan.Verdict.Feasible {
+			succ++
+		}
+	}
+	return 100 * float64(succ) / float64(sw.graphs)
+}
+
+// sliced is the standard calibrated distributor of the ablations.
+func sliced(metric slicing.Metric) deadline.Distributor {
+	return deadline.Sliced{Metric: metric, Params: slicing.CalibratedParams()}
 }
 
 func header(title string) {
@@ -217,41 +304,11 @@ func studySched() {
 		}
 		fmt.Fprintln(sw.w)
 	}
-	// The extension schedulers, run directly.
-	for _, variant := range []string{"insertion", "preemptive"} {
-		fmt.Fprintf(sw.w, "  %-12s", variant)
+	// The extension schedulers, through the same pipeline core.
+	for _, disp := range []pipeline.Dispatcher{pipeline.Insertion(), pipeline.Preemptive()} {
+		fmt.Fprintf(sw.w, "  %-12s", disp.Name)
 		for _, metric := range slicing.Metrics() {
-			succ := 0
-			for idx := 0; idx < sw.graphs; idx++ {
-				cfg := genCfg()
-				cfg.Seed = gen.SubSeed(sw.seed, idx)
-				w, err := gen.Generate(cfg)
-				if err != nil {
-					continue
-				}
-				est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
-				if err != nil {
-					continue
-				}
-				asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), metric, slicing.CalibratedParams())
-				if err != nil {
-					continue
-				}
-				feasible := false
-				if variant == "insertion" {
-					if s, err := sched.InsertEDF(w.Graph, w.Platform, asg); err == nil {
-						feasible = s.Feasible
-					}
-				} else {
-					if s, err := sched.DispatchPreemptive(w.Graph, w.Platform, asg); err == nil {
-						feasible = s.Feasible
-					}
-				}
-				if feasible {
-					succ++
-				}
-			}
-			fmt.Fprintf(sw.w, "  %s %5.1f%%", metric.Name(), 100*float64(succ)/float64(sw.graphs))
+			fmt.Fprintf(sw.w, "  %s %5.1f%%", metric.Name(), pointSucc(genCfg(), sliced(metric), disp))
 		}
 		fmt.Fprintln(sw.w)
 	}
@@ -305,6 +362,7 @@ func studyOptGap() {
 			MasterSeed: sw.seed,
 			NodeBudget: 400_000,
 			Workers:    sw.workers,
+			Pipe:       sw.pipe,
 		})
 		fmt.Fprintf(sw.w, "  %-8s %v\n", metric.Name(), res)
 	}
@@ -338,31 +396,8 @@ func studyHom() {
 func studyPolicy() {
 	header("dispatch policies under ADAPT-L windows (§7.3)")
 	for _, pol := range sched.Policies {
-		succ := 0
-		for idx := 0; idx < sw.graphs; idx++ {
-			cfg := genCfg()
-			cfg.Seed = gen.SubSeed(sw.seed, idx)
-			w, err := gen.Generate(cfg)
-			if err != nil {
-				continue
-			}
-			est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
-			if err != nil {
-				continue
-			}
-			asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), slicing.AdaptL(), slicing.CalibratedParams())
-			if err != nil {
-				continue
-			}
-			s, err := sched.DispatchWith(w.Graph, w.Platform, asg, pol)
-			if err != nil {
-				continue
-			}
-			if s.Feasible {
-				succ++
-			}
-		}
-		fmt.Fprintf(sw.w, "  %-5v %5.1f%%\n", pol, 100*float64(succ)/float64(sw.graphs))
+		fmt.Fprintf(sw.w, "  %-5v %5.1f%%\n", pol,
+			pointSucc(genCfg(), sliced(slicing.AdaptL()), pipeline.WithPolicy(pol)))
 	}
 }
 
@@ -386,6 +421,11 @@ func studyPinned() {
 func studyHeadroom() {
 	header("headroom above ADAPT-L: annealed virtual costs (related work [15])")
 	graphsN := min(sw.graphs, 120)
+	builder := &pipeline.Builder{
+		Distributor: sliced(slicing.AdaptL()),
+		Cache:       sw.pipe.Cache,
+		Recorder:    sw.pipe.Recorder,
+	}
 	alSucc, annSucc := 0, 0
 	for idx := 0; idx < graphsN; idx++ {
 		cfg := genCfg()
@@ -394,24 +434,16 @@ func studyHeadroom() {
 		if err != nil {
 			continue
 		}
-		est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+		plan, err := builder.Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
 		if err != nil {
 			continue
 		}
-		asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), slicing.AdaptL(), slicing.CalibratedParams())
-		if err != nil {
-			continue
-		}
-		s, err := sched.Dispatch(w.Graph, w.Platform, asg)
-		if err != nil {
-			continue
-		}
-		if s.Feasible {
+		if plan.Verdict.Feasible {
 			alSucc++
 			annSucc++ // annealing starts from ADAPT-L: never worse
 			continue
 		}
-		res, err := anneal.Search(w.Graph, w.Platform, est, slicing.CalibratedParams(),
+		res, err := anneal.Search(w.Graph, w.Platform, plan.Estimates, slicing.CalibratedParams(),
 			anneal.Options{Iterations: 300, Seed: gen.SubSeed(sw.seed+1, idx)})
 		if err != nil {
 			continue
@@ -446,7 +478,7 @@ func studyFaults() {
 		return experiment.FaultRun(experiment.FaultConfig{
 			Gen: genCfg(), Metric: metric, Params: slicing.CalibratedParams(), WCET: wcet.AVG,
 			NumGraphs: sw.graphs, MasterSeed: sw.seed, Workers: sw.workers,
-			Intensity: intensity, Reclaim: reclaim,
+			Intensity: intensity, Reclaim: reclaim, Pipe: sw.pipe,
 		})
 	}
 	// Success ratio and per-run task miss ratio per metric as the fault
@@ -497,31 +529,7 @@ func studyOverlap() {
 		deadline.ED{},
 	}
 	for _, d := range dists {
-		succ := 0
-		for idx := 0; idx < sw.graphs; idx++ {
-			cfg := genCfg()
-			cfg.Seed = gen.SubSeed(sw.seed, idx)
-			w, err := gen.Generate(cfg)
-			if err != nil {
-				continue
-			}
-			est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
-			if err != nil {
-				continue
-			}
-			asg, err := d.Distribute(w.Graph, est, w.Platform.M())
-			if err != nil {
-				continue
-			}
-			s, err := sched.Dispatch(w.Graph, w.Platform, asg)
-			if err != nil {
-				continue
-			}
-			if s.Feasible {
-				succ++
-			}
-		}
-		fmt.Fprintf(sw.w, "  %-14s %5.1f%%\n", d.Name(), 100*float64(succ)/float64(sw.graphs))
+		fmt.Fprintf(sw.w, "  %-14s %5.1f%%\n", d.Name(), pointSucc(genCfg(), d, pipeline.TimeDriven()))
 	}
 	fmt.Fprintln(sw.w, "  (UD/ED check only the end-to-end deadline; slicing additionally")
 	fmt.Fprintln(sw.w, "   guarantees I1/I2 — independent per-processor scheduling, no jitter)")

@@ -19,6 +19,8 @@ import (
 	"math/rand"
 
 	"repro/internal/arch"
+	"repro/internal/deadline"
+	"repro/internal/pipeline"
 	"repro/internal/rtime"
 	"repro/internal/sched"
 	"repro/internal/slicing"
@@ -102,15 +104,17 @@ func Search(g *taskgraph.Graph, p *arch.Platform, est []rtime.Time, params slici
 	cur := slicing.AdaptL().VirtualCosts(env)
 
 	evaluate := func(vc []rtime.Time) (*slicing.Assignment, *sched.Schedule, float64, error) {
-		asg, err := slicing.Distribute(g, est, p.M(), &fixedCosts{vc: vc}, params)
+		// A fresh uncached builder per candidate: fixedCosts' identity is
+		// the ĉ vector, which its stage name cannot capture, so cached
+		// plans would alias across candidates.
+		b := &pipeline.Builder{
+			Distributor: deadline.Sliced{Metric: &fixedCosts{vc: vc}, Params: params},
+		}
+		plan, err := b.Build(pipeline.Spec{Graph: g, Platform: p, Estimates: est})
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		s, err := sched.Dispatch(g, p, asg)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		return asg, s, cost(s), nil
+		return plan.Assignment, plan.Schedule, cost(plan.Schedule), nil
 	}
 
 	asg, s, curCost, err := evaluate(cur)

@@ -4,11 +4,12 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/deadline"
 	"repro/internal/degrade"
 	"repro/internal/faults"
 	"repro/internal/gen"
+	"repro/internal/pipeline"
 	"repro/internal/rtime"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/slicing"
 	"repro/internal/stats"
@@ -51,6 +52,11 @@ type DegradeConfig struct {
 	Reclaim bool
 	// Timeout is the per-workload wall-clock budget (0 = none).
 	Timeout time.Duration
+	// Pipe optionally supplies a shared plan cache and instrumentation
+	// recorder for the planning pipeline. With a shared cache the
+	// baseline fault path re-plans each workload once instead of once
+	// per intensity.
+	Pipe pipeline.Shared
 }
 
 // DegradePoint aggregates one intensity of a degradation series.
@@ -175,11 +181,10 @@ func DegradeRun(cfg DegradeConfig) (DegradeCurve, error) {
 	return curve, nil
 }
 
-// modePipe is the cached planning pipeline of one operating mode.
+// modePipe is the memoized plan of one operating mode.
 type modePipe struct {
-	asg *slicing.Assignment
-	s   *sched.Schedule
-	err error
+	plan *pipeline.Plan
+	err  error
 }
 
 // degradeRunOne carries workload idx through the whole intensity ramp.
@@ -209,8 +214,15 @@ func degradeRunOne(cfg DegradeConfig, idx int) (degradeOutcome, error) {
 	}
 	top := len(modes) - 1
 
-	// Lazily planned pipelines, one per mode: estimates over the mode
-	// graph, re-sliced end-to-end deadlines, re-verified dispatch.
+	// Lazily memoized plans, one per mode: estimates over the mode
+	// graph, re-sliced end-to-end deadlines, re-verified dispatch — one
+	// pipeline build per mode level.
+	builder := &pipeline.Builder{
+		Estimator:   pipeline.StrategyEstimator(cfg.WCET),
+		Distributor: deadline.Sliced{Metric: cfg.Metric, Params: cfg.Params},
+		Cache:       cfg.Pipe.Cache,
+		Recorder:    cfg.Pipe.Recorder,
+	}
 	pipes := make([]*modePipe, len(modes))
 	pipe := func(l int) *modePipe {
 		if pipes[l] != nil {
@@ -218,17 +230,7 @@ func degradeRunOne(cfg DegradeConfig, idx int) (degradeOutcome, error) {
 		}
 		p := &modePipe{}
 		pipes[l] = p
-		mg := modes[l].Graph
-		est, err := wcet.Estimates(mg, w.Platform, cfg.WCET)
-		if err != nil {
-			p.err = err
-			return p
-		}
-		p.asg, p.err = slicing.Distribute(mg, est, w.Platform.M(), cfg.Metric, cfg.Params)
-		if p.err != nil {
-			return p
-		}
-		p.s, p.err = sched.Dispatch(mg, w.Platform, p.asg)
+		p.plan, p.err = builder.Build(pipeline.Spec{Graph: modes[l].Graph, Platform: w.Platform})
 		return p
 	}
 
@@ -256,7 +258,7 @@ func degradeRunOne(cfg DegradeConfig, idx int) (degradeOutcome, error) {
 	fcfg := FaultConfig{
 		Gen: cfg.Gen, Metric: cfg.Metric, Params: cfg.Params, WCET: cfg.WCET,
 		NumGraphs: cfg.NumGraphs, MasterSeed: cfg.MasterSeed, Workers: cfg.Workers,
-		Reclaim: cfg.Reclaim,
+		Reclaim: cfg.Reclaim, Pipe: cfg.Pipe,
 	}
 	for p, intensity := range cfg.Intensities {
 		// The uncontrolled baseline, via FaultRun's own per-workload
@@ -289,7 +291,7 @@ func degradeRunOne(cfg DegradeConfig, idx int) (degradeOutcome, error) {
 				if pl.err != nil {
 					frameErr = pl.err
 				} else {
-					ir, err := sim.Inject(modes[lv].Graph, w.Platform, pl.asg, pl.s,
+					ir, err := sim.Inject(modes[lv].Graph, w.Platform, pl.plan.Assignment, pl.plan.Schedule,
 						sim.Options{Faults: trace.Project(modes[lv].New2Old), Reclaim: cfg.Reclaim})
 					if err != nil {
 						frameErr = err

@@ -14,9 +14,9 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/feas"
+	"repro/internal/deadline"
 	"repro/internal/gen"
-	"repro/internal/sched"
+	"repro/internal/pipeline"
 	"repro/internal/slicing"
 	"repro/internal/stats"
 	"repro/internal/wcet"
@@ -47,6 +47,25 @@ type Config struct {
 	// doubles the per-workload cost (O(n²) boundary intervals), so it is
 	// off by default.
 	Classify bool
+	// Pipe optionally supplies a shared plan cache and instrumentation
+	// recorder for the planning pipeline; the zero value plans uncached
+	// and unrecorded.
+	Pipe pipeline.Shared
+}
+
+// builder assembles the pipeline configuration this point plans with.
+func (cfg Config) builder() *pipeline.Builder {
+	b := &pipeline.Builder{
+		Estimator:   pipeline.StrategyEstimator(cfg.WCET),
+		Distributor: deadline.Sliced{Metric: cfg.Metric, Params: cfg.Params},
+		Dispatcher:  cfg.Scheduler.dispatcher(),
+		Cache:       cfg.Pipe.Cache,
+		Recorder:    cfg.Pipe.Recorder,
+	}
+	if cfg.Classify {
+		b.Verifier = pipeline.FeasVerifier()
+	}
+	return b
 }
 
 // Scheduler selects how the assigned windows are scheduled.
@@ -70,6 +89,14 @@ func (s Scheduler) String() string {
 		return "planner"
 	}
 	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// dispatcher returns the pipeline dispatcher hook of the variant.
+func (s Scheduler) dispatcher() pipeline.Dispatcher {
+	if s == Planner {
+		return pipeline.Planner()
+	}
+	return pipeline.TimeDriven()
 }
 
 // Point aggregates one data point.
@@ -132,8 +159,7 @@ type runOutcome struct {
 	minLaxity          float64
 }
 
-// runOne runs the full pipeline — generate, estimate, slice, schedule —
-// for workload idx.
+// runOne generates workload idx and runs the planning pipeline on it.
 func runOne(cfg Config, idx int) (runOutcome, error) {
 	var o runOutcome
 	gcfg := cfg.Gen
@@ -142,32 +168,15 @@ func runOne(cfg Config, idx int) (runOutcome, error) {
 	if err != nil {
 		return o, err
 	}
-	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
+	plan, err := cfg.builder().Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
 	if err != nil {
 		return o, err
 	}
-	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
-	if err != nil {
-		return o, err
-	}
-	o.overConstrained = asg.OverConstrained
-	if cfg.Classify {
-		if bad, err := feas.Infeasible(w.Graph, w.Platform, asg); err == nil && bad {
-			o.provablyInfeasible = true
-		}
-	}
-	var s *sched.Schedule
-	if cfg.Scheduler == Planner {
-		s, err = sched.EDF(w.Graph, w.Platform, asg)
-	} else {
-		s, err = sched.Dispatch(w.Graph, w.Platform, asg)
-	}
-	if err != nil {
-		return o, err
-	}
-	o.feasible = s.Feasible
-	o.maxLateness = float64(s.MaxLateness)
-	o.minLaxity = float64(asg.MinLaxity(est))
+	o.feasible = plan.Verdict.Feasible
+	o.overConstrained = plan.Verdict.OverConstrained
+	o.provablyInfeasible = plan.Verdict.ProvablyInfeasible
+	o.maxLateness = float64(plan.Verdict.MaxLateness)
+	o.minLaxity = float64(plan.Verdict.MinLaxity)
 	return o, nil
 }
 

@@ -1,10 +1,11 @@
 package experiment
 
 import (
+	"repro/internal/deadline"
 	"repro/internal/faults"
 	"repro/internal/gen"
+	"repro/internal/pipeline"
 	"repro/internal/rtime"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/slicing"
 	"repro/internal/stats"
@@ -39,6 +40,20 @@ type FaultConfig struct {
 	Intensity float64
 	// Reclaim enables the online slack-reclamation recovery policy.
 	Reclaim bool
+	// Pipe optionally supplies a shared plan cache and instrumentation
+	// recorder for the planning pipeline.
+	Pipe pipeline.Shared
+}
+
+// builder assembles the pipeline configuration this point plans with
+// (faults are injected into the nominal time-driven plan).
+func (cfg FaultConfig) builder() *pipeline.Builder {
+	return &pipeline.Builder{
+		Estimator:   pipeline.StrategyEstimator(cfg.WCET),
+		Distributor: deadline.Sliced{Metric: cfg.Metric, Params: cfg.Params},
+		Cache:       cfg.Pipe.Cache,
+		Recorder:    cfg.Pipe.Recorder,
+	}
 }
 
 // FaultPoint aggregates the graceful-degradation measures of one data
@@ -122,15 +137,7 @@ func faultRunOne(cfg FaultConfig, idx int) (faultOutcome, error) {
 	if err != nil {
 		return o, err
 	}
-	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
-	if err != nil {
-		return o, err
-	}
-	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
-	if err != nil {
-		return o, err
-	}
-	s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+	plan, err := cfg.builder().Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
 	if err != nil {
 		return o, err
 	}
@@ -142,12 +149,13 @@ func faultRunOne(cfg FaultConfig, idx int) (faultOutcome, error) {
 			span = d
 		}
 	}
-	plan := faults.Scaled(cfg.Intensity, gen.SubSeed(cfg.MasterSeed+1, idx))
-	trace, err := plan.Materialize(w.Graph, w.Platform, span)
+	fplan := faults.Scaled(cfg.Intensity, gen.SubSeed(cfg.MasterSeed+1, idx))
+	trace, err := fplan.Materialize(w.Graph, w.Platform, span)
 	if err != nil {
 		return o, err
 	}
-	ir, err := sim.Inject(w.Graph, w.Platform, asg, s, sim.Options{Faults: trace, Reclaim: cfg.Reclaim})
+	ir, err := sim.Inject(w.Graph, w.Platform, plan.Assignment, plan.Schedule,
+		sim.Options{Faults: trace, Reclaim: cfg.Reclaim})
 	if err != nil {
 		return o, err
 	}

@@ -3,10 +3,11 @@ package experiment
 import (
 	"time"
 
+	"repro/internal/deadline"
 	"repro/internal/faults"
 	"repro/internal/gen"
+	"repro/internal/pipeline"
 	"repro/internal/robust"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/slicing"
 	"repro/internal/stats"
@@ -52,6 +53,21 @@ type MarginConfig struct {
 	// Timeout is the per-workload wall-clock budget (0 = none); a
 	// workload over budget is abandoned and counted in Point.Timeouts.
 	Timeout time.Duration
+	// Pipe optionally supplies a shared plan cache and instrumentation
+	// recorder for the planning pipeline. A shared cache lets the
+	// re-slicing loop's first round and the breakdown bisection's probes
+	// reuse the nominal plan instead of re-planning it.
+	Pipe pipeline.Shared
+}
+
+// builder assembles the pipeline configuration this point plans with.
+func (cfg MarginConfig) builder() *pipeline.Builder {
+	return &pipeline.Builder{
+		Estimator:   pipeline.StrategyEstimator(cfg.WCET),
+		Distributor: deadline.Sliced{Metric: cfg.Metric, Params: cfg.Params},
+		Cache:       cfg.Pipe.Cache,
+		Recorder:    cfg.Pipe.Recorder,
+	}
 }
 
 // MarginPoint aggregates one estimation-error data point.
@@ -153,22 +169,15 @@ func marginRunOne(cfg MarginConfig, idx int) (marginOutcome, error) {
 	if err != nil {
 		return o, err
 	}
-	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
-	if err != nil {
-		return o, err
-	}
-	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
-	if err != nil {
-		return o, err
-	}
-	s, err := sched.Dispatch(w.Graph, w.Platform, asg)
+	plan, err := cfg.builder().Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
 	if err != nil {
 		return o, err
 	}
 	pert := cfg.Model.Draw(w.Graph.NumTasks(), w.Platform.NumClasses(),
 		gen.SubSeed(cfg.MasterSeed+2, idx))
 	tr := perturbTrace(pert, w.Platform.M(), w.Platform.ClassOf)
-	ir, err := sim.Inject(w.Graph, w.Platform, asg, s, sim.Options{Faults: tr, Reclaim: cfg.Reclaim})
+	ir, err := sim.Inject(w.Graph, w.Platform, plan.Assignment, plan.Schedule,
+		sim.Options{Faults: tr, Reclaim: cfg.Reclaim})
 	if err != nil {
 		return o, err
 	}
@@ -182,8 +191,10 @@ func marginRunOne(cfg MarginConfig, idx int) (marginOutcome, error) {
 	o.overruns = d.Overruns
 	o.reclamations = d.Reclamations
 	if !o.success && cfg.Reslice.MaxRetries > 0 {
-		rr, err := robust.ResliceLoop(w.Graph, w.Platform, est, cfg.Metric, cfg.Params,
-			tr, cfg.Reslice)
+		ropt := cfg.Reslice
+		ropt.Pipe = cfg.Pipe
+		rr, err := robust.ResliceLoop(w.Graph, w.Platform, plan.Estimates, cfg.Metric, cfg.Params,
+			tr, ropt)
 		if err != nil {
 			return o, err
 		}
@@ -245,17 +256,13 @@ func breakdownRunOne(cfg MarginConfig, idx int) (robust.Breakdown, error) {
 	if err != nil {
 		return b, err
 	}
-	est, err := wcet.Estimates(w.Graph, w.Platform, cfg.WCET)
-	if err != nil {
-		return b, err
+	// Every bisection probe re-fetches the plan through the pipeline —
+	// only the WCET scaling changes between probes, so with a plan cache
+	// the workload is planned exactly once. Without a shared cache a
+	// private single-entry cache keeps the probes amortized.
+	builder := cfg.builder()
+	if builder.Cache == nil {
+		builder.Cache = pipeline.NewCache(1)
 	}
-	asg, err := slicing.Distribute(w.Graph, est, w.Platform.M(), cfg.Metric, cfg.Params)
-	if err != nil {
-		return b, err
-	}
-	s, err := sched.Dispatch(w.Graph, w.Platform, asg)
-	if err != nil {
-		return b, err
-	}
-	return robust.BreakdownFactor(w.Graph, w.Platform, asg, s, cfg.Breakdown)
+	return robust.BreakdownVia(builder, pipeline.Spec{Graph: w.Graph, Platform: w.Platform}, cfg.Breakdown)
 }

@@ -3,11 +3,11 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/deadline"
 	"repro/internal/gen"
 	"repro/internal/optsched"
-	"repro/internal/sched"
+	"repro/internal/pipeline"
 	"repro/internal/slicing"
-	"repro/internal/wcet"
 )
 
 // OptGap quantifies how much of the success-ratio shortfall is the
@@ -65,6 +65,9 @@ type OptGapConfig struct {
 	NodeBudget int
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Pipe optionally supplies a shared plan cache and instrumentation
+	// recorder for the planning pipeline.
+	Pipe pipeline.Shared
 }
 
 // optGapOutcome classifies one workload of the study.
@@ -117,22 +120,20 @@ func optGapOne(cfg OptGapConfig, idx int) optGapOutcome {
 	if err != nil {
 		return optGapInconclusive
 	}
-	est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+	// Default pipeline hooks: WCET-AVG estimates, time-driven dispatch.
+	b := &pipeline.Builder{
+		Distributor: deadline.Sliced{Metric: cfg.Metric, Params: cfg.Params},
+		Cache:       cfg.Pipe.Cache,
+		Recorder:    cfg.Pipe.Recorder,
+	}
+	plan, err := b.Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
 	if err != nil {
 		return optGapInconclusive
 	}
-	asg, err := slicing.Distribute(w.Graph, est, cfg.M, cfg.Metric, cfg.Params)
-	if err != nil {
-		return optGapInconclusive
-	}
-	d, err := sched.Dispatch(w.Graph, w.Platform, asg)
-	if err != nil {
-		return optGapInconclusive
-	}
-	if d.Feasible {
+	if plan.Verdict.Feasible {
 		return optGapDispatchOK
 	}
-	exact, err := optsched.Schedule(w.Graph, w.Platform, asg,
+	exact, err := optsched.Schedule(w.Graph, w.Platform, plan.Assignment,
 		optsched.Options{NodeBudget: cfg.NodeBudget, StopAtFeasible: true})
 	if err != nil {
 		return optGapInconclusive

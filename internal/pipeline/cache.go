@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU plan cache. Entries are whole immutable
+// *Plan values, so hits return shared pointers; consumers must treat
+// plans as read-only (the injection simulators and the replay verifier
+// already do — they copy what they perturb).
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recently used; values are *cacheEntry
+	byK map[Key]*list.Element
+}
+
+type cacheEntry struct {
+	key  Key
+	plan *Plan
+}
+
+// NewCache returns an LRU plan cache holding up to capacity plans;
+// capacity <= 0 selects a default of 1024.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Cache{cap: capacity, lru: list.New(), byK: make(map[Key]*list.Element)}
+}
+
+func (c *Cache) get(k Key) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[k]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+func (c *Cache) put(k Key, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[k]; ok {
+		el.Value.(*cacheEntry).plan = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byK[k] = c.lru.PushFront(&cacheEntry{key: k, plan: p})
+	for c.lru.Len() > c.cap {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.byK, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Purge empties the cache.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.byK = make(map[Key]*list.Element)
+}

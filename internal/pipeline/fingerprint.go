@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/rtime"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+// Key identifies a Plan: the workload fingerprint plus the named stage
+// configuration. It is a comparable value type, so it can key a map
+// directly. Two Builds with equal Keys produce behaviorally identical
+// Plans (the stages are deterministic pure functions of their inputs).
+type Key struct {
+	// Workload fingerprints the task graph and platform content.
+	Workload uint64
+	// Estimates hashes the resolved WCET estimate vector, so plans made
+	// from explicit estimates (re-slicing feedback) and from an
+	// estimator strategy land in the same cache namespace.
+	Estimates uint64
+	// Distributor, Dispatcher and Verifier are the stage hook names.
+	Distributor string
+	Dispatcher  string
+	Verifier    string
+	// Params are the adaptive slicing parameters when the distributor
+	// is metric-backed (zero otherwise).
+	Params slicing.Params
+}
+
+// FNV-1a, 64-bit. Hand-rolled over hash/fnv to hash integers without
+// per-field byte-slice churn on this hot path.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type hasher uint64
+
+func newHasher() hasher { return fnvOffset }
+
+func (h *hasher) u64(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x = (x ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	*h = hasher(x)
+}
+
+func (h *hasher) i64(v int64)       { h.u64(uint64(v)) }
+func (h *hasher) int(v int)         { h.i64(int64(v)) }
+func (h *hasher) time(v rtime.Time) { h.i64(int64(v)) }
+func (h *hasher) f64(v float64)     { h.u64(math.Float64bits(v)) }
+
+// Fingerprint hashes the planning-relevant content of a workload: every
+// task parameter the estimator, distributor, or dispatcher reads, every
+// arc, and the platform shape including per-pair communication costs.
+// Display names are deliberately excluded — renaming a task must not
+// evict its plans.
+func Fingerprint(g *taskgraph.Graph, p *arch.Platform) uint64 {
+	h := newHasher()
+	h.int(g.NumTasks())
+	for _, t := range g.Tasks() {
+		for _, c := range t.WCET {
+			h.time(c)
+		}
+		h.time(t.Phase)
+		h.time(t.Period)
+		h.time(t.ETEDeadline)
+		h.int(t.Pinned)
+		h.int(len(t.Resources))
+		for _, r := range t.Resources {
+			h.int(r)
+		}
+		h.int(int(t.Criticality))
+		h.f64(t.Value)
+	}
+	h.int(g.NumArcs())
+	for _, a := range g.Arcs() {
+		h.int(a.From)
+		h.int(a.To)
+		h.time(a.Items)
+	}
+	h.int(int(p.Kind))
+	h.int(p.NumClasses())
+	for _, c := range p.Classes {
+		h.f64(c.Speed)
+	}
+	h.int(p.M())
+	for q := 0; q < p.M(); q++ {
+		h.int(p.ClassOf(q))
+	}
+	h.time(p.Bus.DelayPerItem)
+	if p.Net != nil {
+		// Dedicated links change per-pair costs; hash the effective
+		// per-item cost matrix rather than the private structure.
+		for f := 0; f < p.M(); f++ {
+			for t := 0; t < p.M(); t++ {
+				h.time(p.CommCost(f, t, 1))
+			}
+		}
+	}
+	return uint64(h)
+}
+
+// hashTimes hashes a WCET estimate vector.
+func hashTimes(est []rtime.Time) uint64 {
+	h := newHasher()
+	h.int(len(est))
+	for _, c := range est {
+		h.time(c)
+	}
+	return uint64(h)
+}

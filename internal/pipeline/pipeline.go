@@ -1,0 +1,368 @@
+// Package pipeline is the single, instrumented implementation of the
+// planning sequence every layer of this repository used to hand-roll:
+//
+//	estimate (wcet) → slice (deadline distribution) → dispatch (sched)
+//	→ verdict (feasibility + secondary measures)
+//
+// A Builder bundles one configuration of the four stages as named,
+// pluggable hooks; Build executes them on a workload Spec and returns an
+// immutable Plan artifact carrying every stage product (estimates,
+// assignment, schedule, verdict) plus per-stage wall-time and allocation
+// counters. Because a Plan is a pure function of (workload fingerprint,
+// estimates, distributor, dispatcher, verifier), Builds can be memoized:
+// an optional LRU Cache keyed by exactly that tuple lets re-slicing
+// loops, breakdown bisection, degradation mode ladders, and multi-cell
+// sweeps stop re-planning identical inputs. An optional Recorder
+// aggregates stage statistics across builds (the `sweep -stats` view).
+//
+// The experiment harness, the robustness instruments (robust), the
+// degradation study, the annealing search, and the cmd front-ends all
+// consume this package; none of them pair slicing.Distribute with
+// sched.Dispatch directly anymore, so cross-cutting work — timing,
+// counters, caching, new verdict measures — is wired exactly once, here.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/deadline"
+	"repro/internal/feas"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+	"repro/internal/wcet"
+)
+
+// Spec is one planning request: the workload, plus optionally
+// pre-computed WCET estimates that bypass the estimator stage (the
+// re-slicing feedback loop feeds corrected estimates this way).
+type Spec struct {
+	Graph    *taskgraph.Graph
+	Platform *arch.Platform
+	// Estimates, when non-nil, are used verbatim and the estimator
+	// stage is skipped. The slice is copied into the Plan, never
+	// aliased.
+	Estimates []rtime.Time
+}
+
+// Estimator is the named first-stage hook: per-task WCET estimates from
+// the workload. The zero value makes Build fall back to the paper's
+// WCET-AVG strategy.
+type Estimator struct {
+	Name string
+	Run  func(g *taskgraph.Graph, p *arch.Platform) ([]rtime.Time, error)
+}
+
+// StrategyEstimator adapts a wcet.Strategy (§5.3) to the estimator hook.
+func StrategyEstimator(s wcet.Strategy) Estimator {
+	return Estimator{Name: s.String(), Run: func(g *taskgraph.Graph, p *arch.Platform) ([]rtime.Time, error) {
+		return wcet.Estimates(g, p, s)
+	}}
+}
+
+// Estimate runs the estimator stage alone; single-stage consumers (the
+// public api surface, viewers) use it so the stage has one home.
+func Estimate(g *taskgraph.Graph, p *arch.Platform, s wcet.Strategy) ([]rtime.Time, error) {
+	return wcet.Estimates(g, p, s)
+}
+
+// Slice runs the deadline-distribution stage alone with the slicing
+// technique (Figure 1).
+func Slice(g *taskgraph.Graph, est []rtime.Time, m int, metric slicing.Metric, params slicing.Params) (*slicing.Assignment, error) {
+	return slicing.Distribute(g, est, m, metric, params)
+}
+
+// Dispatcher is the named third-stage hook: a window assignment into a
+// concrete schedule. The zero value makes Build fall back to TimeDriven.
+type Dispatcher struct {
+	Name string
+	Run  func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*sched.Schedule, error)
+}
+
+// TimeDriven is the paper's non-preemptive time-driven EDF dispatcher.
+func TimeDriven() Dispatcher {
+	return Dispatcher{Name: "time-driven", Run: sched.Dispatch}
+}
+
+// Planner is the offline greedy EDF list scheduler with per-processor
+// reservation.
+func Planner() Dispatcher {
+	return Dispatcher{Name: "planner", Run: sched.EDF}
+}
+
+// Insertion is the insertion-based (backfilling) offline EDF variant.
+func Insertion() Dispatcher {
+	return Dispatcher{Name: "insertion", Run: sched.InsertEDF}
+}
+
+// Preemptive is the global preemptive EDF dispatcher with migration.
+// The Plan records its embedded non-preemptive verdict view (feasibility,
+// lateness, placements); callers needing the slice-level detail run
+// sched.DispatchPreemptive directly.
+func Preemptive() Dispatcher {
+	return Dispatcher{Name: "preemptive", Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*sched.Schedule, error) {
+		ps, err := sched.DispatchPreemptive(g, p, asg)
+		if err != nil {
+			return nil, err
+		}
+		return &ps.Schedule, nil
+	}}
+}
+
+// WithPolicy is the time-driven dispatcher under an alternative
+// ready-task policy (§7.3's policy axis).
+func WithPolicy(pol sched.Policy) Dispatcher {
+	return Dispatcher{Name: "policy:" + pol.String(), Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*sched.Schedule, error) {
+		return sched.DispatchWith(g, p, asg, pol)
+	}}
+}
+
+// Verifier is the named optional fourth-stage hook: an extra
+// schedulability verdict on the assignment. The zero value skips the
+// stage.
+type Verifier struct {
+	Name string
+	Run  func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (infeasible bool, err error)
+}
+
+// FeasVerifier runs the fast necessary feasibility conditions; a true
+// verdict proves the assignment unschedulable by every scheduler (the
+// failure is the metric's fault, not the dispatcher's). Condition-check
+// errors are swallowed — an uncheckable assignment is simply not
+// provably infeasible.
+func FeasVerifier() Verifier {
+	return Verifier{Name: "feas", Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (bool, error) {
+		bad, err := feas.Infeasible(g, p, asg)
+		return err == nil && bad, nil
+	}}
+}
+
+// Shared bundles the cross-run pipeline state callers may thread through
+// study configurations: the plan cache and the instrumentation recorder.
+// Both are safe for concurrent use; the zero value plans uncached and
+// unrecorded.
+type Shared struct {
+	Cache    *Cache
+	Recorder *Recorder
+}
+
+// Builder bundles one configuration of the pipeline stages. The zero
+// value is usable: WCET-AVG estimates, ADAPT-L slicing with calibrated
+// parameters, the time-driven dispatcher, no extra verifier, no cache.
+// A Builder is immutable after first use and safe for concurrent Build
+// calls.
+type Builder struct {
+	Estimator   Estimator
+	Distributor deadline.Distributor
+	Dispatcher  Dispatcher
+	Verifier    Verifier
+	// Cache, when non-nil, memoizes Plans by Key. Plans are immutable,
+	// so sharing one cache across goroutines and studies is safe; a
+	// custom Distributor whose behavior is not fully captured by its
+	// Name() (e.g. the annealing search's per-candidate virtual costs)
+	// must not share a cache.
+	Cache *Cache
+	// Recorder, when non-nil, accumulates per-stage statistics and
+	// cache hit/miss counts across builds.
+	Recorder *Recorder
+}
+
+// Verdict is the schedulability outcome of a Plan, folding the primary
+// success measure and the paper's secondary quality measures (§4.2).
+type Verdict struct {
+	// Feasible reports that the schedule met every assigned deadline.
+	Feasible bool
+	// OverConstrained reports that slicing produced an empty window —
+	// a guaranteed failure.
+	OverConstrained bool
+	// ProvablyInfeasible reports the verifier's verdict (false when no
+	// verifier ran).
+	ProvablyInfeasible bool
+	// MaxLateness is max(fᵢ − Dᵢ) over placed tasks.
+	MaxLateness rtime.Time
+	// MinLaxity is the minimum task laxity of the assignment.
+	MinLaxity rtime.Time
+}
+
+// StageStats instruments one stage execution of one Build.
+type StageStats struct {
+	// Wall is the stage's wall-clock time.
+	Wall time.Duration
+	// Allocs and Bytes are the process-wide heap allocation deltas
+	// across the stage, filled only when the Builder's Recorder counts
+	// allocations (they include concurrent goroutines' allocations, so
+	// they are exact in single-threaded profiling runs and indicative
+	// under a worker pool).
+	Allocs uint64
+	Bytes  uint64
+}
+
+// PlanStats carries the per-stage instrumentation of one Build.
+type PlanStats struct {
+	Estimate StageStats
+	Slice    StageStats
+	Dispatch StageStats
+	Verify   StageStats
+}
+
+// Total returns the summed wall time of all stages.
+func (s PlanStats) Total() time.Duration {
+	return s.Estimate.Wall + s.Slice.Wall + s.Dispatch.Wall + s.Verify.Wall
+}
+
+// Plan is the immutable artifact of one pipeline execution. Cached
+// plans are shared across goroutines — consumers must not mutate any
+// field or pointee.
+type Plan struct {
+	// Key identifies the plan: workload fingerprint, estimate hash, and
+	// the named stage configuration.
+	Key Key
+	// Graph and Platform are the planned workload.
+	Graph    *taskgraph.Graph
+	Platform *arch.Platform
+	// Estimates are the resolved per-task WCET estimates c̄.
+	Estimates []rtime.Time
+	// Assignment is the window assignment the distributor produced.
+	Assignment *slicing.Assignment
+	// Schedule is the dispatcher's schedule.
+	Schedule *sched.Schedule
+	// Verdict folds the schedulability outcome.
+	Verdict Verdict
+	// Stats instruments the build that produced this plan (a cache hit
+	// returns the original build's stats).
+	Stats PlanStats
+}
+
+func (b *Builder) estimator() Estimator {
+	if b.Estimator.Run == nil {
+		return StrategyEstimator(wcet.AVG)
+	}
+	return b.Estimator
+}
+
+func (b *Builder) distributor() deadline.Distributor {
+	if b.Distributor == nil {
+		return deadline.Sliced{Metric: slicing.AdaptL(), Params: slicing.CalibratedParams()}
+	}
+	return b.Distributor
+}
+
+func (b *Builder) dispatcher() Dispatcher {
+	if b.Dispatcher.Run == nil {
+		return TimeDriven()
+	}
+	return b.Dispatcher
+}
+
+// Build executes the pipeline on one workload and returns its Plan,
+// consulting the cache first when one is configured. Stage errors
+// propagate unwrapped (and uncached), exactly as the hand-rolled call
+// sequences did.
+func (b *Builder) Build(spec Spec) (*Plan, error) {
+	if spec.Graph == nil || spec.Platform == nil {
+		return nil, fmt.Errorf("pipeline: Spec needs a graph and a platform")
+	}
+	var stats PlanStats
+	countAllocs := b.Recorder.countsAllocs()
+
+	// Stage 1: estimate. Always executed (it is O(n) and its output is
+	// part of the cache key), unless the spec supplies estimates.
+	var est []rtime.Time
+	if spec.Estimates != nil {
+		est = append([]rtime.Time(nil), spec.Estimates...)
+	} else {
+		e := b.estimator()
+		probe := beginStage(countAllocs)
+		var err error
+		est, err = e.Run(spec.Graph, spec.Platform)
+		stats.Estimate = probe.end()
+		if err != nil {
+			b.Recorder.recordError()
+			return nil, err
+		}
+	}
+
+	dist := b.distributor()
+	distName, params := distributorKey(dist)
+	key := Key{
+		Workload:    Fingerprint(spec.Graph, spec.Platform),
+		Estimates:   hashTimes(est),
+		Distributor: distName,
+		Params:      params,
+		Dispatcher:  b.dispatcher().Name,
+		Verifier:    b.Verifier.Name,
+	}
+	if b.Cache != nil {
+		if plan, ok := b.Cache.get(key); ok {
+			b.Recorder.recordHit()
+			return plan, nil
+		}
+	}
+
+	// Stage 2: slice.
+	probe := beginStage(countAllocs)
+	asg, err := dist.Distribute(spec.Graph, est, spec.Platform.M())
+	stats.Slice = probe.end()
+	if err != nil {
+		b.Recorder.recordError()
+		return nil, err
+	}
+
+	// Stage 3: dispatch.
+	d := b.dispatcher()
+	probe = beginStage(countAllocs)
+	s, err := d.Run(spec.Graph, spec.Platform, asg)
+	stats.Dispatch = probe.end()
+	if err != nil {
+		b.Recorder.recordError()
+		return nil, err
+	}
+
+	// Stage 4: verdict (+ optional verifier).
+	verdict := Verdict{
+		Feasible:        s.Feasible,
+		OverConstrained: asg.OverConstrained,
+		MaxLateness:     s.MaxLateness,
+		MinLaxity:       asg.MinLaxity(est),
+	}
+	if b.Verifier.Run != nil {
+		probe = beginStage(countAllocs)
+		bad, err := b.Verifier.Run(spec.Graph, spec.Platform, asg)
+		stats.Verify = probe.end()
+		if err != nil {
+			b.Recorder.recordError()
+			return nil, err
+		}
+		verdict.ProvablyInfeasible = bad
+	}
+
+	plan := &Plan{
+		Key:        key,
+		Graph:      spec.Graph,
+		Platform:   spec.Platform,
+		Estimates:  est,
+		Assignment: asg,
+		Schedule:   s,
+		Verdict:    verdict,
+		Stats:      stats,
+	}
+	if b.Cache != nil {
+		b.Cache.put(key, plan)
+	}
+	b.Recorder.recordBuild(stats)
+	return plan, nil
+}
+
+// distributorKey extracts the cache-key identity of a distributor: its
+// name, plus the adaptive parameters when the slicing technique backs
+// it (two Sliced distributors with the same metric but different k
+// factors must never share a plan).
+func distributorKey(d deadline.Distributor) (string, slicing.Params) {
+	if s, ok := d.(deadline.Sliced); ok {
+		return s.Name(), s.Params
+	}
+	return d.Name(), slicing.Params{}
+}

@@ -1,0 +1,94 @@
+package pipeline_test
+
+// Micro/macro benchmarks of the pipeline core, the repo's perf
+// baseline (`make bench` renders them into BENCH_pipeline.json):
+//
+//   - Build/cold          one full estimate→slice→dispatch build
+//   - Build/cached        the same spec through a warm plan cache
+//                         (fingerprint + key lookup only)
+//   - BreakdownBisection  the robust critical-factor search, whose
+//     probes re-fetch the plan through the pipeline: cache=off re-plans
+//     on every probe, cache=on plans once — the contrast the plan cache
+//     exists for.
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pipeline"
+	"repro/internal/robust"
+)
+
+func benchWorkload(b *testing.B, seed int64) *gen.Workload {
+	b.Helper()
+	cfg := gen.Default(3)
+	cfg.Seed = seed
+	w, err := gen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkBuild(b *testing.B) {
+	w := benchWorkload(b, 11)
+	spec := pipeline.Spec{Graph: w.Graph, Platform: w.Platform}
+	b.Run("cold", func(b *testing.B) {
+		builder := &pipeline.Builder{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := builder.Build(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		builder := &pipeline.Builder{Cache: pipeline.NewCache(8)}
+		if _, err := builder.Build(spec); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := builder.Build(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	w := benchWorkload(b, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pipeline.Fingerprint(w.Graph, w.Platform)
+	}
+}
+
+// BenchmarkBreakdownBisection measures the breakdown-factor search per
+// workload. Each bisection runs ~8 probes; with the plan cache off,
+// every probe re-plans the workload, with it on, planning happens once.
+func BenchmarkBreakdownBisection(b *testing.B) {
+	const samples = 8
+	workloads := make([]*gen.Workload, samples)
+	for i := range workloads {
+		workloads[i] = benchWorkload(b, 100+int64(i))
+	}
+	run := func(b *testing.B, cached bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := workloads[i%samples]
+			builder := &pipeline.Builder{}
+			if cached {
+				builder.Cache = pipeline.NewCache(1)
+			}
+			_, err := robust.BreakdownVia(builder,
+				pipeline.Spec{Graph: w.Graph, Platform: w.Platform}, robust.BreakdownOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cache=off", func(b *testing.B) { run(b, false) })
+	b.Run("cache=on", func(b *testing.B) { run(b, true) })
+}

@@ -29,7 +29,9 @@ import (
 	"math"
 
 	"repro/internal/arch"
+	"repro/internal/deadline"
 	"repro/internal/faults"
+	"repro/internal/pipeline"
 	"repro/internal/rtime"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -89,7 +91,7 @@ func BreakdownFactor(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignme
 
 	opt = opt.withDefaults()
 	n, m := g.NumTasks(), p.M()
-	probe := func(factor float64) (bool, error) {
+	return bisect(opt, func(factor float64) (bool, error) {
 		tr := faults.ZeroTrace(n, m)
 		for i := range tr.ExecScale {
 			tr.ExecScale[i] = factor
@@ -99,8 +101,40 @@ func BreakdownFactor(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignme
 			return false, err
 		}
 		return ir.Degradation.Misses == 0, nil
-	}
+	})
+}
 
+// BreakdownVia runs the critical-factor search with each probe fetching
+// the workload's plan through the pipeline builder: only the WCET
+// scaling changes between probes, so with a plan cache on b the
+// workload is planned once and every later probe is a cache hit —
+// without one, every probe re-plans. This is the instrumented path the
+// experiment harness and the pipeline benchmarks use; BreakdownFactor
+// remains the primitive for callers that already hold a plan.
+func BreakdownVia(b *pipeline.Builder, spec pipeline.Spec, opt BreakdownOptions) (Breakdown, error) {
+	opt = opt.withDefaults()
+	return bisect(opt, func(factor float64) (bool, error) {
+		plan, err := b.Build(spec)
+		if err != nil {
+			return false, err
+		}
+		g, p := plan.Graph, plan.Platform
+		tr := faults.ZeroTrace(g.NumTasks(), p.M())
+		for i := range tr.ExecScale {
+			tr.ExecScale[i] = factor
+		}
+		ir, err := sim.Inject(g, p, plan.Assignment, plan.Schedule,
+			sim.Options{Faults: tr, Reclaim: opt.Reclaim})
+		if err != nil {
+			return false, err
+		}
+		return ir.Degradation.Misses == 0, nil
+	})
+}
+
+// bisect runs the survive/fail bracket search shared by BreakdownFactor
+// and BreakdownVia. opt must already have defaults applied.
+func bisect(opt BreakdownOptions, probe func(factor float64) (bool, error)) (Breakdown, error) {
 	var b Breakdown
 	ok, err := probe(1)
 	if err != nil {
@@ -159,6 +193,10 @@ type ResliceOptions struct {
 	// Reclaim additionally runs the online slack-reclamation policy
 	// inside every injected execution.
 	Reclaim bool
+	// Pipe optionally supplies a shared plan cache and instrumentation
+	// recorder the loop's re-planning rounds go through; with a cache
+	// shared with the caller, round 0 reuses the caller's nominal plan.
+	Pipe pipeline.Shared
 }
 
 func (o ResliceOptions) withDefaults() ResliceOptions {
@@ -213,25 +251,27 @@ func ResliceLoop(g *taskgraph.Graph, p *arch.Platform, est []rtime.Time,
 	if len(est) != g.NumTasks() {
 		return nil, fmt.Errorf("robust: %d estimates for %d tasks", len(est), g.NumTasks())
 	}
+	b := &pipeline.Builder{
+		Distributor: deadline.Sliced{Metric: metric, Params: params},
+		Cache:       opt.Pipe.Cache,
+		Recorder:    opt.Pipe.Recorder,
+	}
 	cur := append([]rtime.Time(nil), est...)
 	inflate := 1.0
 	res := &ResliceResult{}
 	for round := 0; ; round++ {
-		asg, err := slicing.Distribute(g, cur, p.M(), metric, params)
+		plan, err := b.Build(pipeline.Spec{Graph: g, Platform: p, Estimates: cur})
 		if err != nil {
 			return nil, err
 		}
-		s, err := sched.Dispatch(g, p, asg)
-		if err != nil {
-			return nil, err
-		}
-		ir, err := sim.Inject(g, p, asg, s, sim.Options{Faults: tr, Reclaim: opt.Reclaim})
+		asg := plan.Assignment
+		ir, err := sim.Inject(g, p, asg, plan.Schedule, sim.Options{Faults: tr, Reclaim: opt.Reclaim})
 		if err != nil {
 			return nil, err
 		}
 		res.Iterations = round
 		res.Assignment = asg
-		res.Estimates = cur
+		res.Estimates = plan.Estimates
 		res.Final = ir
 		if ir.Degradation.Misses == 0 {
 			res.Recovered = true

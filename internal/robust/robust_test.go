@@ -29,7 +29,7 @@ func chain(t testing.TB, costs []rtime.Time, ete rtime.Time) *taskgraph.Graph {
 	return g
 }
 
-func pipeline(t testing.TB, g *taskgraph.Graph, p *arch.Platform,
+func buildPlan(t testing.TB, g *taskgraph.Graph, p *arch.Platform,
 	metric slicing.Metric) ([]rtime.Time, *slicing.Assignment, *sched.Schedule) {
 	t.Helper()
 	est, err := wcet.Estimates(g, p, wcet.AVG)
@@ -53,7 +53,7 @@ func TestBreakdownFactorChain(t *testing.T) {
 	// bisection must land just below 2.
 	g := chain(t, []rtime.Time{10, 10, 10}, 60)
 	p := arch.Homogeneous(1)
-	_, asg, s := pipeline(t, g, p, slicing.PURE())
+	_, asg, s := buildPlan(t, g, p, slicing.PURE())
 	b, err := BreakdownFactor(g, p, asg, s, BreakdownOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestBreakdownFactorBelowOne(t *testing.T) {
 	// i.e. φ* = 0.5 exactly.
 	g := chain(t, []rtime.Time{10, 10}, 15)
 	p := arch.Homogeneous(1)
-	_, asg, s := pipeline(t, g, p, slicing.PURE())
+	_, asg, s := buildPlan(t, g, p, slicing.PURE())
 	b, err := BreakdownFactor(g, p, asg, s, BreakdownOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +92,7 @@ func TestBreakdownFactorBelowOne(t *testing.T) {
 func TestBreakdownFactorUnbounded(t *testing.T) {
 	g := chain(t, []rtime.Time{10, 10}, 1000)
 	p := arch.Homogeneous(1)
-	_, asg, s := pipeline(t, g, p, slicing.PURE())
+	_, asg, s := buildPlan(t, g, p, slicing.PURE())
 	b, err := BreakdownFactor(g, p, asg, s, BreakdownOptions{MaxFactor: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +110,7 @@ func TestBreakdownFactorDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, asg, s := pipeline(t, w.Graph, w.Platform, slicing.AdaptL())
+		_, asg, s := buildPlan(t, w.Graph, w.Platform, slicing.AdaptL())
 		a, err := BreakdownFactor(w.Graph, w.Platform, asg, s, BreakdownOptions{})
 		if err != nil {
 			t.Fatal(err)
@@ -134,7 +134,7 @@ func TestResliceLoopRecovers(t *testing.T) {
 	// to [0,30) and the run comes back clean.
 	g := chain(t, []rtime.Time{10, 10, 10}, 60)
 	p := arch.Homogeneous(1)
-	est, _, _ := pipeline(t, g, p, slicing.PURE())
+	est, _, _ := buildPlan(t, g, p, slicing.PURE())
 	tr := faults.ZeroTrace(g.NumTasks(), p.M())
 	tr.ExecScale[0] = 2.5
 	res, err := ResliceLoop(g, p, est, slicing.PURE(), slicing.DefaultParams(), tr, ResliceOptions{})
@@ -162,7 +162,7 @@ func TestResliceLoopOverload(t *testing.T) {
 	// before the retry bound — without claiming recovery.
 	g := chain(t, []rtime.Time{10, 10, 10}, 60)
 	p := arch.Homogeneous(1)
-	est, _, _ := pipeline(t, g, p, slicing.PURE())
+	est, _, _ := buildPlan(t, g, p, slicing.PURE())
 	tr := faults.ZeroTrace(g.NumTasks(), p.M())
 	tr.ExecScale[0] = 7
 	res, err := ResliceLoop(g, p, est, slicing.PURE(), slicing.DefaultParams(), tr, ResliceOptions{MaxRetries: 6})
@@ -187,7 +187,7 @@ func TestResliceLoopZeroTraceIdentity(t *testing.T) {
 	// Under a zero trace a feasible workload needs no feedback at all.
 	g := chain(t, []rtime.Time{10, 10, 10}, 60)
 	p := arch.Homogeneous(1)
-	est, _, _ := pipeline(t, g, p, slicing.PURE())
+	est, _, _ := buildPlan(t, g, p, slicing.PURE())
 	res, err := ResliceLoop(g, p, est, slicing.PURE(), slicing.DefaultParams(),
 		faults.ZeroTrace(g.NumTasks(), p.M()), ResliceOptions{})
 	if err != nil {
