@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check smoke faults margins degrade fuzz bench
+.PHONY: all build test race vet fmt check smoke serve-smoke faults margins degrade fuzz bench
 
 all: check
 
@@ -28,6 +28,12 @@ check: build vet fmt race
 # The paper-vs-measured reproduction record at full sample size.
 smoke:
 	$(GO) test -run TestReproduction -count=1 ./internal/experiment/
+
+# Black-box smoke of the planning service: start cmd/pland, plan a
+# generated workload (cold build + cache hit), check /metrics, and
+# verify SIGTERM drains cleanly.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # Graceful-degradation curves under injected faults (robustness study).
 faults:

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -551,7 +552,18 @@ func DefaultPipeline() Pipeline {
 }
 
 // Run executes estimate → slice → schedule → replay on one workload.
+// It is RunContext under the background context.
 func (pl Pipeline) Run(g *Graph, p *Platform) (*Result, error) {
+	return pl.RunContext(context.Background(), g, p)
+}
+
+// RunContext is Run under a cancellation context: the planning stages
+// check ctx at their boundaries (cooperatively — a running stage is
+// never interrupted), a done context ends the run with ctx.Err(), and
+// canceled plans are never cached. With a shared Cache, concurrent runs
+// of an identical workload coalesce onto a single cold build; the
+// Recorder's Coalesced and Canceled columns count both effects.
+func (pl Pipeline) RunContext(ctx context.Context, g *Graph, p *Platform) (*Result, error) {
 	metric := pl.Metric
 	if metric == nil {
 		metric = slicing.AdaptL()
@@ -571,7 +583,7 @@ func (pl Pipeline) Run(g *Graph, p *Platform) (*Result, error) {
 		Cache:       pl.Cache,
 		Recorder:    pl.Recorder,
 	}
-	plan, err := b.Build(pipeline.Spec{Graph: g, Platform: p})
+	plan, err := b.BuildContext(ctx, pipeline.Spec{Graph: g, Platform: p})
 	if err != nil {
 		return nil, err
 	}

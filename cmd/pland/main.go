@@ -1,0 +1,101 @@
+// Command pland serves the planning pipeline over HTTP/JSON.
+//
+//	go run ./cmd/pland -addr :8080
+//
+// POST a workload file (the cmd/taskgen format) to /plan and get the
+// plan verdict, the per-task windows, and the schedule back:
+//
+//	go run ./cmd/taskgen -tasks 20 -procs 4 -out - |
+//	    curl -sS -X POST --data-binary @- 'localhost:8080/plan?metric=ADAPT-L'
+//
+// Query parameters: metric (PURE, NORM, ADAPT-G, ADAPT-L, ...), wcet
+// (WCET-AVG, WCET-MAX, WCET-MIN), dispatcher (time-driven, planner,
+// insertion, preemptive), verify (1 adds the feasibility verifier), and
+// timeout (a per-request planning budget like 500ms).
+//
+// /healthz answers 200 while serving and 503 while draining; /metrics
+// exports the pipeline and admission aggregates in the Prometheus text
+// format. On SIGINT/SIGTERM the server drains: new work is refused,
+// in-flight plans finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pland:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main under a caller-owned context and log sink, so tests can
+// drive the full lifecycle including drain.
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("pland", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheCap := fs.Int("cache", 4096, "plan cache capacity (entries)")
+	inflight := fs.Int("inflight", 0, "max concurrently planning requests (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "max requests waiting for a planning slot before shedding with 429")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request planning budget")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested budgets")
+	drainWait := fs.Duration("drain", 30*time.Second, "max wait for in-flight plans on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Options{
+		MaxInFlight:    *inflight,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheCapacity:  *cacheCap,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "pland: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new work, let in-flight plans finish, then exit.
+	fmt.Fprintf(logw, "pland: draining (up to %v)\n", *drainWait)
+	srv.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(logw, "pland: drained, bye")
+	return nil
+}

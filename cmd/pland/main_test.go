@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graphio"
+)
+
+// logBuffer is a goroutine-safe log sink run() can write to while the
+// test polls it for the listen address.
+type logBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestRunLifecycle drives the whole service process: start on an
+// ephemeral port, answer a plan request, then shut down cleanly on
+// context cancellation (the signal path minus the signal).
+func TestRunLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var logs logBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain", "5s"}, &logs) }()
+
+	// The listen line carries the resolved port.
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRe.FindStringSubmatch(logs.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never announced its address; log: %q", logs.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+
+	cfg := gen.Default(3)
+	cfg.Seed = 21
+	w := gen.MustGenerate(cfg)
+	var body bytes.Buffer
+	if err := graphio.WriteWorkload(&body, w.Graph, w.Platform); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/plan", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/plan: %d %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), `"feasible"`) {
+		t.Fatalf("plan response lacks a verdict: %s", raw)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run never drained")
+	}
+	if !strings.Contains(logs.String(), "drained") {
+		t.Fatalf("drain not logged: %q", logs.String())
+	}
+}

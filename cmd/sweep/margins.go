@@ -27,6 +27,7 @@ type breakdownCell struct {
 	NomTotal  int     `json:"nom_total"`
 	Errors    int     `json:"errors"`
 	Timeouts  int     `json:"timeouts"`
+	Abandoned int     `json:"abandoned,omitempty"`
 }
 
 type marginCell struct {
@@ -94,7 +95,7 @@ func studyMargins() int {
 			return breakdownCell{
 				Mean: pt.Factor.Mean(), Max: pt.Factor.Max(), Unbounded: pt.Unbounded,
 				NomSucc: pt.Nominal.Succ, NomTotal: pt.Nominal.Total,
-				Errors: pt.Errors, Timeouts: pt.Timeouts,
+				Errors: pt.Errors, Timeouts: pt.Timeouts, Abandoned: pt.Abandoned,
 			}
 		})
 		if err != nil {
@@ -105,8 +106,15 @@ func studyMargins() int {
 			metric.Name(), c.Mean, c.Max,
 			100*float64(c.Unbounded)/float64(max(c.NomTotal, 1)),
 			100*float64(c.NomSucc)/float64(max(c.NomTotal, 1)))
-		if c.Errors > 0 || c.Timeouts > 0 {
-			fmt.Fprintf(sw.w, "  (%d errors, %d timeouts)", c.Errors, c.Timeouts)
+		if c.Errors > 0 || c.Timeouts > 0 || c.Abandoned > 0 {
+			fmt.Fprintf(sw.w, "  (%d errors, %d timeouts", c.Errors, c.Timeouts)
+			if c.Abandoned > 0 {
+				// Abandoned workload bodies were still running at pool
+				// drain despite cooperative cancellation — a stage ran a
+				// long uninterruptible computation.
+				fmt.Fprintf(sw.w, ", %d abandoned", c.Abandoned)
+			}
+			fmt.Fprint(sw.w, ")")
 		}
 		fmt.Fprintln(sw.w)
 	}

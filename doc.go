@@ -31,7 +31,14 @@
 //
 // This root package is the public API: it re-exports the stable types
 // and provides the Pipeline convenience for the common
-// generate → estimate → slice → schedule → replay flow. The underlying
+// generate → estimate → slice → schedule → replay flow. Pipeline.Run
+// has a context-aware sibling, RunContext, whose cancellation the
+// planning stages honor at their boundaries; with a shared PlanCache,
+// concurrent runs of one workload coalesce onto a single cold build
+// (the PlanRecorder's Coalesced and Canceled columns account for
+// both). The same core is served over HTTP/JSON by `cmd/pland` —
+// bounded admission with backpressure, per-request deadlines,
+// Prometheus-style /metrics, graceful drain on SIGTERM. The underlying
 // packages live in internal/ and are documented individually; see
 // DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -91,6 +92,10 @@ type DegradePoint struct {
 	// Errors counts workload-level pipeline failures, including
 	// panicking workloads; Timeouts those abandoned at the budget.
 	Errors, Timeouts int
+	// Abandoned counts abandoned workload goroutines still running when
+	// the series finished (see PoolStats.Abandoned); identical on every
+	// point of a curve, since the pool spans the whole ramp.
+	Abandoned int
 }
 
 // DegradeCurve is one policy/metric series over the intensity ramp.
@@ -142,9 +147,12 @@ func DegradeRun(cfg DegradeConfig) (DegradeCurve, error) {
 		Intensities: append([]float64(nil), cfg.Intensities...),
 		Points:      make([]DegradePoint, ni),
 	}
-	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, cfg.Timeout, func(idx int) (any, error) {
-		return degradeRunOne(cfg, idx)
+	outs, errs, pst := runIndexed(cfg.Workers, cfg.NumGraphs, cfg.Timeout, func(ctx context.Context, idx int) (any, error) {
+		return degradeRunOne(ctx, cfg, idx)
 	})
+	for p := range curve.Points {
+		curve.Points[p].Abandoned = pst.Abandoned
+	}
 	for i := range outs {
 		if errs[i] != nil {
 			_, timedOut := errs[i].(*TimeoutError)
@@ -188,7 +196,7 @@ type modePipe struct {
 }
 
 // degradeRunOne carries workload idx through the whole intensity ramp.
-func degradeRunOne(cfg DegradeConfig, idx int) (degradeOutcome, error) {
+func degradeRunOne(ctx context.Context, cfg DegradeConfig, idx int) (degradeOutcome, error) {
 	ni := len(cfg.Intensities)
 	o := degradeOutcome{
 		fault:    make([]faultOutcome, ni),
@@ -230,7 +238,7 @@ func degradeRunOne(cfg DegradeConfig, idx int) (degradeOutcome, error) {
 		}
 		p := &modePipe{}
 		pipes[l] = p
-		p.plan, p.err = builder.Build(pipeline.Spec{Graph: modes[l].Graph, Platform: w.Platform})
+		p.plan, p.err = builder.BuildContext(ctx, pipeline.Spec{Graph: modes[l].Graph, Platform: w.Platform})
 		return p
 	}
 
@@ -264,7 +272,7 @@ func degradeRunOne(cfg DegradeConfig, idx int) (degradeOutcome, error) {
 		// The uncontrolled baseline, via FaultRun's own per-workload
 		// path so the fold is byte-identical.
 		fcfg.Intensity = intensity
-		o.fault[p], o.faultErr[p] = faultRunOne(fcfg, idx)
+		o.fault[p], o.faultErr[p] = faultRunOne(ctx, fcfg, idx)
 
 		if rejected {
 			o.rejected[p] = true

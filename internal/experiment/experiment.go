@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/deadline"
@@ -127,8 +128,8 @@ type Point struct {
 // the point is byte-identical for every worker count; a workload that
 // panics counts as an error for that workload only.
 func Run(cfg Config) Point {
-	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, 0, func(idx int) (any, error) {
-		return runOne(cfg, idx)
+	outs, errs, _ := runIndexed(cfg.Workers, cfg.NumGraphs, 0, func(ctx context.Context, idx int) (any, error) {
+		return runOne(ctx, cfg, idx)
 	})
 	var point Point
 	for i := range outs {
@@ -160,7 +161,7 @@ type runOutcome struct {
 }
 
 // runOne generates workload idx and runs the planning pipeline on it.
-func runOne(cfg Config, idx int) (runOutcome, error) {
+func runOne(ctx context.Context, cfg Config, idx int) (runOutcome, error) {
 	var o runOutcome
 	gcfg := cfg.Gen
 	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
@@ -168,7 +169,7 @@ func runOne(cfg Config, idx int) (runOutcome, error) {
 	if err != nil {
 		return o, err
 	}
-	plan, err := cfg.builder().Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
+	plan, err := cfg.builder().BuildContext(ctx, pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
 	if err != nil {
 		return o, err
 	}

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"repro/internal/deadline"
 	"repro/internal/faults"
 	"repro/internal/gen"
@@ -87,8 +89,8 @@ type FaultPoint struct {
 // worker pool; outcomes fold in index order, so the point is
 // byte-identical for every worker count.
 func FaultRun(cfg FaultConfig) FaultPoint {
-	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, 0, func(idx int) (any, error) {
-		return faultRunOne(cfg, idx)
+	outs, errs, _ := runIndexed(cfg.Workers, cfg.NumGraphs, 0, func(ctx context.Context, idx int) (any, error) {
+		return faultRunOne(ctx, cfg, idx)
 	})
 	var point FaultPoint
 	for i := range outs {
@@ -129,7 +131,7 @@ type faultOutcome struct {
 }
 
 // faultRunOne executes workload idx under its fault trace.
-func faultRunOne(cfg FaultConfig, idx int) (faultOutcome, error) {
+func faultRunOne(ctx context.Context, cfg FaultConfig, idx int) (faultOutcome, error) {
 	var o faultOutcome
 	gcfg := cfg.Gen
 	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
@@ -137,7 +139,7 @@ func faultRunOne(cfg FaultConfig, idx int) (faultOutcome, error) {
 	if err != nil {
 		return o, err
 	}
-	plan, err := cfg.builder().Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
+	plan, err := cfg.builder().BuildContext(ctx, pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
 	if err != nil {
 		return o, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/deadline"
@@ -95,6 +96,10 @@ type MarginPoint struct {
 	Errors int
 	// Timeouts counts workloads abandoned at the per-workload budget.
 	Timeouts int
+	// Abandoned counts abandoned workload goroutines still running when
+	// the point finished (see PoolStats.Abandoned); cooperative
+	// cancellation normally keeps this at 0.
+	Abandoned int
 }
 
 // marginOutcome is the per-workload result MarginRun folds.
@@ -116,10 +121,11 @@ type marginOutcome struct {
 // dispatcher. With Reslice.MaxRetries > 0, failing runs additionally go
 // through the adaptive re-slicing feedback loop.
 func MarginRun(cfg MarginConfig) MarginPoint {
-	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, cfg.Timeout, func(idx int) (any, error) {
-		return marginRunOne(cfg, idx)
+	outs, errs, pst := runIndexed(cfg.Workers, cfg.NumGraphs, cfg.Timeout, func(ctx context.Context, idx int) (any, error) {
+		return marginRunOne(ctx, cfg, idx)
 	})
 	var point MarginPoint
+	point.Abandoned = pst.Abandoned
 	for i := range outs {
 		if errs[i] != nil {
 			point.Errors++
@@ -158,7 +164,7 @@ func perturbTrace(p wcet.Perturbation, m int, classOf func(q int) int) *faults.T
 }
 
 // marginRunOne executes workload idx under its estimation-error draw.
-func marginRunOne(cfg MarginConfig, idx int) (marginOutcome, error) {
+func marginRunOne(ctx context.Context, cfg MarginConfig, idx int) (marginOutcome, error) {
 	var o marginOutcome
 	if err := cfg.Model.Validate(); err != nil {
 		return o, err
@@ -169,7 +175,7 @@ func marginRunOne(cfg MarginConfig, idx int) (marginOutcome, error) {
 	if err != nil {
 		return o, err
 	}
-	plan, err := cfg.builder().Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
+	plan, err := cfg.builder().BuildContext(ctx, pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
 	if err != nil {
 		return o, err
 	}
@@ -193,8 +199,8 @@ func marginRunOne(cfg MarginConfig, idx int) (marginOutcome, error) {
 	if !o.success && cfg.Reslice.MaxRetries > 0 {
 		ropt := cfg.Reslice
 		ropt.Pipe = cfg.Pipe
-		rr, err := robust.ResliceLoop(w.Graph, w.Platform, plan.Estimates, cfg.Metric, cfg.Params,
-			tr, ropt)
+		rr, err := robust.ResliceLoopContext(ctx, w.Graph, w.Platform, plan.Estimates, cfg.Metric,
+			cfg.Params, tr, ropt)
 		if err != nil {
 			return o, err
 		}
@@ -221,15 +227,19 @@ type BreakdownPoint struct {
 	Errors int
 	// Timeouts counts workloads abandoned at the per-workload budget.
 	Timeouts int
+	// Abandoned counts abandoned workload goroutines still running when
+	// the point finished (see PoolStats.Abandoned).
+	Abandoned int
 }
 
 // BreakdownRun measures the distribution of critical WCET scaling
 // factors (robust.BreakdownFactor) over the workload sample.
 func BreakdownRun(cfg MarginConfig) BreakdownPoint {
-	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, cfg.Timeout, func(idx int) (any, error) {
-		return breakdownRunOne(cfg, idx)
+	outs, errs, pst := runIndexed(cfg.Workers, cfg.NumGraphs, cfg.Timeout, func(ctx context.Context, idx int) (any, error) {
+		return breakdownRunOne(ctx, cfg, idx)
 	})
 	var point BreakdownPoint
+	point.Abandoned = pst.Abandoned
 	for i := range outs {
 		if errs[i] != nil {
 			point.Errors++
@@ -248,7 +258,7 @@ func BreakdownRun(cfg MarginConfig) BreakdownPoint {
 	return point
 }
 
-func breakdownRunOne(cfg MarginConfig, idx int) (robust.Breakdown, error) {
+func breakdownRunOne(ctx context.Context, cfg MarginConfig, idx int) (robust.Breakdown, error) {
 	var b robust.Breakdown
 	gcfg := cfg.Gen
 	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
@@ -264,5 +274,6 @@ func breakdownRunOne(cfg MarginConfig, idx int) (robust.Breakdown, error) {
 	if builder.Cache == nil {
 		builder.Cache = pipeline.NewCache(1)
 	}
-	return robust.BreakdownVia(builder, pipeline.Spec{Graph: w.Graph, Platform: w.Platform}, cfg.Breakdown)
+	return robust.BreakdownViaContext(ctx, builder,
+		pipeline.Spec{Graph: w.Graph, Platform: w.Platform}, cfg.Breakdown)
 }

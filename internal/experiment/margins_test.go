@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -103,11 +104,11 @@ func TestMarginRunPanicIsolatedToWorkload(t *testing.T) {
 	// Drive the panic through the pool directly with the real pipeline
 	// body for every other index, proving the composition isolates it.
 	cfg := smallMarginConfig(slicing.AdaptL(), wcet.ErrorModel{})
-	outs, errs := runIndexed(4, cfg.NumGraphs, 0, func(idx int) (any, error) {
+	outs, errs, _ := runIndexed(4, cfg.NumGraphs, 0, func(ctx context.Context, idx int) (any, error) {
 		if idx == 7 {
 			panic("hostile workload")
 		}
-		return marginRunOne(cfg, idx)
+		return marginRunOne(ctx, cfg, idx)
 	})
 	bad := 0
 	for i := range outs {

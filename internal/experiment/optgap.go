@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/deadline"
@@ -87,8 +88,8 @@ func OptGap(cfg OptGapConfig) OptGapResult {
 	if cfg.NodeBudget <= 0 {
 		cfg.NodeBudget = 2_000_000
 	}
-	outs, errs := runIndexed(cfg.Workers, cfg.NumGraphs, 0, func(idx int) (any, error) {
-		return optGapOne(cfg, idx), nil
+	outs, errs, _ := runIndexed(cfg.Workers, cfg.NumGraphs, 0, func(ctx context.Context, idx int) (any, error) {
+		return optGapOne(ctx, cfg, idx), nil
 	})
 	res := OptGapResult{Graphs: cfg.NumGraphs}
 	for i := range outs {
@@ -110,7 +111,7 @@ func OptGap(cfg OptGapConfig) OptGapResult {
 	return res
 }
 
-func optGapOne(cfg OptGapConfig, idx int) optGapOutcome {
+func optGapOne(ctx context.Context, cfg OptGapConfig, idx int) optGapOutcome {
 	gcfg := gen.Default(cfg.M)
 	gcfg.Seed = gen.SubSeed(cfg.MasterSeed, idx)
 	gcfg.OLR = cfg.OLR
@@ -126,7 +127,7 @@ func optGapOne(cfg OptGapConfig, idx int) optGapOutcome {
 		Cache:       cfg.Pipe.Cache,
 		Recorder:    cfg.Pipe.Recorder,
 	}
-	plan, err := b.Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
+	plan, err := b.BuildContext(ctx, pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
 	if err != nil {
 		return optGapInconclusive
 	}

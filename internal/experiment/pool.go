@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,24 +41,68 @@ func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("experiment: workload %d exceeded its %v budget", e.Idx, e.Limit)
 }
 
+// PoolStats summarizes the pool-level incidents of one runIndexed call
+// for the studies' error summaries.
+type PoolStats struct {
+	// Timeouts counts workloads abandoned at the per-workload budget.
+	Timeouts int
+	// Abandoned counts abandoned workload goroutines that were *still
+	// running* — still stealing CPU from live workers — when the pool
+	// drained. The run context is canceled on abandonment and the
+	// planning pipeline honors it at stage boundaries, so this is
+	// normally 0; a persistent non-zero count means some stage ran a
+	// long uninterruptible computation.
+	Abandoned int
+}
+
 // guard runs one workload with panic isolation.
-func guard(idx int, run func(idx int) (any, error)) (out any, err error) {
+func guard(ctx context.Context, idx int, run func(ctx context.Context, idx int) (any, error)) (out any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, &PanicError{Idx: idx, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return run(idx)
+	return run(ctx, idx)
+}
+
+// timedPool tracks the timed-execution state shared by one runIndexed
+// call: the slot semaphore bounding live workload bodies (abandoned
+// ones included) and the incident counters.
+type timedPool struct {
+	slots    chan struct{}
+	timeouts atomic.Int64
+	zombies  atomic.Int64
+}
+
+// runState resolves the race between a workload finishing and its
+// deadline firing: exactly one side observes the other's flag under the
+// mutex, so the zombie gauge is incremented iff its decrement will run.
+type runState struct {
+	mu        sync.Mutex
+	finished  bool
+	abandoned bool
 }
 
 // guardTimed is guard with a wall-clock budget per workload. The
-// workload body is CPU-bound and cannot observe cancellation, so on
-// timeout its goroutine is abandoned: it finishes (or panics) harmlessly
-// in the background and its result is discarded.
-func guardTimed(idx int, limit time.Duration, run func(idx int) (any, error)) (any, error) {
-	if limit <= 0 {
-		return guard(idx, run)
+// workload body runs on its own goroutine under a context that is
+// canceled at the deadline; a body that overruns is abandoned — its
+// result is discarded — but, unlike a plain goroutine leak, it is both
+// *bounded* and *cooperatively cancelled*:
+//
+//   - bounded: every body holds a pool slot until it actually returns,
+//     and the pool has only 2×workers slots. Under sustained timeouts a
+//     worker whose previous workloads are still running waits for a
+//     slot instead of piling a third abandoned goroutine onto the CPUs.
+//   - cancelled: the canceled context reaches the planning pipeline,
+//     which gives up at the next stage boundary, so abandoned bodies
+//     normally exit within one stage rather than running to completion.
+func guardTimed(tp *timedPool, idx int, limit time.Duration,
+	run func(ctx context.Context, idx int) (any, error)) (any, error) {
+
+	if tp == nil {
+		return guard(context.Background(), idx, run)
 	}
+	tp.slots <- struct{}{}
 	ctx, cancel := context.WithTimeout(context.Background(), limit)
 	defer cancel()
 	type result struct {
@@ -65,29 +110,50 @@ func guardTimed(idx int, limit time.Duration, run func(idx int) (any, error)) (a
 		err error
 	}
 	ch := make(chan result, 1)
+	st := &runState{}
 	go func() {
-		out, err := guard(idx, run)
+		defer func() { <-tp.slots }()
+		out, err := guard(ctx, idx, run)
+		st.mu.Lock()
+		st.finished = true
+		abandoned := st.abandoned
+		st.mu.Unlock()
+		if abandoned {
+			tp.zombies.Add(-1)
+		}
 		ch <- result{out, err}
 	}()
 	select {
 	case r := <-ch:
 		return r.out, r.err
 	case <-ctx.Done():
+		st.mu.Lock()
+		if !st.finished {
+			st.abandoned = true
+			tp.zombies.Add(1)
+		}
+		st.mu.Unlock()
+		tp.timeouts.Add(1)
 		return nil, &TimeoutError{Idx: idx, Limit: limit}
 	}
 }
 
 // runIndexed fans workload indices 0..num−1 over a worker pool and
-// collects one result (or error) per index. The caller folds the
-// returned slices in index order, which makes every aggregate — success
-// counts and floating-point accumulations alike — byte-identical
-// regardless of the worker count or goroutine interleaving.
+// collects one result (or error) per index, plus the pool's incident
+// summary. The caller folds the returned slices in index order, which
+// makes every aggregate — success counts and floating-point
+// accumulations alike — byte-identical regardless of the worker count
+// or goroutine interleaving.
 //
 // Each workload runs panic-isolated (PanicError) and, when timeout > 0,
-// under a per-workload wall-clock budget (TimeoutError). workers ≤ 0
-// means GOMAXPROCS.
+// under a per-workload wall-clock budget (TimeoutError) with the
+// abandoned-goroutine bound described on guardTimed. The workload
+// callback receives a context that is canceled when its budget expires
+// (the background context when no budget is set); long-running bodies
+// should pass it to pipeline.BuildContext. workers ≤ 0 means
+// GOMAXPROCS.
 func runIndexed(workers, num int, timeout time.Duration,
-	run func(idx int) (any, error)) ([]any, []error) {
+	run func(ctx context.Context, idx int) (any, error)) ([]any, []error, PoolStats) {
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -98,6 +164,10 @@ func runIndexed(workers, num int, timeout time.Duration,
 	if workers < 1 {
 		workers = 1
 	}
+	var tp *timedPool
+	if timeout > 0 {
+		tp = &timedPool{slots: make(chan struct{}, 2*workers)}
+	}
 	outs := make([]any, num)
 	errs := make([]error, num)
 	var wg sync.WaitGroup
@@ -107,7 +177,7 @@ func runIndexed(workers, num int, timeout time.Duration,
 		go func() {
 			defer wg.Done()
 			for idx := range indices {
-				outs[idx], errs[idx] = guardTimed(idx, timeout, run)
+				outs[idx], errs[idx] = guardTimed(tp, idx, timeout, run)
 			}
 		}()
 	}
@@ -116,5 +186,10 @@ func runIndexed(workers, num int, timeout time.Duration,
 	}
 	close(indices)
 	wg.Wait()
-	return outs, errs
+	var st PoolStats
+	if tp != nil {
+		st.Timeouts = int(tp.timeouts.Load())
+		st.Abandoned = int(tp.zombies.Load())
+	}
+	return outs, errs, st
 }

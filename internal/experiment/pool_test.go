@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -11,9 +13,12 @@ import (
 // every worker count.
 func TestRunIndexedOrder(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
-		outs, errs := runIndexed(workers, 20, 0, func(idx int) (any, error) {
+		outs, errs, st := runIndexed(workers, 20, 0, func(_ context.Context, idx int) (any, error) {
 			return idx * idx, nil
 		})
+		if st != (PoolStats{}) {
+			t.Fatalf("workers=%d: untimed run reported incidents %+v", workers, st)
+		}
 		for i := range outs {
 			if errs[i] != nil {
 				t.Fatalf("workers=%d idx=%d: unexpected error %v", workers, i, errs[i])
@@ -30,7 +35,7 @@ func TestRunIndexedOrder(t *testing.T) {
 // completes normally.
 func TestRunIndexedPanicIsolation(t *testing.T) {
 	const bad = 5
-	outs, errs := runIndexed(4, 10, 0, func(idx int) (any, error) {
+	outs, errs, _ := runIndexed(4, 10, 0, func(_ context.Context, idx int) (any, error) {
 		if idx == bad {
 			panic("boom")
 		}
@@ -59,7 +64,7 @@ func TestRunIndexedPanicIsolation(t *testing.T) {
 // TestRunIndexedError checks plain errors propagate per index.
 func TestRunIndexedError(t *testing.T) {
 	wantErr := fmt.Errorf("nope")
-	_, errs := runIndexed(2, 4, 0, func(idx int) (any, error) {
+	_, errs, _ := runIndexed(2, 4, 0, func(_ context.Context, idx int) (any, error) {
 		if idx == 2 {
 			return nil, wantErr
 		}
@@ -80,12 +85,18 @@ func TestRunIndexedError(t *testing.T) {
 func TestRunIndexedTimeout(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
-	outs, errs := runIndexed(4, 6, 20*time.Millisecond, func(idx int) (any, error) {
+	outs, errs, st := runIndexed(4, 6, 20*time.Millisecond, func(_ context.Context, idx int) (any, error) {
 		if idx == 3 {
 			<-block
 		}
 		return idx, nil
 	})
+	if st.Timeouts != 1 {
+		t.Fatalf("PoolStats.Timeouts = %d, want 1", st.Timeouts)
+	}
+	if st.Abandoned != 1 {
+		t.Fatalf("PoolStats.Abandoned = %d, want 1 (body still blocked at drain)", st.Abandoned)
+	}
 	var te *TimeoutError
 	if !errors.As(errs[3], &te) {
 		t.Fatalf("idx 3: want TimeoutError, got %v", errs[3])
@@ -103,7 +114,7 @@ func TestRunIndexedTimeout(t *testing.T) {
 // TestRunIndexedTimeoutPanic checks panics inside a timed workload are
 // still converted, not lost in the extra goroutine.
 func TestRunIndexedTimeoutPanic(t *testing.T) {
-	_, errs := runIndexed(2, 2, time.Second, func(idx int) (any, error) {
+	_, errs, _ := runIndexed(2, 2, time.Second, func(_ context.Context, idx int) (any, error) {
 		if idx == 1 {
 			panic("timed boom")
 		}
@@ -112,5 +123,71 @@ func TestRunIndexedTimeoutPanic(t *testing.T) {
 	var pe *PanicError
 	if !errors.As(errs[1], &pe) {
 		t.Fatalf("want PanicError, got %v", errs[1])
+	}
+}
+
+// TestRunIndexedCancelPropagates checks that the per-workload context is
+// canceled at the budget, so cooperative bodies can stop computing
+// instead of running to completion as zombies.
+func TestRunIndexedCancelPropagates(t *testing.T) {
+	exited := make(chan error, 1)
+	_, errs, st := runIndexed(2, 4, 20*time.Millisecond, func(ctx context.Context, idx int) (any, error) {
+		if idx == 1 {
+			<-ctx.Done()
+			exited <- ctx.Err()
+			return nil, ctx.Err()
+		}
+		return idx, nil
+	})
+	var te *TimeoutError
+	if !errors.As(errs[1], &te) {
+		t.Fatalf("idx 1: want TimeoutError, got %v", errs[1])
+	}
+	if st.Timeouts != 1 {
+		t.Fatalf("PoolStats.Timeouts = %d, want 1", st.Timeouts)
+	}
+	select {
+	case err := <-exited:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("body context ended with %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoned body never observed cancellation")
+	}
+}
+
+// TestRunIndexedAbandonmentBound checks the pool never runs more than
+// 2×workers workload bodies at once, even when every body overruns its
+// budget: abandoned goroutines hold slots until they return, so workers
+// block instead of piling unbounded zombies onto the CPUs.
+func TestRunIndexedAbandonmentBound(t *testing.T) {
+	const workers = 2
+	var live, peak atomic.Int64
+	_, errs, st := runIndexed(workers, 12, 5*time.Millisecond, func(ctx context.Context, idx int) (any, error) {
+		n := live.Add(1)
+		defer live.Add(-1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		// Overrun: keep computing well past abandonment, like a stage
+		// that ignores its context.
+		<-ctx.Done()
+		time.Sleep(30 * time.Millisecond)
+		return idx, nil
+	})
+	if got := peak.Load(); got > 2*workers {
+		t.Fatalf("peak live bodies = %d, want <= %d", got, 2*workers)
+	}
+	for i, err := range errs {
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			t.Fatalf("idx %d: want TimeoutError, got %v", i, err)
+		}
+	}
+	if st.Timeouts != 12 {
+		t.Fatalf("PoolStats.Timeouts = %d, want 12", st.Timeouts)
 	}
 }

@@ -183,6 +183,46 @@ func DecodePlatform(in PlatformJSON) (*arch.Platform, error) {
 	return p, nil
 }
 
+// IneligibleTaskError reports a workload whose graph names a task that
+// cannot execute anywhere on the accompanying platform: every class the
+// task is eligible on has no processor present. Such a workload can
+// never be scheduled, so loading rejects it at the boundary instead of
+// letting the estimator fail deep inside the planning pipeline.
+type IneligibleTaskError struct {
+	// Task is the task index in the graph; Name its optional label.
+	Task int
+	Name string
+}
+
+// Error implements error.
+func (e *IneligibleTaskError) Error() string {
+	if e.Name != "" {
+		return fmt.Sprintf("graphio: task %d (%s) is eligible on no processor class present on the platform", e.Task, e.Name)
+	}
+	return fmt.Sprintf("graphio: task %d is eligible on no processor class present on the platform", e.Task)
+}
+
+// ValidateEligibility checks that every task of g can run on at least
+// one processor class that is actually present on p, returning an
+// *IneligibleTaskError for the first task that cannot. ReadWorkload
+// applies it automatically whenever the file carries a platform.
+func ValidateEligibility(g *taskgraph.Graph, p *arch.Platform) error {
+	present := p.ClassesPresent()
+	for _, t := range g.Tasks() {
+		ok := false
+		for k := range present {
+			if present[k] && t.EligibleOn(k) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return &IneligibleTaskError{Task: t.ID, Name: t.Name}
+		}
+	}
+	return nil
+}
+
 // WriteWorkload writes a workload as indented JSON.
 func WriteWorkload(w io.Writer, g *taskgraph.Graph, p *arch.Platform) error {
 	wl := WorkloadJSON{Graph: EncodeGraph(g)}
@@ -210,6 +250,9 @@ func ReadWorkload(r io.Reader) (*taskgraph.Graph, *arch.Platform, error) {
 	if wl.Platform != nil {
 		p, err = DecodePlatform(*wl.Platform)
 		if err != nil {
+			return nil, nil, err
+		}
+		if err := ValidateEligibility(g, p); err != nil {
 			return nil, nil, err
 		}
 	}

@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -156,6 +157,47 @@ func TestWorkloadWithoutPlatform(t *testing.T) {
 func TestReadWorkloadRejectsGarbage(t *testing.T) {
 	if _, _, err := ReadWorkload(strings.NewReader("not json")); err == nil {
 		t.Error("garbage accepted")
+	}
+}
+
+// A workload whose graph names a task runnable only on a class with no
+// processor on the platform is rejected at load with the typed error,
+// instead of surfacing later as an estimator failure mid-pipeline.
+func TestReadWorkloadRejectsIneligibleTask(t *testing.T) {
+	g := taskgraph.NewGraph(2)
+	g.MustAddTask("ok", []rtime.Time{5, 6}, 0)
+	g.MustAddTask("stranded", []rtime.Time{rtime.Unset, 9}, 0)
+	g.MustFreeze()
+	// Two classes declared, but every processor is class 0: "stranded"
+	// (eligible only on class 1) can never run.
+	p, err := arch.New(arch.Unrelated, []arch.Class{{}, {}}, []int{0, 0}, arch.Bus{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, g, p); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReadWorkload(&buf)
+	var ie *IneligibleTaskError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want IneligibleTaskError, got %v", err)
+	}
+	if ie.Task != 1 || ie.Name != "stranded" {
+		t.Fatalf("wrong task identified: %+v", ie)
+	}
+	if !strings.Contains(ie.Error(), "stranded") {
+		t.Errorf("message omits the task name: %q", ie.Error())
+	}
+
+	// The same workload without a platform loads fine — eligibility is a
+	// property of the pair, not of the graph alone.
+	buf.Reset()
+	if err := WriteWorkload(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadWorkload(&buf); err != nil {
+		t.Fatalf("platform-free workload rejected: %v", err)
 	}
 }
 

@@ -23,6 +23,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -260,10 +262,30 @@ func (b *Builder) dispatcher() Dispatcher {
 // Build executes the pipeline on one workload and returns its Plan,
 // consulting the cache first when one is configured. Stage errors
 // propagate unwrapped (and uncached), exactly as the hand-rolled call
-// sequences did.
+// sequences did. Build never gives up early: it is BuildContext under
+// the background context.
 func (b *Builder) Build(spec Spec) (*Plan, error) {
+	return b.BuildContext(context.Background(), spec)
+}
+
+// BuildContext is Build under a cancellation context. The stages
+// themselves are uninterruptible CPU-bound routines, so cancellation is
+// cooperative: the context is checked at every stage boundary, and a
+// done context ends the build with ctx.Err() before the next stage
+// starts. Canceled builds are never cached and count in the Recorder's
+// Canceled column, not as errors.
+//
+// With a configured Cache, concurrent Builds of one Key coalesce:
+// exactly one executes the stages while the others wait for its plan
+// (or give up when their own context is done first). A waiter whose
+// leader was itself canceled retries — the next round either finds the
+// plan another builder finished, or becomes the leader.
+func (b *Builder) BuildContext(ctx context.Context, spec Spec) (*Plan, error) {
 	if spec.Graph == nil || spec.Platform == nil {
 		return nil, fmt.Errorf("pipeline: Spec needs a graph and a platform")
+	}
+	if err := b.stageGate(ctx); err != nil {
+		return nil, err
 	}
 	var stats PlanStats
 	countAllocs := b.Recorder.countsAllocs()
@@ -295,14 +317,70 @@ func (b *Builder) Build(spec Spec) (*Plan, error) {
 		Dispatcher:  b.dispatcher().Name,
 		Verifier:    b.Verifier.Name,
 	}
-	if b.Cache != nil {
-		if plan, ok := b.Cache.get(key); ok {
+	if b.Cache == nil {
+		return b.buildCold(ctx, spec, dist, key, est, stats)
+	}
+	for {
+		plan, f, leader := b.Cache.acquire(key)
+		switch {
+		case plan != nil:
 			b.Recorder.recordHit()
 			return plan, nil
+		case leader:
+			return b.buildLeader(ctx, spec, dist, key, est, stats, f)
+		}
+		// Another build of this key is in flight: wait for its plan
+		// instead of duplicating the work.
+		b.Recorder.recordCoalesced()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				if isCancellation(f.err) {
+					// The leader's *request* died, not the build; this
+					// request is still live, so try again.
+					continue
+				}
+				return nil, f.err
+			}
+			return f.plan, nil
+		case <-ctx.Done():
+			b.Recorder.recordCanceled()
+			return nil, ctx.Err()
 		}
 	}
+}
+
+// buildLeader runs the cold build as the owner of an in-flight entry,
+// guaranteeing the flight resolves even when a stage panics (the panic
+// itself propagates on, preserving the worker pool's panic isolation).
+func (b *Builder) buildLeader(ctx context.Context, spec Spec, dist deadline.Distributor,
+	key Key, est []rtime.Time, stats PlanStats, f *flight) (plan *Plan, err error) {
+
+	completed := false
+	defer func() {
+		if !completed {
+			b.Cache.complete(key, f, nil, fmt.Errorf("pipeline: build of %v panicked", key.Distributor))
+		}
+	}()
+	plan, err = b.buildCold(ctx, spec, dist, key, est, stats)
+	completed = true
+	b.Cache.complete(key, f, plan, err)
+	return plan, err
+}
+
+// buildCold executes the slice, dispatch, and verify stages; the
+// estimate stage already ran (its hash is part of key). The plan is not
+// inserted into the cache here — with a cache, buildLeader publishes it
+// through the flight so waiters and the LRU table update atomically.
+func (b *Builder) buildCold(ctx context.Context, spec Spec, dist deadline.Distributor,
+	key Key, est []rtime.Time, stats PlanStats) (*Plan, error) {
+
+	countAllocs := b.Recorder.countsAllocs()
 
 	// Stage 2: slice.
+	if err := b.stageGate(ctx); err != nil {
+		return nil, err
+	}
 	probe := beginStage(countAllocs)
 	asg, err := dist.Distribute(spec.Graph, est, spec.Platform.M())
 	stats.Slice = probe.end()
@@ -312,6 +390,9 @@ func (b *Builder) Build(spec Spec) (*Plan, error) {
 	}
 
 	// Stage 3: dispatch.
+	if err := b.stageGate(ctx); err != nil {
+		return nil, err
+	}
 	d := b.dispatcher()
 	probe = beginStage(countAllocs)
 	s, err := d.Run(spec.Graph, spec.Platform, asg)
@@ -329,6 +410,9 @@ func (b *Builder) Build(spec Spec) (*Plan, error) {
 		MinLaxity:       asg.MinLaxity(est),
 	}
 	if b.Verifier.Run != nil {
+		if err := b.stageGate(ctx); err != nil {
+			return nil, err
+		}
 		probe = beginStage(countAllocs)
 		bad, err := b.Verifier.Run(spec.Graph, spec.Platform, asg)
 		stats.Verify = probe.end()
@@ -349,11 +433,23 @@ func (b *Builder) Build(spec Spec) (*Plan, error) {
 		Verdict:    verdict,
 		Stats:      stats,
 	}
-	if b.Cache != nil {
-		b.Cache.put(key, plan)
-	}
 	b.Recorder.recordBuild(stats)
 	return plan, nil
+}
+
+// stageGate is the cooperative cancellation check between stages.
+func (b *Builder) stageGate(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		b.Recorder.recordCanceled()
+		return err
+	}
+	return nil
+}
+
+// isCancellation reports whether err is a context cancellation rather
+// than a genuine stage failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // distributorKey extracts the cache-key identity of a distributor: its

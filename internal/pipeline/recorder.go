@@ -54,10 +54,18 @@ type Summary struct {
 	// Builds counts completed (non-error) pipeline executions;
 	// Hits/Errors count cache hits and stage errors.
 	Builds, Hits, Errors uint64
-	Estimate             StageSummary
-	Slice                StageSummary
-	Dispatch             StageSummary
-	Verify               StageSummary
+	// Coalesced counts builds that joined another builder's in-flight
+	// cold build of the same key instead of planning themselves (the
+	// cache's singleflight layer).
+	Coalesced uint64
+	// Canceled counts builds abandoned at a stage boundary because
+	// their context was done; cancellations are operational, so they
+	// are kept apart from stage Errors.
+	Canceled uint64
+	Estimate StageSummary
+	Slice    StageSummary
+	Dispatch StageSummary
+	Verify   StageSummary
 }
 
 // Total returns the summed wall time across stages.
@@ -115,6 +123,24 @@ func (r *Recorder) recordError() {
 	r.mu.Unlock()
 }
 
+func (r *Recorder) recordCoalesced() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sum.Coalesced++
+	r.mu.Unlock()
+}
+
+func (r *Recorder) recordCanceled() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sum.Canceled++
+	r.mu.Unlock()
+}
+
 // Summary returns a snapshot of the aggregates.
 func (r *Recorder) Summary() Summary {
 	if r == nil {
@@ -141,8 +167,11 @@ func (s Summary) Format() string {
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].st.Wall > rows[j].st.Wall })
 	total := s.Total()
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "pipeline: %d builds, %d cache hits, %d errors, %v planning\n",
-		s.Builds, s.Hits, s.Errors, total.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "pipeline: %d builds, %d cache hits, %d coalesced, %d errors, %v planning\n",
+		s.Builds, s.Hits, s.Coalesced, s.Errors, total.Round(time.Microsecond))
+	if s.Canceled > 0 {
+		fmt.Fprintf(&sb, "  %d builds canceled at a stage boundary\n", s.Canceled)
+	}
 	for _, r := range rows {
 		if r.st.Wall == 0 && r.st.Allocs == 0 {
 			continue

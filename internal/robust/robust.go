@@ -25,6 +25,7 @@
 package robust
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -91,7 +92,7 @@ func BreakdownFactor(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignme
 
 	opt = opt.withDefaults()
 	n, m := g.NumTasks(), p.M()
-	return bisect(opt, func(factor float64) (bool, error) {
+	return bisect(context.Background(), opt, func(factor float64) (bool, error) {
 		tr := faults.ZeroTrace(n, m)
 		for i := range tr.ExecScale {
 			tr.ExecScale[i] = factor
@@ -112,9 +113,19 @@ func BreakdownFactor(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignme
 // experiment harness and the pipeline benchmarks use; BreakdownFactor
 // remains the primitive for callers that already hold a plan.
 func BreakdownVia(b *pipeline.Builder, spec pipeline.Spec, opt BreakdownOptions) (Breakdown, error) {
+	return BreakdownViaContext(context.Background(), b, spec, opt)
+}
+
+// BreakdownViaContext is BreakdownVia under a cancellation context: the
+// context gates every bisection probe and propagates into the pipeline
+// builds, so an abandoned study workload stops probing at the next
+// bracket step instead of running the search to its tolerance.
+func BreakdownViaContext(ctx context.Context, b *pipeline.Builder, spec pipeline.Spec,
+	opt BreakdownOptions) (Breakdown, error) {
+
 	opt = opt.withDefaults()
-	return bisect(opt, func(factor float64) (bool, error) {
-		plan, err := b.Build(spec)
+	return bisect(ctx, opt, func(factor float64) (bool, error) {
+		plan, err := b.BuildContext(ctx, spec)
 		if err != nil {
 			return false, err
 		}
@@ -133,9 +144,17 @@ func BreakdownVia(b *pipeline.Builder, spec pipeline.Spec, opt BreakdownOptions)
 }
 
 // bisect runs the survive/fail bracket search shared by BreakdownFactor
-// and BreakdownVia. opt must already have defaults applied.
-func bisect(opt BreakdownOptions, probe func(factor float64) (bool, error)) (Breakdown, error) {
+// and BreakdownVia, checking ctx before every probe. opt must already
+// have defaults applied.
+func bisect(ctx context.Context, opt BreakdownOptions, probe func(factor float64) (bool, error)) (Breakdown, error) {
 	var b Breakdown
+	inner := probe
+	probe = func(factor float64) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		return inner(factor)
+	}
 	ok, err := probe(1)
 	if err != nil {
 		return b, err
@@ -247,6 +266,17 @@ func ResliceLoop(g *taskgraph.Graph, p *arch.Platform, est []rtime.Time,
 	metric slicing.Metric, params slicing.Params, tr *faults.Trace,
 	opt ResliceOptions) (*ResliceResult, error) {
 
+	return ResliceLoopContext(context.Background(), g, p, est, metric, params, tr, opt)
+}
+
+// ResliceLoopContext is ResliceLoop under a cancellation context: the
+// context gates every feedback round and propagates into the pipeline
+// builds, so an abandoned study workload stops re-planning instead of
+// burning its remaining retries.
+func ResliceLoopContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
+	est []rtime.Time, metric slicing.Metric, params slicing.Params, tr *faults.Trace,
+	opt ResliceOptions) (*ResliceResult, error) {
+
 	opt = opt.withDefaults()
 	if len(est) != g.NumTasks() {
 		return nil, fmt.Errorf("robust: %d estimates for %d tasks", len(est), g.NumTasks())
@@ -260,7 +290,10 @@ func ResliceLoop(g *taskgraph.Graph, p *arch.Platform, est []rtime.Time,
 	inflate := 1.0
 	res := &ResliceResult{}
 	for round := 0; ; round++ {
-		plan, err := b.Build(pipeline.Spec{Graph: g, Platform: p, Estimates: cur})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		plan, err := b.BuildContext(ctx, pipeline.Spec{Graph: g, Platform: p, Estimates: cur})
 		if err != nil {
 			return nil, err
 		}

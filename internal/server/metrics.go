@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// metric is one exported sample with its HELP/TYPE preamble.
+type metric struct {
+	name string
+	kind string // "counter" or "gauge"
+	help string
+	rows []row
+}
+
+// row is one sample line: optional label pair plus the value.
+type row struct {
+	label string // rendered inside {...} verbatim; empty for none
+	value float64
+}
+
+// handleMetrics renders the pipeline recorder aggregates and the
+// admission gauges in the Prometheus text exposition format. The format
+// is simple enough that hand-rendering it keeps the module free of a
+// client library dependency.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sum := s.rec.Summary()
+	stageSeconds := []row{
+		{`stage="estimate"`, sum.Estimate.Wall.Seconds()},
+		{`stage="slice"`, sum.Slice.Wall.Seconds()},
+		{`stage="dispatch"`, sum.Dispatch.Wall.Seconds()},
+		{`stage="verify"`, sum.Verify.Wall.Seconds()},
+	}
+	ms := []metric{
+		{"pland_builds_total", "counter", "Cold pipeline builds executed.",
+			[]row{{"", float64(sum.Builds)}}},
+		{"pland_cache_hits_total", "counter", "Plans served from the shared cache.",
+			[]row{{"", float64(sum.Hits)}}},
+		{"pland_coalesced_builds_total", "counter", "Builds that joined another request's in-flight build of the same key.",
+			[]row{{"", float64(sum.Coalesced)}}},
+		{"pland_canceled_builds_total", "counter", "Builds abandoned at a stage boundary by a done context.",
+			[]row{{"", float64(sum.Canceled)}}},
+		{"pland_build_errors_total", "counter", "Pipeline stage errors.",
+			[]row{{"", float64(sum.Errors)}}},
+		{"pland_stage_seconds_total", "counter", "Cumulative wall-clock time per pipeline stage.",
+			stageSeconds},
+		{"pland_requests_total", "counter", "Plan requests by outcome.",
+			[]row{
+				{`outcome="served"`, float64(s.served.Load())},
+				{`outcome="rejected"`, float64(s.rejected.Load())},
+				{`outcome="throttled"`, float64(s.throttled.Load())},
+				{`outcome="expired"`, float64(s.expired.Load())},
+				{`outcome="refused"`, float64(s.refused.Load())},
+			}},
+		{"pland_in_flight", "gauge", "Requests currently planning.",
+			[]row{{"", float64(s.inFlight.Load())}}},
+		{"pland_queue_depth", "gauge", "Requests waiting for a planning slot.",
+			[]row{{"", float64(s.queued.Load())}}},
+		{"pland_cached_plans", "gauge", "Plans resident in the shared cache.",
+			[]row{{"", float64(s.cache.Len())}}},
+		{"pland_draining", "gauge", "1 while the server refuses new work.",
+			[]row{{"", boolGauge(s.draining.Load())}}},
+	}
+	var sb strings.Builder
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind)
+		for _, r := range m.rows {
+			if r.label != "" {
+				fmt.Fprintf(&sb, "%s{%s} %s\n", m.name, r.label, formatValue(r.value))
+			} else {
+				fmt.Fprintf(&sb, "%s %s\n", m.name, formatValue(r.value))
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprint(w, sb.String())
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// formatValue renders counters as integers and seconds with full float
+// precision, matching what Prometheus scrapers expect.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,378 @@
+// Package server is the planning service: an HTTP/JSON front-end over
+// the instrumented pipeline core. One process holds one shared plan
+// cache and recorder; every request plans through them, so identical
+// workloads are answered from cache and concurrent identical requests
+// coalesce onto a single cold build (the cache's singleflight layer).
+//
+// The request path is admission → coalesce → build → respond:
+//
+//   - admission: at most MaxInFlight requests plan concurrently; up to
+//     MaxQueue more wait for a slot, and anything beyond that is shed
+//     immediately with 429 and a Retry-After hint — the service degrades
+//     by refusing work it cannot start, not by queueing unboundedly.
+//   - deadline: every request plans under a context with a wall-clock
+//     budget (client-requested via ?timeout=, clamped to MaxTimeout).
+//     The pipeline checks it at stage boundaries, so an abandoned or
+//     expired request stops computing instead of finishing as a zombie.
+//   - drain: Drain flips /healthz to 503 and rejects new plan requests;
+//     in-flight builds finish normally (http.Server.Shutdown provides
+//     the waiting).
+//
+// /metrics exports the pipeline recorder's aggregates and the admission
+// gauges in the Prometheus text format, hand-rendered to keep the
+// module dependency-free.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/deadline"
+	"repro/internal/graphio"
+	"repro/internal/pipeline"
+	"repro/internal/slicing"
+	"repro/internal/wcet"
+)
+
+// Options configures a Server. The zero value is usable; every field
+// falls back to the documented default.
+type Options struct {
+	// MaxInFlight bounds concurrently planning requests; 0 means
+	// GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a planning slot; beyond it
+	// requests are shed with 429. 0 means 64; negative means no queue
+	// (shed whenever every slot is busy).
+	MaxQueue int
+	// DefaultTimeout is the per-request planning budget when the client
+	// does not ask for one; 0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested budgets; 0 means 2m.
+	MaxTimeout time.Duration
+	// CacheCapacity sizes the shared plan cache; 0 means 4096.
+	CacheCapacity int
+	// RetryAfter is the hint attached to 429 responses; 0 means 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds the request body; 0 means 16 MiB.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 64
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 2 * time.Minute
+	}
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = 4096
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 16 << 20
+	}
+	return o
+}
+
+// Server is the planning service state: the shared pipeline cache and
+// recorder, the admission machinery, and the request counters. Create
+// with New; serve its Handler.
+type Server struct {
+	opt   Options
+	cache *pipeline.Cache
+	rec   *pipeline.Recorder
+	mux   *http.ServeMux
+
+	// slots is the in-flight semaphore; queued counts requests waiting
+	// for a slot; inFlight gauges requests actually planning.
+	slots    chan struct{}
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	draining atomic.Bool
+
+	// Request counters by outcome, for /metrics.
+	served    atomic.Int64 // 200
+	rejected  atomic.Int64 // 4xx workload or parameter faults
+	throttled atomic.Int64 // 429 shed at admission
+	expired   atomic.Int64 // 504 budget exceeded
+	refused   atomic.Int64 // 503 draining
+
+	// holdBuild, when non-nil, blocks every admitted request before it
+	// plans; tests use it to hold slots occupied deterministically.
+	holdBuild chan struct{}
+}
+
+// New returns a Server with its own plan cache and recorder.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:   opt,
+		cache: pipeline.NewCache(opt.CacheCapacity),
+		rec:   pipeline.NewRecorder(false),
+		slots: make(chan struct{}, opt.MaxInFlight),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/plan", s.handlePlan)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server into draining mode: /healthz turns 503 (so load
+// balancers stop routing here) and new plan requests are refused.
+// Requests already planning are unaffected; pair with
+// http.Server.Shutdown to wait for them.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// PlanResponse is the JSON answer of POST /plan.
+type PlanResponse struct {
+	// Metric, WCET and Dispatcher echo the resolved configuration.
+	Metric     string `json:"metric"`
+	WCET       string `json:"wcet"`
+	Dispatcher string `json:"dispatcher"`
+	// Feasible, OverConstrained, ProvablyInfeasible and the measures
+	// fold the plan verdict.
+	Feasible           bool  `json:"feasible"`
+	OverConstrained    bool  `json:"overConstrained,omitempty"`
+	ProvablyInfeasible bool  `json:"provablyInfeasible,omitempty"`
+	MaxLateness        int64 `json:"maxLateness"`
+	MinLaxity          int64 `json:"minLaxity"`
+	// Result carries the per-task assignment and placements in the same
+	// shape cmd/taskgen and cmd/schedview archive.
+	Result graphio.ResultJSON `json:"result"`
+	// PlanningMS is the wall-clock planning time of the build that
+	// produced the plan (0 for a cache hit whose build was instant).
+	PlanningMS float64 `json:"planningMS"`
+}
+
+// errorResponse is the JSON body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	switch {
+	case code == http.StatusTooManyRequests:
+		s.throttled.Add(1)
+	case code == http.StatusServiceUnavailable:
+		s.refused.Add(1)
+	case code == http.StatusGatewayTimeout:
+		s.expired.Add(1)
+	default:
+		s.rejected.Add(1)
+	}
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit takes a planning slot, waiting in the bounded queue if none is
+// free. It returns a release func, or false when the queue is full or
+// the request died while waiting.
+func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, true
+	default:
+	}
+	if s.queued.Add(1) > int64(s.opt.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// dispatcherByName resolves the ?dispatcher= parameter.
+func dispatcherByName(name string) (pipeline.Dispatcher, error) {
+	switch name {
+	case "", "time-driven":
+		return pipeline.TimeDriven(), nil
+	case "planner":
+		return pipeline.Planner(), nil
+	case "insertion":
+		return pipeline.Insertion(), nil
+	case "preemptive":
+		return pipeline.Preemptive(), nil
+	}
+	return pipeline.Dispatcher{}, fmt.Errorf("unknown dispatcher %q (want time-driven, planner, insertion, or preemptive)", name)
+}
+
+// strategyByName resolves the ?wcet= parameter.
+func strategyByName(name string) (wcet.Strategy, error) {
+	if name == "" {
+		return wcet.AVG, nil
+	}
+	for _, st := range wcet.Strategies {
+		if st.String() == name {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown WCET strategy %q", name)
+}
+
+// budget resolves the request's planning budget from ?timeout=.
+func (s *Server) budget(raw string) (time.Duration, error) {
+	if raw == "" {
+		return s.opt.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q", raw)
+	}
+	if d > s.opt.MaxTimeout {
+		d = s.opt.MaxTimeout
+	}
+	return d, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, "POST a workload to /plan")
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	q := r.URL.Query()
+	metricName := q.Get("metric")
+	if metricName == "" {
+		metricName = slicing.AdaptL().Name()
+	}
+	metric, err := slicing.ByName(metricName)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	strategy, err := strategyByName(q.Get("wcet"))
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	disp, err := dispatcherByName(q.Get("dispatcher"))
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	limit, err := s.budget(q.Get("timeout"))
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+
+	g, p, err := graphio.ReadWorkload(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if p == nil {
+		s.fail(w, http.StatusUnprocessableEntity, "workload carries no platform; the planner needs one")
+		return
+	}
+
+	release, ok := s.admit(r.Context())
+	if !ok {
+		if err := r.Context().Err(); err != nil {
+			// The client went away while queued; nothing to answer.
+			s.fail(w, http.StatusServiceUnavailable, "request canceled while queued")
+			return
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.opt.RetryAfter+time.Second-1)/time.Second)))
+		s.fail(w, http.StatusTooManyRequests, "planning queue is full (%d in flight, %d queued)",
+			s.opt.MaxInFlight, s.opt.MaxQueue)
+		return
+	}
+	defer release()
+	if s.holdBuild != nil {
+		<-s.holdBuild
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), limit)
+	defer cancel()
+
+	b := &pipeline.Builder{
+		Estimator:   pipeline.StrategyEstimator(strategy),
+		Distributor: deadline.Sliced{Metric: metric, Params: slicing.CalibratedParams()},
+		Dispatcher:  disp,
+		Cache:       s.cache,
+		Recorder:    s.rec,
+	}
+	if q.Get("verify") == "1" || q.Get("verify") == "true" {
+		b.Verifier = pipeline.FeasVerifier()
+	}
+
+	s.inFlight.Add(1)
+	plan, err := b.BuildContext(ctx, pipeline.Spec{Graph: g, Platform: p})
+	s.inFlight.Add(-1)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, "planning exceeded its %v budget", limit)
+		return
+	case errors.Is(err, context.Canceled):
+		s.fail(w, http.StatusServiceUnavailable, "request canceled")
+		return
+	default:
+		// Stage errors are properties of the submitted workload
+		// (inconsistent graph, unschedulable windows), not of the server.
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, PlanResponse{
+		Metric:             metric.Name(),
+		WCET:               strategy.String(),
+		Dispatcher:         disp.Name,
+		Feasible:           plan.Verdict.Feasible,
+		OverConstrained:    plan.Verdict.OverConstrained,
+		ProvablyInfeasible: plan.Verdict.ProvablyInfeasible,
+		MaxLateness:        int64(plan.Verdict.MaxLateness),
+		MinLaxity:          int64(plan.Verdict.MinLaxity),
+		Result:             graphio.EncodeResult(plan.Assignment, plan.Schedule),
+		PlanningMS:         float64(plan.Stats.Total()) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
