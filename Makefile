@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check smoke serve-smoke faults margins degrade fuzz bench
+.PHONY: all build test race vet fmt check smoke serve-smoke fleet-smoke faults margins degrade fuzz bench
 
 all: check
 
@@ -35,6 +35,12 @@ smoke:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# Black-box smoke of the pland fleet: three peers under a chaos
+# scenario, one killed mid-load, Mandatory availability must hold at
+# 99% and repeated fingerprints must not re-build fleet-wide.
+fleet-smoke:
+	sh scripts/fleet-smoke.sh
+
 # Graceful-degradation curves under injected faults (robustness study).
 faults:
 	$(GO) run ./cmd/sweep -study faults
@@ -60,8 +66,10 @@ degrade:
 bench:
 	$(GO) run ./cmd/benchpipe -o BENCH_pipeline.json
 
-# Native fuzzers: the checkpoint-journal parser and the workload
-# reader, each briefly past their checked-in seed corpora.
+# Native fuzzers: the checkpoint-journal parser, the workload reader,
+# and the chaos scenario parser, each briefly past their checked-in
+# seed corpora.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseJournal -fuzztime=10s ./internal/experiment/
 	$(GO) test -run='^$$' -fuzz=FuzzReadWorkload -fuzztime=10s ./internal/graphio/
+	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=10s ./internal/chaos/

@@ -1,0 +1,384 @@
+// Command loadgen drives a pland fleet through a timed load profile
+// using the fault-tolerant fleet client (consistent-hash routing,
+// retries, hedging, circuit breakers) and writes a JSON summary of
+// what the fleet delivered: request availability split by criticality,
+// latency percentiles, the client's retry/hedge/breaker counters, and
+// the fleet-wide build/hit/shed accounting scraped from every peer's
+// /metrics.
+//
+//	go run ./cmd/loadgen -peers p0=http://127.0.0.1:18080,p1=...,p2=... \
+//	    -duration 30s -concurrency 8 -out BENCH_serve.json
+//
+// A fraction of requests (-optional-frac) is marked
+// X-Plan-Criticality: optional, so an overloaded or degraded fleet
+// sheds them first; -min-mandatory-availability turns the run into an
+// assertion (non-zero exit below the bar), which is how
+// scripts/fleet-smoke.sh checks that killing one peer under chaos
+// leaves Mandatory service intact.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/client"
+	"repro/internal/gen"
+	"repro/internal/graphio"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON document loadgen emits (BENCH_serve.json).
+type Report struct {
+	Config    Config     `json:"config"`
+	Requests  Requests   `json:"requests"`
+	LatencyMS Latency    `json:"latency_ms"`
+	Client    ClientSnap `json:"client"`
+	Fleet     Fleet      `json:"fleet"`
+}
+
+// Config echoes the run parameters.
+type Config struct {
+	Peers        []string `json:"peers"`
+	Duration     string   `json:"duration"`
+	Concurrency  int      `json:"concurrency"`
+	Workloads    int      `json:"workloads"`
+	OptionalFrac float64  `json:"optionalFrac"`
+	Seed         int64    `json:"seed"`
+}
+
+// Tier is one criticality tier's request accounting.
+type Tier struct {
+	Total        int64   `json:"total"`
+	OK           int64   `json:"ok"`
+	Shed         int64   `json:"shed"`
+	Failed       int64   `json:"failed"`
+	Availability float64 `json:"availability"`
+}
+
+// Requests is the end-to-end request accounting. Aborted counts
+// requests cut off by the run deadline itself; they are excluded from
+// every tier and from availability.
+type Requests struct {
+	Total     int64 `json:"total"`
+	Aborted   int64 `json:"aborted"`
+	Mandatory Tier  `json:"mandatory"`
+	Optional  Tier  `json:"optional"`
+}
+
+// Latency is the successful-request latency distribution.
+type Latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// ClientSnap folds the fleet client's reliability counters.
+type ClientSnap struct {
+	Attempts        int64 `json:"attempts"`
+	Retries         int64 `json:"retries"`
+	Hedges          int64 `json:"hedges"`
+	HedgeWins       int64 `json:"hedgeWins"`
+	BreakerRefusals int64 `json:"breakerRefusals"`
+	BreakerOpens    int64 `json:"breakerOpens"`
+	BreakerCloses   int64 `json:"breakerCloses"`
+	ConnectRefused  int64 `json:"connectRefused"`
+	Timeouts        int64 `json:"timeouts"`
+	HTTPFailures    int64 `json:"httpFailures"`
+}
+
+// PeerStats is one peer's /metrics accounting after the run.
+type PeerStats struct {
+	Peer          string  `json:"peer"`
+	Scraped       bool    `json:"scraped"`
+	Builds        float64 `json:"builds"`
+	CacheHits     float64 `json:"cacheHits"`
+	Coalesced     float64 `json:"coalesced"`
+	ShedOptional  float64 `json:"shedOptional"`
+	ShedMandatory float64 `json:"shedMandatory"`
+}
+
+// Fleet sums the per-peer accounting. Builds against Workloads is the
+// duplicate-cold-build check: a healthy fleet builds each distinct
+// fingerprint exactly once; peer deaths can migrate a key to a second
+// builder, never more per incident.
+type Fleet struct {
+	Builds        float64     `json:"builds"`
+	CacheHits     float64     `json:"cacheHits"`
+	Coalesced     float64     `json:"coalesced"`
+	ShedOptional  float64     `json:"shedOptional"`
+	ShedMandatory float64     `json:"shedMandatory"`
+	Peers         []PeerStats `json:"peers"`
+}
+
+func run(ctx context.Context, args []string, stdout, logw io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	peersSpec := fs.String("peers", "", "fleet peer list (name=url,... or url,...)")
+	duration := fs.Duration("duration", 20*time.Second, "how long to generate load")
+	concurrency := fs.Int("concurrency", 8, "parallel request workers")
+	workloads := fs.Int("workloads", 12, "distinct workloads cycled through (each is one fingerprint)")
+	optionalFrac := fs.Float64("optional-frac", 0.25, "fraction of requests marked optional criticality")
+	seed := fs.Int64("seed", 1, "workload and traffic seed")
+	hedgeAfter := fs.Duration("hedge-after", 100*time.Millisecond, "hedge to the next peer after this wait (0 disables)")
+	attemptTimeout := fs.Duration("attempt-timeout", 5*time.Second, "per-attempt timeout")
+	minMandatory := fs.Float64("min-mandatory-availability", 0, "fail the run when mandatory availability lands below this (0 disables)")
+	out := fs.String("out", "-", "report path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *peersSpec == "" {
+		return errors.New("-peers is required")
+	}
+	peers, err := cluster.ParsePeers(*peersSpec)
+	if err != nil {
+		return fmt.Errorf("-peers: %w", err)
+	}
+	ring, err := cluster.NewRing(peers)
+	if err != nil {
+		return fmt.Errorf("-peers: %w", err)
+	}
+	cl := client.New(ring, client.Options{
+		HedgeAfter:     *hedgeAfter,
+		AttemptTimeout: *attemptTimeout,
+		Seed:           *seed,
+	})
+
+	// Pre-generate the workload set; each distinct seed is one
+	// fingerprint, routed to one ring owner.
+	bodies := make([][]byte, *workloads)
+	keys := make([]uint64, *workloads)
+	for i := range bodies {
+		cfg := gen.Default(3)
+		cfg.Seed = *seed + int64(i)
+		w := gen.MustGenerate(cfg)
+		var buf bytes.Buffer
+		if err := graphio.WriteWorkload(&buf, w.Graph, w.Platform); err != nil {
+			return fmt.Errorf("workload %d: %w", i, err)
+		}
+		bodies[i] = buf.Bytes()
+		keys[i] = pipeline.Fingerprint(w.Graph, w.Platform)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+	prober := cluster.NewProber(ring, cluster.ProberOptions{Interval: 250 * time.Millisecond})
+	go prober.Run(runCtx)
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		req       Requests
+	)
+	record := func(crit string, lat time.Duration, status int, err error, aborted bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		req.Total++
+		if aborted {
+			req.Aborted++
+			return
+		}
+		tier := &req.Mandatory
+		if crit == "optional" {
+			tier = &req.Optional
+		}
+		tier.Total++
+		switch {
+		case err == nil && status >= 200 && status < 300:
+			tier.OK++
+			latencies = append(latencies, float64(lat)/float64(time.Millisecond))
+		case status == http.StatusTooManyRequests:
+			tier.Shed++
+		default:
+			tier.Failed++
+		}
+	}
+
+	fmt.Fprintf(logw, "loadgen: %d workers, %d workloads, %v against %d peers\n",
+		*concurrency, *workloads, *duration, len(peers))
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			for runCtx.Err() == nil {
+				i := rnd.Intn(len(bodies))
+				crit := "mandatory"
+				if rnd.Float64() < *optionalFrac {
+					crit = "optional"
+				}
+				startAt := time.Now()
+				res, err := cl.Do(runCtx, client.PlanRequest{
+					Key:         keys[i],
+					Criticality: crit,
+					Body:        bodies[i],
+				})
+				status := 0
+				if res != nil {
+					status = res.Status
+				}
+				// A request cut off by the run deadline is an artifact of
+				// stopping, not a service failure.
+				aborted := err != nil && runCtx.Err() != nil
+				record(crit, time.Since(startAt), status, err, aborted)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	finish := func(t *Tier) {
+		if t.Total > 0 {
+			t.Availability = float64(t.OK+t.Shed) / float64(t.Total)
+		}
+	}
+	// Shed responses answer within policy (429 + Retry-After); for the
+	// availability bar only outright failures count against the fleet.
+	finish(&req.Mandatory)
+	finish(&req.Optional)
+
+	snap := cl.Snap()
+	rep := Report{
+		Config: Config{
+			Peers:        peerNames(peers),
+			Duration:     duration.String(),
+			Concurrency:  *concurrency,
+			Workloads:    *workloads,
+			OptionalFrac: *optionalFrac,
+			Seed:         *seed,
+		},
+		Requests:  req,
+		LatencyMS: percentiles(latencies),
+		Client: ClientSnap{
+			Attempts:        snap.Attempts,
+			Retries:         snap.Retries,
+			Hedges:          snap.Hedges,
+			HedgeWins:       snap.HedgeWins,
+			BreakerRefusals: snap.BreakerRefusals,
+			BreakerOpens:    snap.BreakerOpens,
+			BreakerCloses:   snap.BreakerCloses,
+			ConnectRefused:  snap.Failures[int(cluster.ConnectRefused)],
+			Timeouts:        snap.Failures[int(cluster.Timeout)],
+			HTTPFailures:    snap.Failures[int(cluster.HTTPStatus)],
+		},
+		Fleet: scrapeFleet(peers),
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "loadgen: mandatory availability %.4f (%d/%d ok, %d shed, %d failed), %d builds fleet-wide\n",
+		req.Mandatory.Availability, req.Mandatory.OK, req.Mandatory.Total,
+		req.Mandatory.Shed, req.Mandatory.Failed, int(rep.Fleet.Builds))
+	if *minMandatory > 0 && req.Mandatory.Availability < *minMandatory {
+		return fmt.Errorf("mandatory availability %.4f below the %.4f bar",
+			req.Mandatory.Availability, *minMandatory)
+	}
+	return nil
+}
+
+func peerNames(peers []*cluster.Peer) []string {
+	names := make([]string, len(peers))
+	for i, p := range peers {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// percentiles summarizes successful-request latencies in milliseconds.
+func percentiles(ms []float64) Latency {
+	if len(ms) == 0 {
+		return Latency{}
+	}
+	sort.Float64s(ms)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ms)-1))
+		return ms[i]
+	}
+	return Latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: ms[len(ms)-1]}
+}
+
+// scrapeFleet reads every peer's /metrics after the run and sums the
+// build/hit/shed accounting. A peer that died during the run (chaos,
+// kill) simply reports scraped=false.
+func scrapeFleet(peers []*cluster.Peer) Fleet {
+	var fl Fleet
+	for _, p := range peers {
+		ps := PeerStats{Peer: p.Name}
+		if text, err := fetchMetrics(p.URL); err == nil {
+			ps.Scraped = true
+			ps.Builds = sample(text, `pland_builds_total`)
+			ps.CacheHits = sample(text, `pland_cache_hits_total`)
+			ps.Coalesced = sample(text, `pland_coalesced_builds_total`)
+			ps.ShedOptional = sample(text, `pland_shed_total\{criticality="optional"\}`)
+			ps.ShedMandatory = sample(text, `pland_shed_total\{criticality="mandatory"\}`)
+			fl.Builds += ps.Builds
+			fl.CacheHits += ps.CacheHits
+			fl.Coalesced += ps.Coalesced
+			fl.ShedOptional += ps.ShedOptional
+			fl.ShedMandatory += ps.ShedMandatory
+		}
+		fl.Peers = append(fl.Peers, ps)
+	}
+	return fl
+}
+
+func fetchMetrics(url string) (string, error) {
+	c := &http.Client{Timeout: 2 * time.Second}
+	resp, err := c.Get(url + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("/metrics: %d", resp.StatusCode)
+	}
+	return string(raw), nil
+}
+
+// sample pulls one sample value out of a Prometheus text exposition;
+// a missing metric reads as 0.
+func sample(text, pattern string) float64 {
+	re := regexp.MustCompile(`(?m)^` + pattern + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(m[1], 64)
+	return v
+}

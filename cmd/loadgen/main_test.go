@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestLoadgenAgainstFleet runs the generator for a short burst against
+// two in-process pland servers and checks the report's accounting:
+// full availability on a healthy fleet, each distinct fingerprint
+// built at most once fleet-wide (the generator's ring routing plus the
+// servers' caches), and a parseable latency distribution.
+func TestLoadgenAgainstFleet(t *testing.T) {
+	ts0 := httptest.NewServer(server.New(server.Options{}).Handler())
+	defer ts0.Close()
+	ts1 := httptest.NewServer(server.New(server.Options{}).Handler())
+	defer ts1.Close()
+
+	var out, logs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-peers", fmt.Sprintf("p0=%s,p1=%s", ts0.URL, ts1.URL),
+		"-duration", "2s",
+		"-concurrency", "4",
+		"-workloads", "6",
+		"-optional-frac", "0.3",
+		"-min-mandatory-availability", "0.99",
+	}, &out, &logs)
+	if err != nil {
+		t.Fatalf("run: %v\nlog: %s", err, logs.String())
+	}
+
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, out.String())
+	}
+	if rep.Requests.Mandatory.Total == 0 || rep.Requests.Optional.Total == 0 {
+		t.Fatalf("both tiers should have seen traffic: %+v", rep.Requests)
+	}
+	if rep.Requests.Mandatory.Availability != 1 || rep.Requests.Optional.Availability != 1 {
+		t.Fatalf("healthy fleet below full availability: %+v", rep.Requests)
+	}
+	if rep.Fleet.Builds == 0 || rep.Fleet.Builds > float64(rep.Config.Workloads) {
+		t.Fatalf("fleet builds %g, want in [1, %d] (one per distinct fingerprint)",
+			rep.Fleet.Builds, rep.Config.Workloads)
+	}
+	if rep.Fleet.CacheHits+rep.Fleet.Coalesced == 0 {
+		t.Fatal("repeated fingerprints never hit the cache")
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P99 < rep.LatencyMS.P50 {
+		t.Fatalf("latency distribution malformed: %+v", rep.LatencyMS)
+	}
+	for _, p := range rep.Fleet.Peers {
+		if !p.Scraped {
+			t.Fatalf("peer %s not scraped", p.Peer)
+		}
+	}
+}
+
+// TestLoadgenAvailabilityBar: a fleet of one dead peer cannot clear a
+// positive availability bar, and the run says so with an error.
+func TestLoadgenAvailabilityBar(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close()
+
+	var out, logs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-peers", "p0=" + dead.URL,
+		"-duration", "500ms",
+		"-concurrency", "2",
+		"-workloads", "2",
+		"-attempt-timeout", "200ms",
+		"-min-mandatory-availability", "0.99",
+	}, &out, &logs)
+	if err == nil {
+		t.Fatalf("dead fleet cleared the availability bar\n%s", out.String())
+	}
+}
+
+// TestLoadgenFlagValidation pins the required-flag surface.
+func TestLoadgenFlagValidation(t *testing.T) {
+	var out, logs bytes.Buffer
+	if err := run(context.Background(), nil, &out, &logs); err == nil {
+		t.Fatal("missing -peers accepted")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := run(ctx, []string{"-peers", "p0=http://x,p0=http://y"}, &out, &logs); err == nil {
+		t.Fatal("duplicate peer names accepted")
+	}
+}

@@ -17,6 +17,17 @@
 // exports the pipeline and admission aggregates in the Prometheus text
 // format. On SIGINT/SIGTERM the server drains: new work is refused,
 // in-flight plans finish, then the process exits.
+//
+// Fleet mode: -peers lists every pland node ("p0=http://a:8080,p1=...")
+// and -self names this one. Each node then routes a request to its
+// workload fingerprint's ring owner through the retry/hedge/breaker
+// client, probes its peers' /healthz, and routes around the dead ones.
+// Requests may carry X-Plan-Criticality: under queue pressure the
+// server sheds "optional" work before "mandatory".
+//
+// -chaos loads a fault-injection scenario (internal/chaos JSON) and
+// wraps both the serving handler and the fleet client with it, for
+// resilience drills like scripts/fleet-smoke.sh.
 package main
 
 import (
@@ -32,6 +43,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/cluster/client"
 	"repro/internal/server"
 )
 
@@ -54,18 +68,74 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request planning budget")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested budgets")
 	drainWait := fs.Duration("drain", 30*time.Second, "max wait for in-flight plans on shutdown")
+	peersSpec := fs.String("peers", "", "fleet peer list (name=url,... or url,...); empty runs a single node")
+	selfName := fs.String("self", "", "this process's peer name in -peers (required in fleet mode)")
+	chaosPath := fs.String("chaos", "", "chaos scenario file; injects faults into the server and fleet client")
+	hedgeAfter := fs.Duration("hedge-after", 100*time.Millisecond, "hedge a proxied request to the next peer after this wait (0 disables)")
+	probeEvery := fs.Duration("probe-interval", 500*time.Millisecond, "peer /healthz probe interval in fleet mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.Options{
+	var inj *chaos.Injector
+	if *chaosPath != "" {
+		sc, err := chaos.LoadScenario(*chaosPath)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		name := *selfName
+		if name == "" {
+			name = "pland"
+		}
+		inj = chaos.NewInjector(sc, name)
+		fmt.Fprintf(logw, "pland: chaos scenario %s armed for peer %s\n", *chaosPath, name)
+	}
+
+	opt := server.Options{
 		MaxInFlight:    *inflight,
 		MaxQueue:       *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		CacheCapacity:  *cacheCap,
-	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	}
+	var prober *cluster.Prober
+	if *peersSpec != "" {
+		peers, err := cluster.ParsePeers(*peersSpec)
+		if err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+		ring, err := cluster.NewRing(peers)
+		if err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+		if *selfName == "" {
+			return errors.New("-peers needs -self (this node's peer name)")
+		}
+		if ring.ByName(*selfName) == nil {
+			return fmt.Errorf("-self %q is not in -peers", *selfName)
+		}
+		var transport http.RoundTripper
+		if inj != nil {
+			transport = inj.Transport(nil)
+		}
+		opt.Router = &server.Router{
+			Ring:   ring,
+			Client: client.New(ring, client.Options{HedgeAfter: *hedgeAfter, Transport: transport}),
+			Self:   *selfName,
+		}
+		// The prober stays chaos-free on purpose: a blacked-out peer is
+		// discovered through its failing plan traffic, not by blinding
+		// the failure detector.
+		prober = cluster.NewProber(ring, cluster.ProberOptions{Interval: *probeEvery})
+		fmt.Fprintf(logw, "pland: fleet of %d peers, self=%s\n", len(peers), *selfName)
+	}
+
+	srv := server.New(opt)
+	handler := http.Handler(srv.Handler())
+	if inj != nil {
+		handler = inj.Middleware(handler)
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -75,6 +145,10 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if prober != nil {
+		go prober.Run(ctx)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -95,6 +169,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if inj != nil {
+		fmt.Fprintln(logw, "pland:", inj.Summary())
 	}
 	fmt.Fprintln(logw, "pland: drained, bye")
 	return nil

@@ -3,9 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -100,4 +105,144 @@ func TestRunLifecycle(t *testing.T) {
 	if !strings.Contains(logs.String(), "drained") {
 		t.Fatalf("drain not logged: %q", logs.String())
 	}
+}
+
+// freeAddrs reserves n distinct loopback addresses by listening and
+// immediately closing. The tiny reuse race is acceptable in tests.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestFleetLifecycle boots a real 3-process fleet (one with a chaos
+// scenario armed), posts the identical workload to every node, and
+// checks the fleet-wide contract: every answer is 200, exactly one
+// cold build happened anywhere, the non-owners proxied, and all three
+// drain cleanly.
+func TestFleetLifecycle(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	peers := fmt.Sprintf("p0=http://%s,p1=http://%s,p2=http://%s", addrs[0], addrs[1], addrs[2])
+	scenario := filepath.Join(t.TempDir(), "chaos.json")
+	if err := os.WriteFile(scenario,
+		[]byte(`{"seed":7,"rules":[{"peer":"p2","latency":"5ms","latencyProb":0.2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logs := make([]*logBuffer, 3)
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		logs[i] = &logBuffer{}
+		args := []string{
+			"-addr", addrs[i], "-peers", peers, "-self", fmt.Sprintf("p%d", i),
+			"-drain", "5s", "-hedge-after", "50ms", "-probe-interval", "100ms",
+		}
+		if i == 2 {
+			args = append(args, "-chaos", scenario)
+		}
+		go func(i int, args []string) { done <- run(ctx, args, logs[i]) }(i, args)
+	}
+	for i := range addrs {
+		waitHealthy(t, addrs[i])
+	}
+	if !strings.Contains(logs[2].String(), "chaos scenario") {
+		t.Fatalf("p2 never armed its scenario: %q", logs[2].String())
+	}
+
+	cfg := gen.Default(3)
+	cfg.Seed = 33
+	w := gen.MustGenerate(cfg)
+	var body bytes.Buffer
+	if err := graphio.WriteWorkload(&body, w.Graph, w.Platform); err != nil {
+		t.Fatal(err)
+	}
+	for i := range addrs {
+		resp, err := http.Post("http://"+addrs[i]+"/plan", "application/json", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			t.Fatalf("p%d: %v", i, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("p%d: status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+
+	var builds, routedOut, routedIn float64
+	for i := range addrs {
+		text := getBody(t, "http://"+addrs[i]+"/metrics")
+		builds += sample(t, text, `pland_builds_total`)
+		routedOut += sample(t, text, `pland_routed_total\{direction="out"\}`)
+		routedIn += sample(t, text, `pland_routed_total\{direction="in"\}`)
+	}
+	if builds != 1 {
+		t.Fatalf("fleet-wide cold builds = %g, want exactly 1", builds)
+	}
+	if routedOut != 2 || routedIn != 2 {
+		t.Fatalf("routing out=%g in=%g, want 2 and 2 (both non-owners proxied)", routedOut, routedIn)
+	}
+
+	cancel()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("fleet member exited with %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("fleet member never drained")
+		}
+	}
+}
+
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy", addr)
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return string(raw)
+}
+
+// sample extracts one Prometheus sample; missing metrics fail the test.
+func sample(t *testing.T, text, pattern string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + pattern + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found", pattern)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
 }

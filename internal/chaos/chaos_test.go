@@ -1,0 +1,251 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, src string) *Scenario {
+	t.Helper()
+	sc, err := ParseScenario(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestParseScenarioValidation pins the parser's accept/reject surface.
+func TestParseScenarioValidation(t *testing.T) {
+	good := `{"seed":42,"rules":[
+		{"peer":"p0","latency":"50ms","latencyProb":0.5},
+		{"peer":"*","errorCode":503,"errorProb":0.1},
+		{"dropProb":0.05},
+		{"peer":"p2","blackout":{"after":"5s","for":"30s"}}
+	]}`
+	sc := parse(t, good)
+	if sc.Seed != 42 || len(sc.Rules) != 4 {
+		t.Fatalf("parsed %+v", sc)
+	}
+	if got := time.Duration(sc.Rules[0].Latency); got != 50*time.Millisecond {
+		t.Fatalf("latency %v", got)
+	}
+
+	bad := []struct{ name, src string }{
+		{"garbage", `not json`},
+		{"no rules", `{"seed":1,"rules":[]}`},
+		{"prob > 1", `{"rules":[{"dropProb":1.5}]}`},
+		{"negative prob", `{"rules":[{"dropProb":-0.1}]}`},
+		{"latency without prob", `{"rules":[{"latency":"1s"}]}`},
+		{"error without code", `{"rules":[{"errorProb":0.5}]}`},
+		{"code without prob", `{"rules":[{"errorCode":503}]}`},
+		{"code out of range", `{"rules":[{"errorCode":200,"errorProb":0.5}]}`},
+		{"blackout without for", `{"rules":[{"blackout":{"after":"1s","for":"0s"}}]}`},
+		{"negative latency", `{"rules":[{"latency":"-1s","latencyProb":0.5}]}`},
+		{"no effect", `{"rules":[{"peer":"p0"}]}`},
+		{"unknown field", `{"rules":[{"peer":"p0","latencyPorb":0.5}]}`},
+		{"bad duration", `{"rules":[{"latency":"fast","latencyProb":0.5}]}`},
+		{"trailing data", `{"rules":[{"dropProb":0.1}]} extra`},
+	}
+	for _, c := range bad {
+		if _, err := ParseScenario(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestInjectorDeterministic: two injectors from the same scenario and
+// peer draw identical fault sequences; a different peer draws a
+// different (but equally deterministic) one.
+func TestInjectorDeterministic(t *testing.T) {
+	src := `{"seed":7,"rules":[
+		{"latency":"1ms","latencyProb":0.3},
+		{"errorCode":500,"errorProb":0.2},
+		{"dropProb":0.1}
+	]}`
+	seq := func(peer string) []verdict {
+		inj := NewInjector(parse(t, src), peer)
+		out := make([]verdict, 200)
+		for i := range out {
+			out[i] = inj.draw()
+		}
+		return out
+	}
+	a1, a2, b := seq("p0"), seq("p0"), seq("p1")
+	same := true
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("draw %d differs across identical injectors: %+v vs %+v", i, a1[i], a2[i])
+		}
+		if a1[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("peers p0 and p1 drew identical fault sequences")
+	}
+	// The empirical rates land near the configured probabilities.
+	var drops, errs int
+	for _, v := range a1 {
+		if v.drop {
+			drops++
+		}
+		if v.code != 0 {
+			errs++
+		}
+	}
+	if drops == 0 || errs == 0 {
+		t.Fatalf("200 draws produced drops=%d errs=%d; scenario never fired", drops, errs)
+	}
+}
+
+// TestInjectorPeerFilter: rules for other peers are invisible.
+func TestInjectorPeerFilter(t *testing.T) {
+	sc := parse(t, `{"rules":[{"peer":"other","dropProb":1}]}`)
+	inj := NewInjector(sc, "me")
+	for i := 0; i < 50; i++ {
+		if v := inj.draw(); v.drop || v.code != 0 || v.delay != 0 {
+			t.Fatalf("foreign rule fired: %+v", v)
+		}
+	}
+}
+
+// TestMiddlewareInjects drives the server-side wrapper: guaranteed
+// error, guaranteed drop, and the /healthz exemption.
+func TestMiddlewareInjects(t *testing.T) {
+	var served atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+
+	// Guaranteed injected 503: the inner handler never runs.
+	inj := NewInjector(parse(t, `{"rules":[{"errorCode":503,"errorProb":1}]}`), "p0")
+	ts := httptest.NewServer(inj.Middleware(inner))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "chaos") {
+		t.Fatalf("got %d %s", resp.StatusCode, body)
+	}
+	if served.Load() != 0 {
+		t.Fatal("handler ran under a guaranteed error injection")
+	}
+	// /healthz and /metrics bypass chaos.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err = http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s hit by chaos: %d", path, resp.StatusCode)
+		}
+	}
+	if _, e, _, _ := inj.Counts(); e != 1 {
+		t.Fatalf("errored count %d, want 1", e)
+	}
+
+	// Guaranteed drop: the client sees a transport error, no status.
+	injDrop := NewInjector(parse(t, `{"rules":[{"dropProb":1}]}`), "p0")
+	tsDrop := httptest.NewServer(injDrop.Middleware(inner))
+	defer tsDrop.Close()
+	if _, err := http.Get(tsDrop.URL + "/plan"); err == nil {
+		t.Fatal("dropped connection still answered")
+	}
+	if _, _, d, _ := injDrop.Counts(); d != 1 {
+		t.Fatalf("dropped count %d, want 1", d)
+	}
+}
+
+// TestMiddlewareLatency: injected latency delays the response without
+// changing it.
+func TestMiddlewareLatency(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	inj := NewInjector(parse(t, `{"rules":[{"latency":"80ms","latencyProb":1}]}`), "p0")
+	ts := httptest.NewServer(inj.Middleware(inner))
+	defer ts.Close()
+	startAt := time.Now()
+	resp, err := http.Get(ts.URL + "/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(startAt); elapsed < 80*time.Millisecond {
+		t.Fatalf("answered in %v, want >= 80ms injected latency", elapsed)
+	}
+	if d, _, _, _ := inj.Counts(); d != 1 {
+		t.Fatalf("delayed count %d, want 1", d)
+	}
+}
+
+// TestBlackoutWindow: inside the window every request drops; outside it
+// none do. The injector clock is virtual.
+func TestBlackoutWindow(t *testing.T) {
+	sc := parse(t, `{"rules":[{"blackout":{"after":"10s","for":"30s"}}]}`)
+	inj := NewInjector(sc, "p0")
+	now := time.Unix(1000, 0)
+	inj.now = func() time.Time { return now }
+	inj.start = now
+
+	if v := inj.draw(); v.drop {
+		t.Fatal("blackout fired before its window")
+	}
+	now = now.Add(15 * time.Second)
+	if v := inj.draw(); !v.drop {
+		t.Fatal("blackout window open but request survived")
+	}
+	now = now.Add(30 * time.Second) // 45s > 10+30
+	if v := inj.draw(); v.drop {
+		t.Fatal("blackout fired after its window closed")
+	}
+}
+
+// TestTransportInjects drives the client-side wrapper: synthesized
+// errors and drops without a live server, pass-through otherwise.
+func TestTransportInjects(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	inj := NewInjector(parse(t, `{"rules":[{"errorCode":502,"errorProb":1}]}`), "p0")
+	c := &http.Client{Transport: inj.Transport(nil)}
+	resp, err := c.Get(ts.URL + "/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway || !strings.Contains(string(body), "chaos") {
+		t.Fatalf("got %d %s", resp.StatusCode, body)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("synthesized error still hit the network")
+	}
+
+	injDrop := NewInjector(parse(t, `{"rules":[{"dropProb":1}]}`), "p0")
+	cDrop := &http.Client{Transport: injDrop.Transport(nil)}
+	if _, err := cDrop.Get(ts.URL + "/plan"); err == nil {
+		t.Fatal("dropped request returned a response")
+	}
+
+	// No matching rule: plain pass-through, health exempt either way.
+	injNone := NewInjector(parse(t, `{"rules":[{"peer":"other","dropProb":1}]}`), "p0")
+	cNone := &http.Client{Transport: injNone.Transport(nil)}
+	resp, err = cNone.Get(ts.URL + "/plan")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pass-through broken: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseScenario hammers the scenario parser with malformed input.
+// The contract matches the journal and workload fuzzers: the parser
+// never panics (malformed structure is an error, not a crash), and any
+// scenario it accepts survives an encode/decode round-trip unchanged —
+// so a checked-in scenario file re-written by tooling keeps injecting
+// the same faults.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(`{"seed":42,"rules":[{"peer":"p0","latency":"50ms","latencyProb":0.5}]}`))
+	f.Add([]byte(`{"seed":-1,"rules":[{"peer":"*","errorCode":503,"errorProb":0.25},{"dropProb":0.01}]}`))
+	f.Add([]byte(`{"rules":[{"peer":"p2","blackout":{"after":"5s","for":"30s"}}]}`))
+	f.Add([]byte(`{"rules":[{"latency":"1h","latencyProb":1},{"errorCode":429,"errorProb":1},{"dropProb":1}]}`))
+	f.Add([]byte(`{"rules":[]}`))
+	f.Add([]byte(`{"rules":[{"dropProb":1.00001}]}`))
+	f.Add([]byte(`{"rules":[{"latency":"-5ms","latencyProb":0.5}]}`))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario does not re-encode: %v", err)
+		}
+		sc2, err := ParseScenario(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-encoded scenario does not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Fatalf("round-trip changed the scenario:\n%+v\n%+v", sc, sc2)
+		}
+		// An accepted scenario must be instantiable for any peer without
+		// panicking, and drawing from it must not panic either.
+		inj := NewInjector(sc, "fuzz-peer")
+		for i := 0; i < 8; i++ {
+			inj.draw()
+		}
+	})
+}

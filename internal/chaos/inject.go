@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injector applies a scenario's rules from one peer's point of view:
+// only the rules matching the peer name are kept, and the PRNG is
+// seeded with seed⊕hash(peer) so each fleet member draws its own
+// deterministic fault sequence instead of all peers faulting in
+// lockstep.
+type Injector struct {
+	peer  string
+	rules []Rule
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+
+	start time.Time
+	now   func() time.Time // test hook
+
+	// counters for logs and metrics.
+	delayed, errored, dropped, blackedOut atomic.Int64
+}
+
+// NewInjector builds the peer's injector. The blackout clock starts
+// now: windows are relative to construction, which in pland is process
+// start.
+func NewInjector(sc *Scenario, peer string) *Injector {
+	inj := &Injector{peer: peer, now: time.Now}
+	for _, r := range sc.Rules {
+		if r.matches(peer) {
+			inj.rules = append(inj.rules, r)
+		}
+	}
+	inj.rnd = rand.New(rand.NewSource(sc.Seed ^ int64(hashString(peer))))
+	inj.start = inj.now()
+	return inj
+}
+
+// hashString is FNV-1a 64-bit (the repo's standard content hash).
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime
+	}
+	return h
+}
+
+// verdict is one request's drawn fate.
+type verdict struct {
+	delay time.Duration
+	code  int  // non-zero: answer with this status
+	drop  bool // abort the connection with no answer
+}
+
+// draw rolls the dice for one request. Rules are evaluated in order;
+// the first error/drop effect wins, latency accumulates across rules.
+func (inj *Injector) draw() verdict {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	elapsed := inj.now().Sub(inj.start)
+	var v verdict
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if b := r.Blackout; b != nil {
+			if elapsed >= time.Duration(b.After) && elapsed < time.Duration(b.After)+time.Duration(b.For) {
+				v.drop = true
+				return v
+			}
+		}
+		if r.DropProb > 0 && inj.rnd.Float64() < r.DropProb {
+			v.drop = true
+			return v
+		}
+		if r.ErrorCode != 0 && v.code == 0 && inj.rnd.Float64() < r.ErrorProb {
+			v.code = r.ErrorCode
+		}
+		if r.Latency > 0 && inj.rnd.Float64() < r.LatencyProb {
+			v.delay += time.Duration(r.Latency)
+		}
+	}
+	return v
+}
+
+// Counts returns how many requests were delayed, answered with an
+// injected error, dropped, and dropped by a blackout window.
+func (inj *Injector) Counts() (delayed, errored, dropped, blackedOut int64) {
+	return inj.delayed.Load(), inj.errored.Load(), inj.dropped.Load(), inj.blackedOut.Load()
+}
+
+// Summary renders the injection counters for logs.
+func (inj *Injector) Summary() string {
+	d, e, dr, b := inj.Counts()
+	return fmt.Sprintf("chaos[%s]: delayed=%d errored=%d dropped=%d blackout=%d", inj.peer, d, e, dr, b)
+}
+
+// Middleware wraps a server handler with the injector: matching
+// requests are delayed, answered with the injected status, or aborted
+// before the real handler runs. Health probes (/healthz) are exempt —
+// chaos must not blind the failure detector itself; a blacked-out peer
+// is discovered through its refused plan traffic, exactly like a
+// process that is wedged rather than dead.
+func (inj *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		v := inj.draw()
+		if v.delay > 0 {
+			inj.delayed.Add(1)
+			select {
+			case <-time.After(v.delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if v.drop {
+			inj.recordDrop()
+			// ErrAbortHandler aborts the response without a reply; the
+			// client observes EOF / connection reset.
+			panic(http.ErrAbortHandler)
+		}
+		if v.code != 0 {
+			inj.errored.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(v.code)
+			fmt.Fprintf(w, `{"error":"chaos: injected %d"}`, v.code)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// recordDrop attributes a dropped request to the blackout counter when
+// a window is open, else to the probabilistic drop counter.
+func (inj *Injector) recordDrop() {
+	inj.mu.Lock()
+	elapsed := inj.now().Sub(inj.start)
+	inBlackout := false
+	for i := range inj.rules {
+		if b := inj.rules[i].Blackout; b != nil &&
+			elapsed >= time.Duration(b.After) && elapsed < time.Duration(b.After)+time.Duration(b.For) {
+			inBlackout = true
+			break
+		}
+	}
+	inj.mu.Unlock()
+	if inBlackout {
+		inj.blackedOut.Add(1)
+	} else {
+		inj.dropped.Add(1)
+	}
+}
+
+// droppedError is what the chaos transport returns for an injected
+// connection drop.
+type droppedError struct{ peer string }
+
+func (e *droppedError) Error() string {
+	return fmt.Sprintf("chaos: connection to %s dropped", e.peer)
+}
+
+// Timeout marks the drop as a non-timeout network failure (net.Error).
+func (e *droppedError) Timeout() bool   { return false }
+func (e *droppedError) Temporary() bool { return true }
+
+// Transport wraps an http.RoundTripper with the injector: the same
+// fault classes applied on the client side of the wire. A dropped
+// request surfaces as a transport error (classified connect-refused by
+// the cluster error taxonomy); an injected status synthesizes a
+// response without touching the network.
+func (inj *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			return base.RoundTrip(r)
+		}
+		v := inj.draw()
+		if v.delay > 0 {
+			inj.delayed.Add(1)
+			select {
+			case <-time.After(v.delay):
+			case <-r.Context().Done():
+				return nil, r.Context().Err()
+			}
+		}
+		if v.drop {
+			inj.recordDrop()
+			return nil, &droppedError{peer: inj.peer}
+		}
+		if v.code != 0 {
+			inj.errored.Add(1)
+			rec := newSynthetic(v.code, fmt.Sprintf(`{"error":"chaos: injected %d"}`, v.code))
+			return rec, nil
+		}
+		return base.RoundTrip(r)
+	})
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// newSynthetic builds the injected-status response the transport hands
+// back in place of a real one.
+func newSynthetic(code int, body string) *http.Response {
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+	}
+}

@@ -1,0 +1,194 @@
+// Package chaos injects failures into the pland fleet on purpose. A
+// declarative scenario file names the faults — added latency, 5xx
+// answers, dropped connections, full peer blackouts — and a seeded
+// injector applies them deterministically, mirroring how
+// internal/faults injects WCET overruns and processor losses into
+// schedules: the same scenario and seed reproduce the same fault
+// pattern, so a chaos run is a regression test, not a dice roll.
+//
+// The injector wraps both sides of the wire: Middleware wraps a pland
+// server handler (faults happen where the peer is), Transport wraps an
+// http.RoundTripper (faults happen on the path to the peer). The fleet
+// smoke test and cmd/loadgen drive both.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Duration is time.Duration with JSON string encoding ("150ms", "30s"),
+// so scenario files read like the rest of the repo's flag surface.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"150ms\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Window is a relative time interval: After the injector starts, For
+// long.
+type Window struct {
+	// After is the delay from injector start to the window opening.
+	After Duration `json:"after"`
+	// For is how long the window stays open; it must be positive.
+	For Duration `json:"for"`
+}
+
+// Rule is one fault source. Peer selects which fleet member it applies
+// to; the effect fields are independent — one rule may inject latency
+// and errors at once.
+type Rule struct {
+	// Peer names the fleet member this rule applies to; "" or "*" means
+	// every peer.
+	Peer string `json:"peer,omitempty"`
+
+	// Latency is added to matching requests with probability
+	// LatencyProb.
+	Latency     Duration `json:"latency,omitempty"`
+	LatencyProb float64  `json:"latencyProb,omitempty"`
+
+	// ErrorCode is answered (without running the real handler) with
+	// probability ErrorProb; it must be a 4xx/5xx status.
+	ErrorCode int     `json:"errorCode,omitempty"`
+	ErrorProb float64 `json:"errorProb,omitempty"`
+
+	// DropProb aborts the connection without any HTTP answer — the
+	// client sees EOF/reset, the connect-refused failure class.
+	DropProb float64 `json:"dropProb,omitempty"`
+
+	// Blackout drops every matching request during the window: the peer
+	// is effectively dead for that span without killing the process.
+	Blackout *Window `json:"blackout,omitempty"`
+}
+
+// active reports whether the rule has any effect at all.
+func (r *Rule) active() bool {
+	return (r.Latency > 0 && r.LatencyProb > 0) ||
+		(r.ErrorCode != 0 && r.ErrorProb > 0) ||
+		r.DropProb > 0 ||
+		r.Blackout != nil
+}
+
+// matches reports whether the rule applies to the named peer.
+func (r *Rule) matches(peer string) bool {
+	return r.Peer == "" || r.Peer == "*" || r.Peer == peer
+}
+
+// Scenario is a parsed chaos scenario: the PRNG seed plus the fault
+// rules.
+type Scenario struct {
+	// Seed drives every probabilistic decision. The same scenario, peer
+	// name, and request order reproduce the same fault pattern.
+	Seed int64 `json:"seed"`
+	// Rules are evaluated in order on every request.
+	Rules []Rule `json:"rules"`
+}
+
+// ParseScenario reads and validates a scenario. Unknown fields are
+// errors — a typoed "latencyPorb" silently doing nothing is exactly the
+// kind of false negative a chaos suite exists to avoid.
+func ParseScenario(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	// Trailing garbage after the scenario object is malformed input.
+	if dec.More() {
+		return nil, fmt.Errorf("chaos: trailing data after scenario")
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadScenario parses a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := ParseScenario(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+func (sc *Scenario) validate() error {
+	if len(sc.Rules) == 0 {
+		return fmt.Errorf("chaos: scenario has no rules")
+	}
+	for i := range sc.Rules {
+		r := &sc.Rules[i]
+		if err := probOK("latencyProb", r.LatencyProb); err != nil {
+			return ruleErr(i, err)
+		}
+		if err := probOK("errorProb", r.ErrorProb); err != nil {
+			return ruleErr(i, err)
+		}
+		if err := probOK("dropProb", r.DropProb); err != nil {
+			return ruleErr(i, err)
+		}
+		if r.Latency < 0 {
+			return ruleErr(i, fmt.Errorf("negative latency %v", time.Duration(r.Latency)))
+		}
+		if r.Latency > 0 && r.LatencyProb == 0 {
+			return ruleErr(i, fmt.Errorf("latency set but latencyProb is 0"))
+		}
+		if r.ErrorCode != 0 && (r.ErrorCode < 400 || r.ErrorCode > 599) {
+			return ruleErr(i, fmt.Errorf("errorCode %d outside 4xx/5xx", r.ErrorCode))
+		}
+		if r.ErrorCode != 0 && r.ErrorProb == 0 {
+			return ruleErr(i, fmt.Errorf("errorCode set but errorProb is 0"))
+		}
+		if r.ErrorProb > 0 && r.ErrorCode == 0 {
+			return ruleErr(i, fmt.Errorf("errorProb set but errorCode is 0"))
+		}
+		if b := r.Blackout; b != nil {
+			if b.After < 0 {
+				return ruleErr(i, fmt.Errorf("blackout.after is negative"))
+			}
+			if b.For <= 0 {
+				return ruleErr(i, fmt.Errorf("blackout.for must be positive"))
+			}
+		}
+		if !r.active() {
+			return ruleErr(i, fmt.Errorf("rule has no effect (no latency, error, drop, or blackout)"))
+		}
+	}
+	return nil
+}
+
+func probOK(name string, p float64) error {
+	// NaN fails both comparisons' complements, so reject via negation.
+	if !(p >= 0 && p <= 1) {
+		return fmt.Errorf("%s %v outside [0, 1]", name, p)
+	}
+	return nil
+}
+
+func ruleErr(i int, err error) error {
+	return fmt.Errorf("chaos: rule %d: %w", i, err)
+}

@@ -1,0 +1,137 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit breaker position.
+type BreakerState int
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: requests are refused without touching the peer until the
+	// cooldown elapses.
+	Open
+	// HalfOpen: the cooldown elapsed; exactly one probe request is let
+	// through. Success closes the breaker, failure re-opens it (with the
+	// cooldown restarted).
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one peer's circuit breaker. It exists so a dead or
+// misbehaving peer stops absorbing attempts (and their timeouts)
+// between prober rounds: Threshold consecutive failures open it, the
+// cooldown admits a single half-open probe, and one success closes it
+// again.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	// transition counters, for metrics.
+	opens, closes int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether an attempt may proceed. In Open state it flips
+// to HalfOpen once the cooldown has elapsed and admits exactly one
+// probe; concurrent callers see false until that probe resolves.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success reports a completed attempt that worked.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.closes++
+	}
+	b.state = Closed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure reports a completed attempt that failed (with a retryable,
+// peer-attributable error — 4xx rejections don't count, the caller
+// filters).
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		// The probe failed: straight back to Open, cooldown restarted.
+		b.state = Open
+		b.openedAt = b.now()
+		b.probing = false
+		b.opens++
+	case Closed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = Open
+			b.openedAt = b.now()
+			b.opens++
+		}
+	}
+}
+
+// State returns the current position, surfacing Open→HalfOpen
+// eligibility without consuming the probe slot.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Transitions returns the open and close (recovery) counts.
+func (b *breaker) Transitions() (opens, closes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.closes
+}

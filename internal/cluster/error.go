@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// ErrKind classifies how a peer request failed. Retry policy hangs off
+// the kind: transport-level failures and server-side errors are worth
+// another peer or another attempt, client-side rejections are not.
+type ErrKind int
+
+const (
+	// ConnectRefused: the peer's address answered with a refusal (or the
+	// connection dropped mid-request) — the process is gone or restarting.
+	ConnectRefused ErrKind = iota
+	// Timeout: the attempt exceeded its per-attempt budget or the
+	// transport timed out.
+	Timeout
+	// HTTPStatus: the peer answered with a non-2xx status; Status holds
+	// it. 5xx and 429 are retryable, other 4xx are the caller's fault
+	// and retrying cannot fix them.
+	HTTPStatus
+	// BreakerOpen: no attempt was made — the peer's circuit breaker is
+	// open and its cooldown has not elapsed.
+	BreakerOpen
+)
+
+// String implements fmt.Stringer.
+func (k ErrKind) String() string {
+	switch k {
+	case ConnectRefused:
+		return "connect-refused"
+	case Timeout:
+		return "timeout"
+	case HTTPStatus:
+		return "http-status"
+	case BreakerOpen:
+		return "breaker-open"
+	}
+	return fmt.Sprintf("ErrKind(%d)", int(k))
+}
+
+// PeerError is a classified failure of one attempt against one peer.
+type PeerError struct {
+	// Peer is the name of the peer the attempt targeted.
+	Peer string
+	// Kind classifies the failure.
+	Kind ErrKind
+	// Status is the HTTP status for Kind == HTTPStatus (0 otherwise).
+	Status int
+	// RetryAfter is the peer's 429/503 Retry-After hint, when present.
+	RetryAfter time.Duration
+	// Err is the underlying transport error, when there is one.
+	Err error
+}
+
+// Error implements error.
+func (e *PeerError) Error() string {
+	switch e.Kind {
+	case HTTPStatus:
+		return fmt.Sprintf("peer %s: http %d", e.Peer, e.Status)
+	case BreakerOpen:
+		return fmt.Sprintf("peer %s: circuit breaker open", e.Peer)
+	default:
+		return fmt.Sprintf("peer %s: %s: %v", e.Peer, e.Kind, e.Err)
+	}
+}
+
+// Unwrap exposes the transport error to errors.Is/As.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Retryable reports whether another attempt (on this or another peer)
+// can plausibly succeed. Connect refusals, timeouts, 5xx, and 429 are
+// retryable; other 4xx mean the request itself is bad and every peer
+// will reject it the same way.
+func (e *PeerError) Retryable() bool {
+	switch e.Kind {
+	case ConnectRefused, Timeout, BreakerOpen:
+		return true
+	case HTTPStatus:
+		return e.Status >= 500 || e.Status == http.StatusTooManyRequests
+	}
+	return false
+}
+
+// Classify wraps a transport-level error from an attempt against peer
+// into a PeerError. Status-based failures are built by the caller (they
+// have a response, not an error).
+func Classify(peer string, err error) *PeerError {
+	kind := ConnectRefused
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), os.IsTimeout(err):
+		kind = Timeout
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			kind = Timeout
+		} else if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+			kind = ConnectRefused
+		}
+	}
+	return &PeerError{Peer: peer, Kind: kind, Err: err}
+}
+
+// StatusError builds the PeerError for a non-2xx response, folding in
+// the Retry-After header when the peer sent one.
+func StatusError(peer string, status int, retryAfter string) *PeerError {
+	e := &PeerError{Peer: peer, Kind: HTTPStatus, Status: status}
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ProberOptions tunes the health prober. The zero value is usable;
+// every field falls back to the documented default.
+type ProberOptions struct {
+	// Interval between probe rounds; 0 means 500ms.
+	Interval time.Duration
+	// Timeout per /healthz probe; 0 means half the interval.
+	Timeout time.Duration
+	// FailAfter is the consecutive-failure count that marks a peer dead;
+	// 0 means 2. One failed probe is noise (a GC pause, a dropped
+	// packet); two in a row is a pattern.
+	FailAfter int
+	// RiseAfter is the consecutive-success count that marks a dead peer
+	// alive again; 0 means 1 — a drained peer answering /healthz 200 is
+	// back by definition.
+	RiseAfter int
+	// Transport overrides the probe HTTP transport (chaos injection,
+	// tests); nil means http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (o ProberOptions) withDefaults() ProberOptions {
+	if o.Interval <= 0 {
+		o.Interval = 500 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = o.Interval / 2
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 2
+	}
+	if o.RiseAfter <= 0 {
+		o.RiseAfter = 1
+	}
+	if o.Transport == nil {
+		o.Transport = http.DefaultTransport
+	}
+	return o
+}
+
+// Prober polls every ring peer's /healthz and maintains its alive bit:
+// FailAfter consecutive failed probes mark it dead (the ring and the
+// planning client route around it), RiseAfter consecutive successes
+// mark it alive again. A draining pland answers /healthz with 503, so
+// a fleet member leaves the rotation before its listener closes.
+type Prober struct {
+	ring   *Ring
+	opt    ProberOptions
+	client *http.Client
+
+	mu    sync.Mutex
+	fails map[string]int // consecutive failed probes per peer
+	rises map[string]int // consecutive successful probes per dead peer
+	// probes counts completed probe rounds, for tests and metrics.
+	probes int64
+}
+
+// NewProber builds a prober over the ring's peers. Call Run to start
+// probing; until then liveness stays wherever it was.
+func NewProber(ring *Ring, opt ProberOptions) *Prober {
+	opt = opt.withDefaults()
+	return &Prober{
+		ring:   ring,
+		opt:    opt,
+		client: &http.Client{Transport: opt.Transport, Timeout: opt.Timeout},
+		fails:  make(map[string]int),
+		rises:  make(map[string]int),
+	}
+}
+
+// Run probes every peer each interval until ctx is done. It blocks;
+// callers run it in a goroutine.
+func (p *Prober) Run(ctx context.Context) {
+	t := time.NewTicker(p.opt.Interval)
+	defer t.Stop()
+	for {
+		p.ProbeOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ProbeOnce runs one probe round synchronously (all peers in
+// parallel). Exposed so tests and callers needing a warm start can
+// force a round without waiting an interval.
+func (p *Prober) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, peer := range p.ring.Peers() {
+		wg.Add(1)
+		go func(peer *Peer) {
+			defer wg.Done()
+			p.observe(peer, p.probe(ctx, peer))
+		}(peer)
+	}
+	wg.Wait()
+	p.mu.Lock()
+	p.probes++
+	p.mu.Unlock()
+}
+
+// Rounds returns the number of completed probe rounds.
+func (p *Prober) Rounds() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.probes
+}
+
+// probe is one GET /healthz against one peer; any transport error or
+// non-200 counts as a failed probe.
+func (p *Prober) probe(ctx context.Context, peer *Peer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer.URL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return Classify(peer.Name, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return StatusError(peer.Name, resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	return nil
+}
+
+// observe folds one probe outcome into the peer's streak accounting.
+func (p *Prober) observe(peer *Peer, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.rises[peer.Name] = 0
+		p.fails[peer.Name]++
+		if p.fails[peer.Name] >= p.opt.FailAfter {
+			peer.MarkDown()
+		}
+		return
+	}
+	p.fails[peer.Name] = 0
+	if !peer.Alive() {
+		p.rises[peer.Name]++
+		if p.rises[peer.Name] >= p.opt.RiseAfter {
+			p.rises[peer.Name] = 0
+			peer.MarkUp()
+		}
+	}
+}
+
+// HealthSummary renders one line per peer for logs.
+func (p *Prober) HealthSummary() string {
+	s := ""
+	for _, peer := range p.ring.Peers() {
+		state := "up"
+		if !peer.Alive() {
+			state = "down"
+		}
+		s += fmt.Sprintf("%s=%s ", peer.Name, state)
+	}
+	return s
+}

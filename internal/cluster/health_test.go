@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHealth is an /healthz endpoint whose behavior the test flips.
+type flakyHealth struct {
+	code atomic.Int64 // 0 = drop connection, else status
+}
+
+func (f *flakyHealth) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c := f.code.Load()
+	if c == 0 {
+		panic(http.ErrAbortHandler)
+	}
+	w.WriteHeader(int(c))
+}
+
+// TestProberMarksDownAndUp drives the streak accounting: FailAfter
+// consecutive bad probes kill a peer, RiseAfter good ones revive it,
+// and a single blip does neither.
+func TestProberMarksDownAndUp(t *testing.T) {
+	h := &flakyHealth{}
+	h.code.Store(http.StatusOK)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	peers := []*Peer{{Name: "a", URL: ts.URL}}
+	ring := mustRing(t, peers)
+	p := NewProber(ring, ProberOptions{Interval: 10 * time.Millisecond, Timeout: time.Second, FailAfter: 2, RiseAfter: 2})
+	ctx := context.Background()
+
+	p.ProbeOnce(ctx)
+	if !peers[0].Alive() {
+		t.Fatal("healthy peer marked dead")
+	}
+
+	// One failure is a blip, not death.
+	h.code.Store(http.StatusServiceUnavailable)
+	p.ProbeOnce(ctx)
+	if !peers[0].Alive() {
+		t.Fatal("peer died after a single failed probe (FailAfter=2)")
+	}
+	// The second consecutive failure kills it.
+	p.ProbeOnce(ctx)
+	if peers[0].Alive() {
+		t.Fatal("peer alive after FailAfter consecutive failures")
+	}
+
+	// One good probe is not enough with RiseAfter=2; two are.
+	h.code.Store(http.StatusOK)
+	p.ProbeOnce(ctx)
+	if peers[0].Alive() {
+		t.Fatal("peer revived after a single good probe (RiseAfter=2)")
+	}
+	p.ProbeOnce(ctx)
+	if !peers[0].Alive() {
+		t.Fatal("peer not revived after RiseAfter good probes")
+	}
+	if peers[0].Downs() != 1 {
+		t.Fatalf("Downs = %d, want 1", peers[0].Downs())
+	}
+}
+
+// TestProberDeadProcess: probing an address nothing listens on marks
+// the peer dead (the blackout / kill -9 case).
+func TestProberDeadProcess(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // the port is now refused
+
+	peers := []*Peer{{Name: "gone", URL: url}}
+	p := NewProber(mustRing(t, peers), ProberOptions{Interval: 10 * time.Millisecond, Timeout: 200 * time.Millisecond, FailAfter: 2})
+	p.ProbeOnce(context.Background())
+	p.ProbeOnce(context.Background())
+	if peers[0].Alive() {
+		t.Fatal("unreachable peer still alive after FailAfter probes")
+	}
+}
+
+// TestProberRunLoop: the background loop probes on its interval and
+// stops with its context.
+func TestProberRunLoop(t *testing.T) {
+	h := &flakyHealth{}
+	h.code.Store(http.StatusOK)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	p := NewProber(mustRing(t, []*Peer{{Name: "a", URL: ts.URL}}),
+		ProberOptions{Interval: 5 * time.Millisecond, Timeout: time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { p.Run(ctx); close(done) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Rounds() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Rounds() < 3 {
+		t.Fatal("prober loop never completed 3 rounds")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("prober did not stop with its context")
+	}
+}

@@ -1,0 +1,210 @@
+// Package cluster is the fleet layer under the planning service: a
+// static set of pland peers, a consistent-hash ring that maps workload
+// fingerprints (the plan cache key) onto them, and a health prober that
+// routes around peers that stop answering /healthz.
+//
+// The ring gives every fingerprint a stable owner plus an ordered list
+// of fallbacks, so a plan is built once fleet-wide on its owner's cache
+// and requests re-route deterministically when the owner dies. The ring
+// itself is static — membership is the configured peer list — while
+// liveness is dynamic: each Peer carries an alive bit the Prober (or a
+// client observing hard failures) flips, and Order/Preference skip dead
+// peers without reshuffling the keys owned by live ones.
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Peer is one pland process in the fleet: a stable name, its base URL,
+// and its observed liveness. The zero liveness is alive, so a fresh
+// ring routes everywhere until the prober learns otherwise.
+type Peer struct {
+	// Name identifies the peer in metrics, logs, and chaos scenarios.
+	Name string
+	// URL is the peer's base address, e.g. "http://127.0.0.1:8081".
+	URL string
+
+	// down is 1 while the peer is considered dead; flipped by the
+	// Prober's consecutive-failure accounting or by MarkDown.
+	down atomic.Bool
+	// downs counts alive→dead transitions, for metrics.
+	downs atomic.Int64
+}
+
+// Alive reports whether the peer is currently routable.
+func (p *Peer) Alive() bool { return !p.down.Load() }
+
+// MarkDown records the peer as dead; the ring routes around it.
+func (p *Peer) MarkDown() {
+	if p.down.CompareAndSwap(false, true) {
+		p.downs.Add(1)
+	}
+}
+
+// MarkUp records the peer as alive again.
+func (p *Peer) MarkUp() { p.down.Store(false) }
+
+// Downs returns the number of alive→dead transitions observed so far.
+func (p *Peer) Downs() int64 { return p.downs.Load() }
+
+// Ring is a consistent-hash ring over a static peer list. Each peer
+// projects vnodesPerPeer virtual points onto the 64-bit hash circle;
+// a key's owner is the peer of the first point clockwise of the key.
+// With the peer list fixed, key→owner is a pure function, so every
+// fleet member and every client computes the same routing.
+type Ring struct {
+	peers  []*Peer
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	peer int // index into peers
+}
+
+// vnodesPerPeer spreads each peer over the circle so ownership splits
+// near-evenly and a dead peer's keys scatter across the survivors
+// instead of dog-piling one neighbor.
+const vnodesPerPeer = 128
+
+// NewRing builds the ring. Peer names must be unique and non-empty;
+// URLs must parse. The peer order in the slice is irrelevant to
+// routing (only names are hashed).
+func NewRing(peers []*Peer) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p.Name == "" {
+			return nil, fmt.Errorf("cluster: peer with empty name (url %q)", p.URL)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if _, err := url.Parse(p.URL); err != nil || p.URL == "" {
+			return nil, fmt.Errorf("cluster: peer %s has bad url %q", p.Name, p.URL)
+		}
+	}
+	r := &Ring{peers: peers}
+	for i, p := range peers {
+		for v := 0; v < vnodesPerPeer; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashString(fmt.Sprintf("%s#%d", p.Name, v)),
+				peer: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// Peers returns the ring's peer list in configuration order.
+func (r *Ring) Peers() []*Peer { return r.peers }
+
+// ByName returns the named peer, or nil.
+func (r *Ring) ByName(name string) *Peer {
+	for _, p := range r.peers {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Owner returns the peer owning key, ignoring liveness. Use Preference
+// when dead peers should be routed around.
+func (r *Ring) Owner(key uint64) *Peer {
+	return r.peers[r.points[r.search(key)].peer]
+}
+
+// Order returns every peer exactly once, in ring order starting at
+// key's owner. It is the full failover sequence for key: owner first,
+// then each successor the key would re-route to as earlier choices die.
+func (r *Ring) Order(key uint64) []*Peer {
+	out := make([]*Peer, 0, len(r.peers))
+	taken := make(map[int]bool, len(r.peers))
+	for i, n := r.search(key), 0; n < len(r.points) && len(out) < len(r.peers); i, n = (i+1)%len(r.points), n+1 {
+		pt := r.points[i]
+		if !taken[pt.peer] {
+			taken[pt.peer] = true
+			out = append(out, r.peers[pt.peer])
+		}
+	}
+	return out
+}
+
+// Preference is Order with dead peers moved to the back: the live
+// failover sequence first, then the dead peers in ring order (still
+// listed, so a caller with nothing else left can try them — a peer
+// marked dead by a stale probe may answer anyway).
+func (r *Ring) Preference(key uint64) []*Peer {
+	all := r.Order(key)
+	out := make([]*Peer, 0, len(all))
+	var dead []*Peer
+	for _, p := range all {
+		if p.Alive() {
+			out = append(out, p)
+		} else {
+			dead = append(dead, p)
+		}
+	}
+	return append(out, dead...)
+}
+
+// search returns the index of the first ring point at or clockwise of
+// key.
+func (r *Ring) search(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// hashString is FNV-1a 64-bit, matching the pipeline fingerprint family.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime
+	}
+	return h
+}
+
+// ParsePeers parses a -peers flag value: a comma-separated list of
+// "name=url" entries, or bare URLs which are named peer0, peer1, … in
+// list order. The returned peers are all alive.
+func ParsePeers(spec string) ([]*Peer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	var peers []*Peer
+	for i, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		name, u := fmt.Sprintf("peer%d", i), f
+		if eq := strings.Index(f, "="); eq >= 0 {
+			name, u = f[:eq], f[eq+1:]
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		peers = append(peers, &Peer{Name: name, URL: u})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return peers, nil
+}

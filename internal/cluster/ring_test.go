@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func testPeers(n int) []*Peer {
+	peers := make([]*Peer, n)
+	for i := range peers {
+		peers[i] = &Peer{Name: fmt.Sprintf("p%d", i), URL: fmt.Sprintf("http://127.0.0.1:%d", 9000+i)}
+	}
+	return peers
+}
+
+func mustRing(t *testing.T, peers []*Peer) *Ring {
+	t.Helper()
+	r, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingDeterministic pins the routing contract: owner and failover
+// order are pure functions of (peer names, key), independent of the
+// configuration order of the peer slice.
+func TestRingDeterministic(t *testing.T) {
+	a := mustRing(t, testPeers(3))
+	shuffled := testPeers(3)
+	shuffled[0], shuffled[2] = shuffled[2], shuffled[0]
+	b := mustRing(t, shuffled)
+	for key := uint64(0); key < 1000; key++ {
+		k := key * 0x9e3779b97f4a7c15
+		if a.Owner(k).Name != b.Owner(k).Name {
+			t.Fatalf("key %d: owner differs across peer orderings", k)
+		}
+		ao, bo := a.Order(k), b.Order(k)
+		for i := range ao {
+			if ao[i].Name != bo[i].Name {
+				t.Fatalf("key %d: failover order differs at %d", k, i)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks the virtual nodes spread ownership within a
+// reasonable factor of even.
+func TestRingBalance(t *testing.T) {
+	r := mustRing(t, testPeers(3))
+	const keys = 30000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(uint64(i)*0x9e3779b97f4a7c15).Name]++
+	}
+	want := keys / 3
+	for name, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("peer %s owns %d of %d keys (want near %d): %v", name, n, keys, want, counts)
+		}
+	}
+}
+
+// TestRingOrderCoversAll: the failover sequence lists every peer
+// exactly once, owner first.
+func TestRingOrderCoversAll(t *testing.T) {
+	r := mustRing(t, testPeers(5))
+	for i := 0; i < 100; i++ {
+		k := uint64(i) * 0x9e3779b97f4a7c15
+		order := r.Order(k)
+		if len(order) != 5 {
+			t.Fatalf("order has %d peers, want 5", len(order))
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("order[0] != owner for key %d", k)
+		}
+		seen := map[string]bool{}
+		for _, p := range order {
+			if seen[p.Name] {
+				t.Fatalf("peer %s listed twice", p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+}
+
+// TestRingPreferenceSkipsDead: a dead peer moves to the back of the
+// preference list, and keys owned by live peers keep their owner (no
+// reshuffle).
+func TestRingPreferenceSkipsDead(t *testing.T) {
+	peers := testPeers(3)
+	r := mustRing(t, peers)
+
+	// Record every owner, kill p1, and check: p1's keys re-route to the
+	// next live peer in their order, everyone else's owner is unchanged.
+	const keys = 2000
+	owners := make([]string, keys)
+	for i := range owners {
+		owners[i] = r.Owner(uint64(i) * 0x9e3779b97f4a7c15).Name
+	}
+	peers[1].MarkDown()
+	moved := 0
+	for i := range owners {
+		k := uint64(i) * 0x9e3779b97f4a7c15
+		pref := r.Preference(k)
+		if pref[len(pref)-1].Name != "p1" {
+			t.Fatalf("dead peer not last in preference: %v", names(pref))
+		}
+		if owners[i] == "p1" {
+			moved++
+			if got := pref[0].Name; got == "p1" {
+				t.Fatalf("key %d still prefers the dead owner", k)
+			}
+		} else if pref[0].Name != owners[i] {
+			t.Fatalf("key %d owned by live %s re-routed to %s", k, owners[i], pref[0].Name)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: p1 owned no keys")
+	}
+	// Revival restores the original routing.
+	peers[1].MarkUp()
+	for i := range owners {
+		if got := r.Preference(uint64(i) * 0x9e3779b97f4a7c15)[0].Name; got != owners[i] {
+			t.Fatalf("key %d not restored to %s after revival (got %s)", i, owners[i], got)
+		}
+	}
+	if peers[1].Downs() != 1 {
+		t.Fatalf("Downs = %d, want 1", peers[1].Downs())
+	}
+}
+
+func names(ps []*Peer) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// TestNewRingRejects pins the constructor validation.
+func TestNewRingRejects(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]*Peer{{Name: "", URL: "http://x"}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRing([]*Peer{
+		{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"},
+	}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := NewRing([]*Peer{{Name: "a", URL: ""}}); err == nil {
+		t.Error("empty url accepted")
+	}
+}
+
+// TestParsePeers pins the -peers flag grammar.
+func TestParsePeers(t *testing.T) {
+	ps, err := ParsePeers("a=http://h1:1, b=h2:2 ,127.0.0.1:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ name, url string }{
+		{"a", "http://h1:1"}, {"b", "http://h2:2"}, {"peer2", "http://127.0.0.1:3"},
+	}
+	if len(ps) != len(want) {
+		t.Fatalf("got %d peers, want %d", len(ps), len(want))
+	}
+	for i, w := range want {
+		if ps[i].Name != w.name || ps[i].URL != w.url {
+			t.Errorf("peer %d = %s=%s, want %s=%s", i, ps[i].Name, ps[i].URL, w.name, w.url)
+		}
+		if !ps[i].Alive() {
+			t.Errorf("peer %d starts dead", i)
+		}
+	}
+	if _, err := ParsePeers(" , "); err == nil {
+		t.Error("blank list accepted")
+	}
+}
+
+// TestPeerErrorClassification pins the typed-error surface the retry
+// policy depends on: what is retryable and what is not.
+func TestPeerErrorClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       *PeerError
+		kind      ErrKind
+		retryable bool
+	}{
+		{"connect refused", Classify("p", fmt.Errorf("dial: %w", syscall.ECONNREFUSED)), ConnectRefused, true},
+		{"reset", Classify("p", fmt.Errorf("read: %w", syscall.ECONNRESET)), ConnectRefused, true},
+		{"deadline", Classify("p", context_DeadlineExceeded()), Timeout, true},
+		{"500", StatusError("p", http.StatusInternalServerError, ""), HTTPStatus, true},
+		{"503", StatusError("p", http.StatusServiceUnavailable, ""), HTTPStatus, true},
+		{"429", StatusError("p", http.StatusTooManyRequests, "2"), HTTPStatus, true},
+		{"422", StatusError("p", http.StatusUnprocessableEntity, ""), HTTPStatus, false},
+		{"404", StatusError("p", http.StatusNotFound, ""), HTTPStatus, false},
+		{"breaker", &PeerError{Peer: "p", Kind: BreakerOpen}, BreakerOpen, true},
+	}
+	for _, c := range cases {
+		if c.err.Kind != c.kind {
+			t.Errorf("%s: kind %v, want %v", c.name, c.err.Kind, c.kind)
+		}
+		if c.err.Retryable() != c.retryable {
+			t.Errorf("%s: retryable %v, want %v", c.name, c.err.Retryable(), c.retryable)
+		}
+		if c.err.Error() == "" {
+			t.Errorf("%s: empty message", c.name)
+		}
+	}
+	if got := StatusError("p", 429, "2").RetryAfter; got != 2*time.Second {
+		t.Errorf("RetryAfter = %v, want 2s", got)
+	}
+	var pe *PeerError
+	wrapped := fmt.Errorf("attempt: %w", Classify("p", syscall.ECONNREFUSED))
+	if !errors.As(wrapped, &pe) {
+		t.Error("PeerError does not unwrap with errors.As")
+	}
+}
+
+func context_DeadlineExceeded() error {
+	return fmt.Errorf("wait: %w", errDeadline{})
+}
+
+// errDeadline mimics a net.Error timeout without a real socket.
+type errDeadline struct{}
+
+func (errDeadline) Error() string   { return "i/o timeout" }
+func (errDeadline) Timeout() bool   { return true }
+func (errDeadline) Temporary() bool { return true }

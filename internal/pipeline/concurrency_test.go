@@ -3,10 +3,12 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/sched"
@@ -161,6 +163,92 @@ func TestFollowerRetriesAfterLeaderCanceled(t *testing.T) {
 	}
 	if got := calls.Load(); got != 2 {
 		t.Fatalf("dispatcher ran %d times, want 2 (doomed leader + retried follower)", got)
+	}
+}
+
+// TestBuildCancelStorm is the fleet's abandoned-hedge pattern at the
+// pipeline layer: many requests for the same key where a large subset
+// is canceled mid-flight (a hedge loser, a draining peer's proxied
+// request) while the rest must still be served. Run under -race it
+// checks that doomed leaders hand the flight to live followers, that
+// no cancellation leaks into a surviving request, and that in the end
+// the key was cold-built as if the storm never happened: one cached
+// plan, zero stage errors, and a final build that is a pure hit.
+func TestBuildCancelStorm(t *testing.T) {
+	const (
+		goroutines = 12
+		perG       = 10
+	)
+	w := workload(t, 6)
+	spec := Spec{Graph: w.Graph, Platform: w.Platform}
+	rec := NewRecorder(false)
+	slow := Dispatcher{Name: "time-driven", Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*sched.Schedule, error) {
+		time.Sleep(100 * time.Microsecond) // widen the race window
+		return sched.Dispatch(g, p, asg)
+	}}
+	cache := NewCache(8)
+
+	var survivors, served atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(g)))
+			b := &Builder{Dispatcher: slow, Cache: cache, Recorder: rec}
+			for i := 0; i < perG; i++ {
+				if g%2 == 0 {
+					// Survivor lane: must always be served.
+					survivors.Add(1)
+					if plan, err := b.Build(spec); err != nil || plan.Schedule == nil {
+						t.Errorf("survivor %d/%d: %v", g, i, err)
+						return
+					}
+					served.Add(1)
+					continue
+				}
+				// Chaos lane: canceled at a random point mid-build, exactly
+				// like a hedge race loser or a drained peer's proxy.
+				ctx, cancel := context.WithCancel(context.Background())
+				timer := time.AfterFunc(time.Duration(rnd.Intn(300))*time.Microsecond, cancel)
+				plan, err := b.BuildContext(ctx, spec)
+				timer.Stop()
+				cancel()
+				switch {
+				case err == nil:
+					if plan.Schedule == nil {
+						t.Errorf("chaos %d/%d: plan without schedule", g, i)
+						return
+					}
+				case errors.Is(err, context.Canceled):
+					// Its own cancellation; never someone else's error.
+				default:
+					t.Errorf("chaos %d/%d: unexpected error %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if survivors.Load() != served.Load() {
+		t.Fatalf("served %d of %d survivor builds", served.Load(), survivors.Load())
+	}
+	s := rec.Summary()
+	if s.Errors != 0 {
+		t.Fatalf("cancel storm surfaced stage errors: %+v", s)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d plans, want 1", cache.Len())
+	}
+	// The storm settled: one more build is a plain hit, no rebuild.
+	before := s.Builds
+	b := &Builder{Dispatcher: slow, Cache: cache, Recorder: rec}
+	if _, err := b.Build(spec); err != nil {
+		t.Fatal(err)
+	}
+	if after := rec.Summary(); after.Builds != before || after.Hits != s.Hits+1 {
+		t.Fatalf("post-storm build not a pure cache hit: before %+v after %+v", s, after)
 	}
 }
 

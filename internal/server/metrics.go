@@ -61,6 +61,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			[]row{{"", float64(s.cache.Len())}}},
 		{"pland_draining", "gauge", "1 while the server refuses new work.",
 			[]row{{"", boolGauge(s.draining.Load())}}},
+		{"pland_shedding", "gauge", "1 while the overload ladder sheds Optional requests.",
+			[]row{{"", boolGauge(s.shedding.Load())}}},
+		{"pland_shed_engaged_total", "counter", "Times the shed ladder engaged (mode entries).",
+			[]row{{"", float64(s.shedEngaged.Load())}}},
+		{"pland_shed_total", "counter", "Requests shed with 429, by criticality.",
+			[]row{
+				{`criticality="optional"`, float64(s.shedOptional.Load())},
+				{`criticality="mandatory"`, float64(s.shedMandatory.Load())},
+			}},
+		{"pland_routed_total", "counter", "Fleet routing outcomes.",
+			[]row{
+				{`direction="out"`, float64(s.routedOut.Load())},
+				{`direction="in"`, float64(s.routedIn.Load())},
+				{`direction="fallback"`, float64(s.routedFallback.Load())},
+			}},
 	}
 	var sb strings.Builder
 	for _, m := range ms {
@@ -72,6 +87,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(&sb, "%s %s\n", m.name, formatValue(r.value))
 			}
 		}
+	}
+	if rt := s.opt.Router; rt != nil && rt.Client != nil {
+		rt.Client.WriteMetrics(&sb, "pland")
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -10,6 +10,22 @@
 //     MaxQueue more wait for a slot, and anything beyond that is shed
 //     immediately with 429 and a Retry-After hint — the service degrades
 //     by refusing work it cannot start, not by queueing unboundedly.
+//     The Retry-After hint is derived from the current queue depth and
+//     jittered, so a thundering herd of rejected clients does not come
+//     back in one synchronized wave.
+//   - criticality-aware shedding: requests carry X-Plan-Criticality
+//     (mandatory, the default, or optional). When queue depth crosses
+//     the high-water mark the server enters shedding mode and rejects
+//     Optional requests up front, keeping the remaining admission
+//     capacity for Mandatory work; it leaves shedding mode when depth
+//     falls below the low-water mark. The hysteresis mirrors the
+//     mixed-criticality mode ladder in internal/degrade: degrade the
+//     optional tier first, re-admit it only once pressure is clearly
+//     gone.
+//   - routing: with a Router configured (a pland fleet), a request whose
+//     workload fingerprint is owned by another live peer is proxied
+//     there — each plan is built once fleet-wide — and planned locally
+//     when the owner cannot be reached.
 //   - deadline: every request plans under a context with a wall-clock
 //     budget (client-requested via ?timeout=, clamped to MaxTimeout).
 //     The pipeline checks it at stage boundaries, so an abandoned or
@@ -24,20 +40,28 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster/client"
 	"repro/internal/deadline"
 	"repro/internal/graphio"
 	"repro/internal/pipeline"
 	"repro/internal/slicing"
+	"repro/internal/taskgraph"
 	"repro/internal/wcet"
 )
 
@@ -58,10 +82,23 @@ type Options struct {
 	MaxTimeout time.Duration
 	// CacheCapacity sizes the shared plan cache; 0 means 4096.
 	CacheCapacity int
-	// RetryAfter is the hint attached to 429 responses; 0 means 1s.
+	// RetryAfter is the base of the hint attached to 429 responses; the
+	// actual hint scales with queue depth and is jittered. 0 means 1s.
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds the request body; 0 means 16 MiB.
 	MaxBodyBytes int64
+	// ShedHighFrac is the queue-depth fraction (of MaxQueue) at which
+	// the server starts shedding Optional-criticality requests; 0 means
+	// 0.75. Negative disables criticality-aware shedding.
+	ShedHighFrac float64
+	// ShedLowFrac is the fraction below which shedding disengages; 0
+	// means 0.25.
+	ShedLowFrac float64
+	// Router, when non-nil, puts the server in fleet mode: requests
+	// owned by other live peers are proxied to them.
+	Router *Router
+	// Seed seeds the Retry-After jitter; 0 means 1.
+	Seed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +126,18 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 16 << 20
 	}
+	if o.ShedHighFrac == 0 {
+		o.ShedHighFrac = 0.75
+	}
+	if o.ShedLowFrac <= 0 {
+		o.ShedLowFrac = 0.25
+	}
+	if o.ShedLowFrac > o.ShedHighFrac {
+		o.ShedLowFrac = o.ShedHighFrac
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
 	return o
 }
 
@@ -115,6 +164,23 @@ type Server struct {
 	expired   atomic.Int64 // 504 budget exceeded
 	refused   atomic.Int64 // 503 draining
 
+	// Criticality-aware overload shedding: shedding is the hysteretic
+	// mode bit (engaged at the high-water queue depth, released at the
+	// low-water one); the counters split 429s by the criticality shed.
+	shedding      atomic.Bool
+	shedEngaged   atomic.Int64 // mode entries, for observing flappiness
+	shedOptional  atomic.Int64 // optional requests shed by the ladder
+	shedMandatory atomic.Int64 // mandatory requests shed (queue truly full)
+
+	// Fleet routing counters.
+	routedOut      atomic.Int64 // requests proxied to their owning peer
+	routedFallback atomic.Int64 // proxy exhausted, planned locally instead
+	routedIn       atomic.Int64 // routed requests received from peers
+
+	// rnd drives the Retry-After jitter.
+	rmu sync.Mutex
+	rnd *rand.Rand
+
 	// holdBuild, when non-nil, blocks every admitted request before it
 	// plans; tests use it to hold slots occupied deterministically.
 	holdBuild chan struct{}
@@ -128,6 +194,7 @@ func New(opt Options) *Server {
 		cache: pipeline.NewCache(opt.CacheCapacity),
 		rec:   pipeline.NewRecorder(false),
 		slots: make(chan struct{}, opt.MaxInFlight),
+		rnd:   rand.New(rand.NewSource(opt.Seed)),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/plan", s.handlePlan)
@@ -258,6 +325,86 @@ func (s *Server) budget(raw string) (time.Duration, error) {
 	return d, nil
 }
 
+// Fleet request headers.
+const (
+	// criticalityHeader lets a client declare how sheddable a request
+	// is: "mandatory" (the default) or "optional".
+	criticalityHeader = "X-Plan-Criticality"
+	// routedHeader marks a request already forwarded by a peer; the
+	// receiver plans locally, never proxies again.
+	routedHeader = "X-Plan-Routed"
+)
+
+// parseCriticality resolves the X-Plan-Criticality header. Absence
+// means Mandatory, so pre-fleet clients keep their old service class.
+func parseCriticality(h string) (taskgraph.Criticality, error) {
+	switch strings.ToLower(strings.TrimSpace(h)) {
+	case "", "mandatory":
+		return taskgraph.Mandatory, nil
+	case "optional":
+		return taskgraph.Optional, nil
+	}
+	return 0, fmt.Errorf("bad %s %q (want mandatory or optional)", criticalityHeader, h)
+}
+
+// updateShedding advances the hysteretic shed ladder from the current
+// queue depth and reports whether Optional requests are being shed:
+// engage at ≥ ShedHighFrac·MaxQueue waiting requests, release at ≤
+// ShedLowFrac·MaxQueue. The gap between the marks is what keeps a
+// queue hovering near the threshold from flapping the mode bit on
+// every request, exactly like the degrade controller's clean-streak
+// hysteresis.
+func (s *Server) updateShedding() bool {
+	if s.opt.ShedHighFrac < 0 || s.opt.MaxQueue == 0 {
+		return false
+	}
+	depth := int(s.queued.Load())
+	high := int(math.Ceil(s.opt.ShedHighFrac * float64(s.opt.MaxQueue)))
+	if high < 1 {
+		high = 1
+	}
+	low := int(math.Floor(s.opt.ShedLowFrac * float64(s.opt.MaxQueue)))
+	if s.shedding.Load() {
+		if depth <= low {
+			s.shedding.Store(false)
+		}
+	} else if depth >= high {
+		if s.shedding.CompareAndSwap(false, true) {
+			s.shedEngaged.Add(1)
+		}
+	}
+	return s.shedding.Load()
+}
+
+// retryAfterSeconds derives the 429 hint from current pressure: the
+// configured base scaled by up to 3× as the queue fills, jittered
+// ±25% so shed clients do not return in one synchronized wave, and
+// rounded up to whole seconds (the header's unit).
+func (s *Server) retryAfterSeconds() int {
+	fill := 0.0
+	if s.opt.MaxQueue > 0 {
+		fill = float64(s.queued.Load()) / float64(s.opt.MaxQueue)
+		if fill > 1 {
+			fill = 1
+		}
+	}
+	d := float64(s.opt.RetryAfter) * (1 + 2*fill)
+	s.rmu.Lock()
+	jitter := 0.75 + 0.5*s.rnd.Float64()
+	s.rmu.Unlock()
+	secs := int(math.Ceil(time.Duration(d * jitter).Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// reject429 sheds a request with the queue-pressure-derived hint.
+func (s *Server) reject429(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.fail(w, http.StatusTooManyRequests, format, args...)
+}
+
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -266,6 +413,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	crit, err := parseCriticality(r.Header.Get(criticalityHeader))
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 
@@ -295,13 +447,55 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	g, p, err := graphio.ReadWorkload(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
+	// The body is buffered rather than streamed so a routed request can
+	// forward the identical bytes to the owning peer.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "reading workload: %v", err)
+		return
+	}
+	g, p, err := graphio.ReadWorkload(bytes.NewReader(raw))
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	if p == nil {
 		s.fail(w, http.StatusUnprocessableEntity, "workload carries no platform; the planner needs one")
+		return
+	}
+
+	routed := r.Header.Get(routedHeader) != ""
+	if routed {
+		s.routedIn.Add(1)
+	}
+	if rt := s.opt.Router; rt != nil && !routed {
+		key := pipeline.Fingerprint(g, p)
+		if target := rt.target(key); target.Name != rt.Self {
+			res, err := rt.Client.Do(r.Context(), client.PlanRequest{
+				Key:         key,
+				Query:       r.URL.RawQuery,
+				Criticality: crit.String(),
+				Routed:      true,
+				Body:        raw,
+			})
+			if err == nil {
+				s.routedOut.Add(1)
+				relay(w, res)
+				return
+			}
+			// Owner and every fallback unreachable: plan here rather than
+			// fail the request. Worse cache locality beats an error.
+			s.routedFallback.Add(1)
+		}
+	}
+
+	// Criticality-aware shedding happens before a queue seat is taken:
+	// under pressure the optional tier is refused outright so the queue
+	// it would have occupied stays available to mandatory work.
+	if s.updateShedding() && crit == taskgraph.Optional {
+		s.shedOptional.Add(1)
+		s.reject429(w, "shedding optional work (queue depth %d of %d)",
+			s.queued.Load(), s.opt.MaxQueue)
 		return
 	}
 
@@ -312,8 +506,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusServiceUnavailable, "request canceled while queued")
 			return
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.opt.RetryAfter+time.Second-1)/time.Second)))
-		s.fail(w, http.StatusTooManyRequests, "planning queue is full (%d in flight, %d queued)",
+		if crit == taskgraph.Optional {
+			s.shedOptional.Add(1)
+		} else {
+			s.shedMandatory.Add(1)
+		}
+		s.reject429(w, "planning queue is full (%d in flight, %d queued)",
 			s.opt.MaxInFlight, s.opt.MaxQueue)
 		return
 	}

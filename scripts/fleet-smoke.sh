@@ -1,0 +1,65 @@
+#!/bin/sh
+# Black-box smoke of the pland fleet: boot three peers with a chaos
+# scenario armed (injected latency and 503s), drive them with
+# cmd/loadgen, SIGTERM one peer mid-load, and assert that Mandatory
+# requests kept >= 99% availability and that repeated fingerprints did
+# not re-build across the fleet. Exits non-zero on the first broken
+# contract.
+set -eu
+
+fail() { echo "fleet-smoke: $1" >&2; exit 1; }
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pland" ./cmd/pland
+go build -o "$tmp/loadgen" ./cmd/loadgen
+
+peers="p0=http://127.0.0.1:18180,p1=http://127.0.0.1:18181,p2=http://127.0.0.1:18182"
+for i in 0 1 2; do
+    "$tmp/pland" -addr "127.0.0.1:1818$i" -peers "$peers" -self "p$i" \
+        -chaos scripts/chaos-smoke.json 2>"$tmp/p$i.log" &
+    eval "pid$i=$!"
+    pids="$pids $!"
+done
+
+for i in 0 1 2; do
+    j=0
+    until curl -fsS "http://127.0.0.1:1818$i/healthz" >/dev/null 2>&1; do
+        j=$((j + 1))
+        [ "$j" -ge 100 ] && { cat "$tmp/p$i.log" >&2; fail "p$i never became healthy"; }
+        sleep 0.1
+    done
+done
+
+"$tmp/loadgen" -peers "$peers" -duration 12s -concurrency 8 -workloads 12 \
+    -optional-frac 0.25 -min-mandatory-availability 0.99 \
+    -out "$tmp/bench.json" 2>"$tmp/loadgen.log" &
+lg=$!
+pids="$pids $lg"
+
+# One peer dies mid-load, under chaos; the fleet must route around it.
+sleep 4
+kill -TERM "$pid2"
+
+wait "$lg" || { cat "$tmp/loadgen.log" >&2; fail "mandatory availability fell below 99% (or loadgen broke)"; }
+
+# Repeated fingerprints must not re-build: each peer's cache and
+# singleflight build a given fingerprint at most once per process, so
+# fleet-wide cold builds are bounded by workloads x peers (36) even
+# when chaos and the kill migrate keys — while request volume is in
+# the thousands.
+builds=$(awk -F'[:,]' '/"builds"/{gsub(/ /,"",$2); print $2; exit}' "$tmp/bench.json")
+[ "${builds%.*}" -le 36 ] || fail "fleet built $builds plans for 12 distinct workloads across 3 peers"
+
+kill -TERM "$pid0" "$pid1" 2>/dev/null || true
+wait "$pid0" "$pid1" 2>/dev/null || true
+pids=""
+grep -q "drained" "$tmp/p0.log" || fail "p0 did not drain cleanly: $(cat "$tmp/p0.log")"
+
+echo "fleet-smoke: ok (mandatory availability held under chaos + peer kill; builds=$builds)"
