@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check smoke serve-smoke fleet-smoke faults margins degrade fuzz bench
+.PHONY: all build test race vet fmt check smoke serve-smoke fleet-smoke recovery-smoke faults margins degrade fuzz bench bench-serve
 
 all: check
 
@@ -41,6 +41,13 @@ serve-smoke:
 fleet-smoke:
 	sh scripts/fleet-smoke.sh
 
+# Crash-recovery smoke: three peers with durable snapshots and warm
+# fill, one killed with -9 mid-load and restarted against its snapshot.
+# Mandatory availability must hold at 99% and the restarted peer must
+# serve its hot keys without a single cold rebuild.
+recovery-smoke:
+	sh scripts/recovery-smoke.sh
+
 # Graceful-degradation curves under injected faults (robustness study).
 faults:
 	$(GO) run ./cmd/sweep -study faults
@@ -65,6 +72,12 @@ degrade:
 # and on).
 bench:
 	$(GO) run ./cmd/benchpipe -o BENCH_pipeline.json
+
+# Serving-layer baseline: refreshes the checked-in BENCH_serve.json by
+# driving a 3-peer fleet (snapshots + warm fill on) through the 30 s
+# single-peer blackout scenario for 40 s.
+bench-serve:
+	sh scripts/bench-serve.sh
 
 # Native fuzzers: the checkpoint-journal parser, the workload reader,
 # and the chaos scenario parser, each briefly past their checked-in

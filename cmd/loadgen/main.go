@@ -88,10 +88,11 @@ type Requests struct {
 
 // Latency is the successful-request latency distribution.
 type Latency struct {
-	P50 float64 `json:"p50"`
-	P90 float64 `json:"p90"`
-	P99 float64 `json:"p99"`
-	Max float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
 }
 
 // ClientSnap folds the fleet client's reliability counters.
@@ -117,6 +118,13 @@ type PeerStats struct {
 	Coalesced     float64 `json:"coalesced"`
 	ShedOptional  float64 `json:"shedOptional"`
 	ShedMandatory float64 `json:"shedMandatory"`
+	// WarmFillPulled/Pushed and SnapshotLoaded account the recovery
+	// machinery: plans replicated in from peer digests, hinted plans
+	// handed back to a returned owner, and plans restored from a local
+	// snapshot on start.
+	WarmFillPulled float64 `json:"warmFillPulled"`
+	WarmFillPushed float64 `json:"warmFillPushed"`
+	SnapshotLoaded float64 `json:"snapshotLoaded"`
 }
 
 // Fleet sums the per-peer accounting. Builds against Workloads is the
@@ -124,12 +132,21 @@ type PeerStats struct {
 // fingerprint exactly once; peer deaths can migrate a key to a second
 // builder, never more per incident.
 type Fleet struct {
-	Builds        float64     `json:"builds"`
-	CacheHits     float64     `json:"cacheHits"`
-	Coalesced     float64     `json:"coalesced"`
-	ShedOptional  float64     `json:"shedOptional"`
-	ShedMandatory float64     `json:"shedMandatory"`
-	Peers         []PeerStats `json:"peers"`
+	Builds        float64 `json:"builds"`
+	CacheHits     float64 `json:"cacheHits"`
+	Coalesced     float64 `json:"coalesced"`
+	ShedOptional  float64 `json:"shedOptional"`
+	ShedMandatory float64 `json:"shedMandatory"`
+	// RecoveryRebuilds is max(0, Builds − Workloads): cold builds in
+	// excess of one per distinct fingerprint, i.e. the rebuilds paid
+	// because a key's plan was not where a request landed (owner dead,
+	// peer restarted cold). With snapshots and warm fill on, it should
+	// be 0 even across blackouts and kills.
+	RecoveryRebuilds float64     `json:"recoveryRebuilds"`
+	WarmFillPulled   float64     `json:"warmFillPulled"`
+	WarmFillPushed   float64     `json:"warmFillPushed"`
+	SnapshotLoaded   float64     `json:"snapshotLoaded"`
+	Peers            []PeerStats `json:"peers"`
 }
 
 func run(ctx context.Context, args []string, stdout, logw io.Writer) error {
@@ -183,7 +200,12 @@ func run(ctx context.Context, args []string, stdout, logw io.Writer) error {
 
 	runCtx, cancel := context.WithTimeout(ctx, *duration)
 	defer cancel()
-	prober := cluster.NewProber(ring, cluster.ProberOptions{Interval: 250 * time.Millisecond})
+	// The rise callback expires a returned peer's breaker cooldown, so
+	// traffic resumes within one probe interval of recovery.
+	prober := cluster.NewProber(ring, cluster.ProberOptions{
+		Interval: 250 * time.Millisecond,
+		OnRise:   func(p *cluster.Peer) { cl.NoteRisen(p.Name) },
+	})
 	go prober.Run(runCtx)
 
 	var (
@@ -282,7 +304,7 @@ func run(ctx context.Context, args []string, stdout, logw io.Writer) error {
 			Timeouts:        snap.Failures[int(cluster.Timeout)],
 			HTTPFailures:    snap.Failures[int(cluster.HTTPStatus)],
 		},
-		Fleet: scrapeFleet(peers),
+		Fleet: scrapeFleet(peers, *workloads),
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -298,9 +320,10 @@ func run(ctx context.Context, args []string, stdout, logw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "loadgen: mandatory availability %.4f (%d/%d ok, %d shed, %d failed), %d builds fleet-wide\n",
+	fmt.Fprintf(logw, "loadgen: mandatory availability %.4f (%d/%d ok, %d shed, %d failed), %d builds fleet-wide (%d recovery rebuilds, %d warm-fills)\n",
 		req.Mandatory.Availability, req.Mandatory.OK, req.Mandatory.Total,
-		req.Mandatory.Shed, req.Mandatory.Failed, int(rep.Fleet.Builds))
+		req.Mandatory.Shed, req.Mandatory.Failed, int(rep.Fleet.Builds),
+		int(rep.Fleet.RecoveryRebuilds), int(rep.Fleet.WarmFillPulled))
 	if *minMandatory > 0 && req.Mandatory.Availability < *minMandatory {
 		return fmt.Errorf("mandatory availability %.4f below the %.4f bar",
 			req.Mandatory.Availability, *minMandatory)
@@ -326,13 +349,15 @@ func percentiles(ms []float64) Latency {
 		i := int(q * float64(len(ms)-1))
 		return ms[i]
 	}
-	return Latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: ms[len(ms)-1]}
+	return Latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), P999: at(0.999), Max: ms[len(ms)-1]}
 }
 
 // scrapeFleet reads every peer's /metrics after the run and sums the
 // build/hit/shed accounting. A peer that died during the run (chaos,
-// kill) simply reports scraped=false.
-func scrapeFleet(peers []*cluster.Peer) Fleet {
+// kill) simply reports scraped=false. workloads is the distinct
+// fingerprint count, the floor against which recovery rebuilds are
+// measured.
+func scrapeFleet(peers []*cluster.Peer, workloads int) Fleet {
 	var fl Fleet
 	for _, p := range peers {
 		ps := PeerStats{Peer: p.Name}
@@ -343,13 +368,22 @@ func scrapeFleet(peers []*cluster.Peer) Fleet {
 			ps.Coalesced = sample(text, `pland_coalesced_builds_total`)
 			ps.ShedOptional = sample(text, `pland_shed_total\{criticality="optional"\}`)
 			ps.ShedMandatory = sample(text, `pland_shed_total\{criticality="mandatory"\}`)
+			ps.WarmFillPulled = sample(text, `pland_warmfill_pulled_total`)
+			ps.WarmFillPushed = sample(text, `pland_warmfill_pushed_total`)
+			ps.SnapshotLoaded = sample(text, `pland_snapshot_loaded_plans_total`)
 			fl.Builds += ps.Builds
 			fl.CacheHits += ps.CacheHits
 			fl.Coalesced += ps.Coalesced
 			fl.ShedOptional += ps.ShedOptional
 			fl.ShedMandatory += ps.ShedMandatory
+			fl.WarmFillPulled += ps.WarmFillPulled
+			fl.WarmFillPushed += ps.WarmFillPushed
+			fl.SnapshotLoaded += ps.SnapshotLoaded
 		}
 		fl.Peers = append(fl.Peers, ps)
+	}
+	if fl.Builds > float64(workloads) {
+		fl.RecoveryRebuilds = fl.Builds - float64(workloads)
 	}
 	return fl
 }

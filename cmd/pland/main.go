@@ -28,6 +28,15 @@
 // -chaos loads a fault-injection scenario (internal/chaos JSON) and
 // wraps both the serving handler and the fleet client with it, for
 // resilience drills like scripts/fleet-smoke.sh.
+//
+// Recovery: -snapshot names a cache snapshot file — loaded on start,
+// saved every -snapshot-interval and again on drain — so a killed and
+// restarted pland serves its previous hot set warm. In fleet mode,
+// -warm-fill additionally replicates each hot plan onto its ring owner
+// and first standby every -warm-fill-interval (peers pull from each
+// other's /cache/digest), and a peer that served keys for an
+// unreachable owner pushes them back when the owner returns (hinted
+// handoff), so neither a blackout nor a restart forces cold rebuilds.
 package main
 
 import (
@@ -73,8 +82,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	chaosPath := fs.String("chaos", "", "chaos scenario file; injects faults into the server and fleet client")
 	hedgeAfter := fs.Duration("hedge-after", 100*time.Millisecond, "hedge a proxied request to the next peer after this wait (0 disables)")
 	probeEvery := fs.Duration("probe-interval", 500*time.Millisecond, "peer /healthz probe interval in fleet mode")
+	snapPath := fs.String("snapshot", "", "cache snapshot file: loaded on start, saved periodically and on drain (empty disables)")
+	snapEvery := fs.Duration("snapshot-interval", 30*time.Second, "background cache snapshot interval")
+	warmFill := fs.Bool("warm-fill", false, "pull hot plans from ring neighbors (owner+standby replication) and push hinted handoffs; fleet mode only")
+	warmEvery := fs.Duration("warm-fill-interval", 2*time.Second, "warm-fill round interval")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *warmFill && *peersSpec == "" {
+		return errors.New("-warm-fill needs fleet mode (-peers and -self)")
 	}
 
 	var inj *chaos.Injector
@@ -98,13 +114,13 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		MaxTimeout:     *maxTimeout,
 		CacheCapacity:  *cacheCap,
 	}
-	var prober *cluster.Prober
+	var ring *cluster.Ring
 	if *peersSpec != "" {
 		peers, err := cluster.ParsePeers(*peersSpec)
 		if err != nil {
 			return fmt.Errorf("-peers: %w", err)
 		}
-		ring, err := cluster.NewRing(peers)
+		ring, err = cluster.NewRing(peers)
 		if err != nil {
 			return fmt.Errorf("-peers: %w", err)
 		}
@@ -123,14 +139,45 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 			Client: client.New(ring, client.Options{HedgeAfter: *hedgeAfter, Transport: transport}),
 			Self:   *selfName,
 		}
-		// The prober stays chaos-free on purpose: a blacked-out peer is
-		// discovered through its failing plan traffic, not by blinding
-		// the failure detector.
-		prober = cluster.NewProber(ring, cluster.ProberOptions{Interval: *probeEvery})
 		fmt.Fprintf(logw, "pland: fleet of %d peers, self=%s\n", len(peers), *selfName)
 	}
 
 	srv := server.New(opt)
+
+	var prober *cluster.Prober
+	if ring != nil {
+		// The prober stays chaos-free on purpose: a blacked-out peer is
+		// discovered through its failing plan traffic, not by blinding
+		// the failure detector. Rise verdicts couple recovery to the
+		// rest of the stack: the client expires the risen peer's breaker
+		// cooldown (traffic returns within one probe interval instead of
+		// the full open timer) and the server pushes its hinted
+		// handoffs back.
+		fleetClient := opt.Router.Client
+		prober = cluster.NewProber(ring, cluster.ProberOptions{
+			Interval: *probeEvery,
+			OnRise: func(p *cluster.Peer) {
+				fleetClient.NoteRisen(p.Name)
+				srv.NoteRisen(p.Name)
+				fmt.Fprintf(logw, "pland: peer %s risen\n", p.Name)
+			},
+			OnDown: func(p *cluster.Peer) {
+				fmt.Fprintf(logw, "pland: peer %s down\n", p.Name)
+			},
+		})
+	}
+
+	// Durable cache: restore the previous hot set before the listener
+	// opens, so a kill -9 + restart serves its old keys warm. A
+	// corrupt or missing snapshot degrades to a cold start, never a
+	// failed boot.
+	if *snapPath != "" {
+		if n, err := srv.LoadSnapshot(*snapPath); err != nil {
+			fmt.Fprintf(logw, "pland: snapshot %s not restored (%v), starting cold\n", *snapPath, err)
+		} else if n > 0 {
+			fmt.Fprintf(logw, "pland: restored %d plans from %s\n", n, *snapPath)
+		}
+	}
 	handler := http.Handler(srv.Handler())
 	if inj != nil {
 		handler = inj.Middleware(handler)
@@ -148,6 +195,13 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 
 	if prober != nil {
 		go prober.Run(ctx)
+	}
+	if *snapPath != "" && *snapEvery > 0 {
+		go srv.RunSnapshots(ctx, *snapPath, *snapEvery)
+	}
+	if *warmFill {
+		fmt.Fprintf(logw, "pland: warm fill every %v\n", *warmEvery)
+		go srv.RunWarmFill(ctx, *warmEvery)
 	}
 
 	errc := make(chan error, 1)
@@ -169,6 +223,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// The post-drain save persists plans finished during the drain
+	// window itself (RunSnapshots' final save raced the shutdown).
+	if *snapPath != "" {
+		if n, err := srv.SaveSnapshot(*snapPath); err != nil {
+			fmt.Fprintf(logw, "pland: final snapshot failed: %v\n", err)
+		} else {
+			fmt.Fprintf(logw, "pland: saved %d plans to %s\n", n, *snapPath)
+		}
 	}
 	if inj != nil {
 		fmt.Fprintln(logw, "pland:", inj.Summary())

@@ -205,6 +205,111 @@ func TestFleetLifecycle(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestartLifecycle drives the crash-recovery contract
+// through the real process lifecycle: a pland with -snapshot saves its
+// hot set on drain, and a restart restores it and serves the same
+// workload from cache — zero cold rebuilds after the restart.
+func TestSnapshotRestartLifecycle(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "cache.snap")
+	cfg := gen.Default(3)
+	cfg.Seed = 44
+	w := gen.MustGenerate(cfg)
+	var body bytes.Buffer
+	if err := graphio.WriteWorkload(&body, w.Graph, w.Platform); err != nil {
+		t.Fatal(err)
+	}
+
+	boot := func(logs *logBuffer) (addr string, cancel context.CancelFunc, done chan error) {
+		ctx, stop := context.WithCancel(context.Background())
+		done = make(chan error, 1)
+		go func() {
+			done <- run(ctx, []string{
+				"-addr", "127.0.0.1:0", "-drain", "5s",
+				"-snapshot", snap, "-snapshot-interval", "1h",
+			}, logs)
+		}()
+		addrRe := regexp.MustCompile(`listening on (\S+)`)
+		for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+			if m := addrRe.FindStringSubmatch(logs.String()); m != nil {
+				return m[1], stop, done
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		stop()
+		t.Fatalf("server never announced its address; log: %q", logs.String())
+		return "", nil, nil
+	}
+
+	var logs1 logBuffer
+	addr, cancel, done := boot(&logs1)
+	resp, err := http.Post("http://"+addr+"/plan", "application/json", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/plan: %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("first run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("first run never drained")
+	}
+	if !strings.Contains(logs1.String(), "saved 1 plans to "+snap) {
+		t.Fatalf("drain did not save the snapshot: %q", logs1.String())
+	}
+
+	var logs2 logBuffer
+	addr, cancel, done = boot(&logs2)
+	defer cancel()
+	if !strings.Contains(logs2.String(), "restored 1 plans from "+snap) {
+		t.Fatalf("restart did not restore the snapshot: %q", logs2.String())
+	}
+	resp, err = http.Post("http://"+addr+"/plan", "application/json", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restored /plan: %d", resp.StatusCode)
+	}
+	text := getBody(t, "http://"+addr+"/metrics")
+	if got := sample(t, text, `pland_builds_total`); got != 0 {
+		t.Fatalf("restarted pland built %g times, want 0", got)
+	}
+	if got := sample(t, text, `pland_cache_hits_total`); got != 1 {
+		t.Fatalf("restarted pland hits %g, want 1", got)
+	}
+	if got := sample(t, text, `pland_snapshot_loaded_plans_total`); got != 1 {
+		t.Fatalf("snapshot loaded plans %g, want 1", got)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("second run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second run never drained")
+	}
+}
+
+// TestWarmFillNeedsFleet: -warm-fill outside fleet mode is a
+// configuration error, not a silent no-op.
+func TestWarmFillNeedsFleet(t *testing.T) {
+	var logs logBuffer
+	err := run(context.Background(), []string{"-warm-fill"}, &logs)
+	if err == nil || !strings.Contains(err.Error(), "fleet mode") {
+		t.Fatalf("run(-warm-fill) = %v, want a fleet-mode error", err)
+	}
+}
+
 func waitHealthy(t *testing.T, addr string) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)

@@ -118,6 +118,22 @@ func (b *breaker) Failure() {
 	}
 }
 
+// Expire ends an Open breaker's cooldown immediately by backdating the
+// open timestamp, so the next Allow admits a half-open probe right
+// away. The prober calls this (via Client.NoteRisen) when a dead peer
+// answers /healthz again: the breaker opened on stale evidence, and
+// waiting out the rest of the cooldown would keep routing around a
+// peer the prober has just proven alive. The closed→open→half-open
+// discipline itself is untouched — the probe must still succeed before
+// full traffic returns.
+func (b *breaker) Expire() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open {
+		b.openedAt = b.openedAt.Add(-b.cooldown)
+	}
+}
+
 // State returns the current position, surfacing Open→HalfOpen
 // eligibility without consuming the probe slot.
 func (b *breaker) State() BreakerState {

@@ -171,6 +171,17 @@ func (c *Client) BreakerState(peer string) BreakerState {
 	return b.State()
 }
 
+// NoteRisen couples the health prober's rise verdict to the breaker:
+// when the prober marks a peer alive again, the peer's open breaker
+// has its cooldown expired so the very next request probes it instead
+// of waiting out the remainder of the open timer. Wire it as the
+// prober's OnRise callback. Unknown names are ignored.
+func (c *Client) NoteRisen(peer string) {
+	if b, ok := c.breakers[peer]; ok {
+		b.Expire()
+	}
+}
+
 // outcome is what one attempt goroutine reports back.
 type outcome struct {
 	res       *PlanResult

@@ -1,0 +1,105 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/cluster"
+)
+
+// Warm-fill transport: the client-side half of the fleet's cache
+// digest/fill/handoff protocol. The payloads are opaque bytes here —
+// the serving layer owns the plan wire format — but the reliability
+// policy is shared with Do: every call is breaker-gated and feeds the
+// same per-peer breaker, so a warm-fill sweep cannot dog-pile a peer
+// the planning path has already proven dead, and a fill success counts
+// as evidence the peer is healthy again.
+
+// errBreakerOpen builds the typed refusal for a peer whose breaker
+// rejected the call locally.
+func errBreakerOpen(peer string) *cluster.PeerError {
+	return &cluster.PeerError{Peer: peer, Kind: cluster.BreakerOpen}
+}
+
+// FetchDigest retrieves a peer's cache digest (GET /cache/digest),
+// returning the response body verbatim.
+func (c *Client) FetchDigest(ctx context.Context, peer *cluster.Peer) ([]byte, error) {
+	return c.roundTrip(ctx, peer, http.MethodGet, "/cache/digest", nil)
+}
+
+// FetchFill retrieves one serialized plan from a peer
+// (GET /cache/fill?key=<token>). A 404 — the peer evicted or never had
+// the plan — is returned as a *cluster.PeerError with StatusNotFound
+// and gives the breaker positive feedback (the peer answered fine).
+func (c *Client) FetchFill(ctx context.Context, peer *cluster.Peer, keyToken string) ([]byte, error) {
+	return c.roundTrip(ctx, peer, http.MethodGet, "/cache/fill?key="+keyToken, nil)
+}
+
+// PushFill offers one serialized plan to a peer (POST /cache/fill) —
+// the hinted-handoff push a fallback peer sends to a risen owner.
+func (c *Client) PushFill(ctx context.Context, peer *cluster.Peer, plan []byte) error {
+	_, err := c.roundTrip(ctx, peer, http.MethodPost, "/cache/fill", plan)
+	return err
+}
+
+// roundTrip is one breaker-gated request against one named peer, under
+// the client's attempt timeout. There are no retries or hedges: the
+// warm-fill loops are periodic, so a failed round simply waits for the
+// next one instead of amplifying load on a struggling fleet.
+func (c *Client) roundTrip(ctx context.Context, peer *cluster.Peer, method, path string, body []byte) ([]byte, error) {
+	b, ok := c.breakers[peer.Name]
+	if !ok {
+		return nil, fmt.Errorf("client: unknown peer %q", peer.Name)
+	}
+	if !b.Allow() {
+		c.breakerRefusals.Add(1)
+		return nil, errBreakerOpen(peer.Name)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.opt.AttemptTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, peer.URL+path, rd)
+	if err != nil {
+		b.Failure()
+		return nil, &cluster.PeerError{Peer: peer.Name, Kind: cluster.ConnectRefused, Err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The caller's context died (shutdown, drain): no verdict on
+			// the peer.
+			return nil, ctx.Err()
+		}
+		pe := cluster.Classify(peer.Name, err)
+		b.Failure()
+		return nil, pe
+	}
+	raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRespBytes))
+	resp.Body.Close()
+	if rerr != nil {
+		pe := cluster.Classify(peer.Name, rerr)
+		b.Failure()
+		return nil, pe
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		b.Success()
+		return raw, nil
+	}
+	pe := cluster.StatusError(peer.Name, resp.StatusCode, resp.Header.Get("Retry-After"))
+	if pe.Retryable() {
+		b.Failure()
+	} else {
+		// 404 and friends: the peer is healthy, it just lacks the plan.
+		b.Success()
+	}
+	return nil, pe
+}

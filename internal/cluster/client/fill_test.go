@@ -1,0 +1,204 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// switchable is a handler whose health the test flips; unhealthy it
+// drops the connection mid-request, the shape a blackout or kill -9
+// presents to clients.
+type switchable struct {
+	healthy atomic.Bool
+	hits    atomic.Int64
+}
+
+func (s *switchable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.hits.Add(1)
+	if !s.healthy.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(`{"ok":true}`))
+}
+
+// TestNoteRisenExpiresBreaker is the prober/breaker coupling
+// regression test: a peer that blacked out long enough to open its
+// breaker rises again, the prober's OnRise verdict reaches the client
+// through NoteRisen, and the very next request probes the peer — the
+// open cooldown (an hour here, so the test cannot pass by waiting it
+// out) no longer gates recovery.
+func TestNoteRisenExpiresBreaker(t *testing.T) {
+	h := &switchable{}
+	ring, done := fleet(t, map[string]http.Handler{"solo": h})
+	defer done()
+	c := New(ring, Options{
+		MaxAttempts:      1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour,
+		BaseBackoff:      time.Millisecond,
+		AttemptTimeout:   time.Second,
+	})
+	key := keyOwnedBy(t, ring, "solo")
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do(context.Background(), PlanRequest{Key: key}); err == nil {
+			t.Fatalf("attempt %d against a blacked-out peer succeeded", i)
+		}
+	}
+	if st := c.BreakerState("solo"); st != Open {
+		t.Fatalf("breaker %v after threshold failures, want open", st)
+	}
+	// Control: without the rise verdict the hour-long cooldown refuses.
+	var pe *cluster.PeerError
+	if _, err := c.Do(context.Background(), PlanRequest{Key: key}); !errors.As(err, &pe) || pe.Kind != cluster.BreakerOpen {
+		t.Fatalf("open breaker returned %v, want BreakerOpen", err)
+	}
+
+	// The blackout ends. One probe round marks the peer up; its OnRise
+	// callback must put the breaker into half-open immediately.
+	h.healthy.Store(true)
+	peer := ring.ByName("solo")
+	peer.MarkDown()
+	prober := cluster.NewProber(ring, cluster.ProberOptions{
+		Interval:  10 * time.Millisecond,
+		Timeout:   time.Second,
+		FailAfter: 2,
+		RiseAfter: 1,
+		OnRise:    func(p *cluster.Peer) { c.NoteRisen(p.Name) },
+	})
+	prober.ProbeOnce(context.Background())
+	if !peer.Alive() {
+		t.Fatal("risen peer not marked alive after one good probe")
+	}
+	if st := c.BreakerState("solo"); st != HalfOpen {
+		t.Fatalf("breaker %v within one probe interval of the rise, want half-open", st)
+	}
+	res, err := c.Do(context.Background(), PlanRequest{Key: key})
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("half-open probe after rise: res=%+v err=%v", res, err)
+	}
+	if st := c.BreakerState("solo"); st != Closed {
+		t.Fatalf("breaker %v after successful probe, want closed", st)
+	}
+
+	// Unknown names are ignored, and expiring a closed breaker is a
+	// no-op rather than a state change.
+	c.NoteRisen("no-such-peer")
+	c.NoteRisen("solo")
+	if st := c.BreakerState("solo"); st != Closed {
+		t.Fatalf("NoteRisen on a closed breaker moved it to %v", st)
+	}
+}
+
+// TestWarmFillTransport exercises the digest/fill/push round-trips: the
+// payloads travel verbatim, a 404 fill is a typed miss that counts as
+// positive breaker feedback, and unknown peers are refused.
+func TestWarmFillTransport(t *testing.T) {
+	var pushed atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cache/digest", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"peer":"a","keys":["k1","k2"]}`))
+	})
+	mux.HandleFunc("/cache/fill", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			if r.URL.Query().Get("key") != "k1" {
+				http.Error(w, "plan not resident", http.StatusNotFound)
+				return
+			}
+			_, _ = w.Write([]byte(`{"plan":"one"}`))
+		case http.MethodPost:
+			raw, _ := io.ReadAll(r.Body)
+			pushed.Store(string(raw))
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+	ring, done := fleet(t, map[string]http.Handler{"a": mux})
+	defer done()
+	c := New(ring, Options{AttemptTimeout: time.Second})
+	peer := ring.ByName("a")
+	ctx := context.Background()
+
+	raw, err := c.FetchDigest(ctx, peer)
+	if err != nil || string(raw) != `{"peer":"a","keys":["k1","k2"]}` {
+		t.Fatalf("digest: %q, %v", raw, err)
+	}
+	body, err := c.FetchFill(ctx, peer, "k1")
+	if err != nil || string(body) != `{"plan":"one"}` {
+		t.Fatalf("fill k1: %q, %v", body, err)
+	}
+
+	// k2 was evicted on the far side: a 404 is a typed miss, and the
+	// answering peer is healthy, so the breaker stays closed.
+	var pe *cluster.PeerError
+	if _, err := c.FetchFill(ctx, peer, "k2"); !errors.As(err, &pe) || pe.Status != http.StatusNotFound {
+		t.Fatalf("fill miss returned %v, want http 404", err)
+	}
+	if st := c.BreakerState("a"); st != Closed {
+		t.Fatalf("fill miss moved the breaker to %v", st)
+	}
+
+	if err := c.PushFill(ctx, peer, []byte(`{"plan":"handoff"}`)); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if got, _ := pushed.Load().(string); got != `{"plan":"handoff"}` {
+		t.Fatalf("pushed body %q", got)
+	}
+
+	if _, err := c.FetchDigest(ctx, &cluster.Peer{Name: "ghost", URL: "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("digest from a peer outside the ring succeeded")
+	}
+}
+
+// TestWarmFillBreakerGated: warm-fill traffic shares the planning
+// path's breakers — a peer proven dead is not dog-piled by the
+// periodic sweep, and NoteRisen re-admits it.
+func TestWarmFillBreakerGated(t *testing.T) {
+	dead := httptest.NewServer(http.NewServeMux())
+	deadURL := dead.URL
+	dead.Close()
+	ring, err := cluster.NewRing([]*cluster.Peer{{Name: "a", URL: deadURL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(ring, Options{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+		AttemptTimeout:   time.Second,
+	})
+	peer := ring.ByName("a")
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.FetchDigest(ctx, peer); err == nil {
+			t.Fatalf("digest %d from a dead peer succeeded", i)
+		}
+	}
+	if st := c.BreakerState("a"); st != Open {
+		t.Fatalf("breaker %v after repeated digest failures, want open", st)
+	}
+	var pe *cluster.PeerError
+	if _, err := c.FetchDigest(ctx, peer); !errors.As(err, &pe) || pe.Kind != cluster.BreakerOpen {
+		t.Fatalf("gated digest returned %v, want BreakerOpen", err)
+	}
+	if got := c.Snap().BreakerRefusals; got == 0 {
+		t.Fatal("breaker refusal not counted")
+	}
+
+	// The rise verdict re-admits warm-fill traffic too; the attempt is
+	// made (and fails against the still-dead address) instead of being
+	// refused locally.
+	c.NoteRisen("a")
+	if _, err := c.FetchDigest(ctx, peer); !errors.As(err, &pe) || pe.Kind == cluster.BreakerOpen {
+		t.Fatalf("post-rise digest refused locally: %v", err)
+	}
+}

@@ -26,6 +26,16 @@ type ProberOptions struct {
 	// Transport overrides the probe HTTP transport (chaos injection,
 	// tests); nil means http.DefaultTransport.
 	Transport http.RoundTripper
+	// OnDown, when non-nil, fires once per alive→dead transition, after
+	// the peer is marked. Callbacks run outside the prober's lock, on
+	// the probing goroutine; they must not block for long.
+	OnDown func(peer *Peer)
+	// OnRise, when non-nil, fires once per dead→alive transition, after
+	// the peer is marked. This is the hook that couples recovery to the
+	// rest of the stack: the planning client expires the risen peer's
+	// breaker cooldown so traffic returns within one probe interval,
+	// and the serving layer drains its hinted-handoff queue.
+	OnRise func(peer *Peer)
 }
 
 func (o ProberOptions) withDefaults() ProberOptions {
@@ -136,24 +146,35 @@ func (p *Prober) probe(ctx context.Context, peer *Peer) error {
 }
 
 // observe folds one probe outcome into the peer's streak accounting.
+// Transition callbacks fire after the lock is released, so an OnRise
+// hook may probe or message the fleet without deadlocking the prober.
 func (p *Prober) observe(peer *Peer, err error) {
+	var fell, rose bool
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if err != nil {
 		p.rises[peer.Name] = 0
 		p.fails[peer.Name]++
-		if p.fails[peer.Name] >= p.opt.FailAfter {
+		if p.fails[peer.Name] >= p.opt.FailAfter && peer.Alive() {
 			peer.MarkDown()
+			fell = true
 		}
-		return
+	} else {
+		p.fails[peer.Name] = 0
+		if !peer.Alive() {
+			p.rises[peer.Name]++
+			if p.rises[peer.Name] >= p.opt.RiseAfter {
+				p.rises[peer.Name] = 0
+				peer.MarkUp()
+				rose = true
+			}
+		}
 	}
-	p.fails[peer.Name] = 0
-	if !peer.Alive() {
-		p.rises[peer.Name]++
-		if p.rises[peer.Name] >= p.opt.RiseAfter {
-			p.rises[peer.Name] = 0
-			peer.MarkUp()
-		}
+	p.mu.Unlock()
+	if fell && p.opt.OnDown != nil {
+		p.opt.OnDown(peer)
+	}
+	if rose && p.opt.OnRise != nil {
+		p.opt.OnRise(peer)
 	}
 }
 

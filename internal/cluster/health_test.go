@@ -84,6 +84,68 @@ func TestProberDeadProcess(t *testing.T) {
 	}
 }
 
+// TestProberCallbacks: OnDown and OnRise fire exactly once per
+// transition — not once per failed or successful probe — and carry the
+// transitioning peer.
+func TestProberCallbacks(t *testing.T) {
+	h := &flakyHealth{}
+	h.code.Store(http.StatusOK)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var downs, rises atomic.Int64
+	var lastPeer atomic.Value
+	peers := []*Peer{{Name: "a", URL: ts.URL}}
+	p := NewProber(mustRing(t, peers), ProberOptions{
+		Interval:  10 * time.Millisecond,
+		Timeout:   time.Second,
+		FailAfter: 2,
+		RiseAfter: 1,
+		OnDown: func(peer *Peer) {
+			downs.Add(1)
+			lastPeer.Store(peer.Name)
+		},
+		OnRise: func(peer *Peer) {
+			rises.Add(1)
+			lastPeer.Store(peer.Name)
+		},
+	})
+	ctx := context.Background()
+
+	p.ProbeOnce(ctx)
+	if downs.Load() != 0 || rises.Load() != 0 {
+		t.Fatal("callback fired without a transition")
+	}
+
+	h.code.Store(0) // drop connections
+	p.ProbeOnce(ctx)
+	if downs.Load() != 0 {
+		t.Fatal("OnDown fired before FailAfter consecutive failures")
+	}
+	p.ProbeOnce(ctx)
+	if downs.Load() != 1 {
+		t.Fatalf("OnDown fired %d times at the transition, want 1", downs.Load())
+	}
+	if got, _ := lastPeer.Load().(string); got != "a" {
+		t.Fatalf("OnDown peer %q, want a", got)
+	}
+	// Further failures are not further transitions.
+	p.ProbeOnce(ctx)
+	if downs.Load() != 1 {
+		t.Fatalf("OnDown fired %d times while already down, want 1", downs.Load())
+	}
+
+	h.code.Store(http.StatusOK)
+	p.ProbeOnce(ctx)
+	if rises.Load() != 1 {
+		t.Fatalf("OnRise fired %d times at the transition, want 1", rises.Load())
+	}
+	p.ProbeOnce(ctx)
+	if rises.Load() != 1 {
+		t.Fatalf("OnRise fired %d times while already up, want 1", rises.Load())
+	}
+}
+
 // TestProberRunLoop: the background loop probes on its interval and
 // stops with its context.
 func TestProberRunLoop(t *testing.T) {

@@ -173,6 +173,64 @@ func (c *Cache) complete(k Key, f *flight, p *Plan, err error) {
 	close(f.done)
 }
 
+// Lookup returns the cached plan for k, bumping its recency exactly
+// like a Build hit. It is the read half of the warm-fill protocol: a
+// peer answering GET /cache/fill serves through here.
+func (c *Cache) Lookup(k Key) (*Plan, bool) {
+	return c.get(k)
+}
+
+// Contains reports whether k is resident without disturbing the LRU
+// order — digests and replication scans must not promote every entry
+// they enumerate.
+func (c *Cache) Contains(k Key) bool {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.byK[k]
+	return ok
+}
+
+// Install inserts an externally produced plan — a snapshot entry or a
+// warm-fill payload — as the most recent entry of its shard, exactly
+// as if it had just been built.
+func (c *Cache) Install(p *Plan) {
+	c.put(p.Key, p)
+}
+
+// Keys returns the resident keys in eviction order (least recent
+// first), concatenated across shards. The order is exact per shard and
+// interleaved arbitrarily between shards, which is the same aggregate
+// guarantee the LRU itself gives.
+func (c *Cache) Keys() []Key {
+	keys := make([]Key, 0, c.Len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			keys = append(keys, el.Value.(*cacheEntry).key)
+		}
+		s.mu.Unlock()
+	}
+	return keys
+}
+
+// Plans returns the resident plans in the same order as Keys, so
+// installing them sequentially into an empty cache reproduces each
+// shard's recency ranking (the last installed is the most recent).
+func (c *Cache) Plans() []*Plan {
+	plans := make([]*Plan, 0, c.Len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			plans = append(plans, el.Value.(*cacheEntry).plan)
+		}
+		s.mu.Unlock()
+	}
+	return plans
+}
+
 // Len returns the number of cached plans.
 func (c *Cache) Len() int {
 	n := 0

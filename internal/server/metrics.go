@@ -76,6 +76,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				{`direction="in"`, float64(s.routedIn.Load())},
 				{`direction="fallback"`, float64(s.routedFallback.Load())},
 			}},
+		{"pland_warmfill_rounds_total", "counter", "Completed warm-fill rounds (digest pull + hint drain).",
+			[]row{{"", float64(s.warmRounds.Load())}}},
+		{"pland_warmfill_pulled_total", "counter", "Plans installed from peer digests (owner/standby replication).",
+			[]row{{"", float64(s.warmPulled.Load())}}},
+		{"pland_warmfill_readthrough_total", "counter", "Read-through sweeps run before a non-owner local build.",
+			[]row{{"", float64(s.warmReads.Load())}}},
+		{"pland_warmfill_pushed_total", "counter", "Hinted plans delivered back to their owners.",
+			[]row{{"", float64(s.warmPushed.Load())}}},
+		{"pland_warmfill_hints_total", "counter", "Handoff hints recorded for unreachable owners.",
+			[]row{{"", float64(s.warmHinted.Load())}}},
+		{"pland_warmfill_errors_total", "counter", "Warm-fill round-trips that failed (digest, fill, push).",
+			[]row{{"", float64(s.warmErrors.Load())}}},
+		{"pland_warmfill_pending_hints", "gauge", "Handoff hints awaiting a reachable owner.",
+			[]row{{"", float64(s.hints.pending())}}},
+		{"pland_warmfill_fill_total", "counter", "Cache fill endpoint traffic by outcome.",
+			[]row{
+				{`outcome="served"`, float64(s.fillServed.Load())},
+				{`outcome="miss"`, float64(s.fillMisses.Load())},
+				{`outcome="accepted"`, float64(s.fillAccepted.Load())},
+			}},
+		{"pland_snapshot_saves_total", "counter", "Successful cache snapshot saves.",
+			[]row{{"", float64(s.snapSaves.Load())}}},
+		{"pland_snapshot_loads_total", "counter", "Successful cache snapshot loads.",
+			[]row{{"", float64(s.snapLoads.Load())}}},
+		{"pland_snapshot_saved_plans", "gauge", "Plans in the most recent saved snapshot.",
+			[]row{{"", float64(s.snapSavedPlans.Load())}}},
+		{"pland_snapshot_loaded_plans_total", "counter", "Plans restored into the cache from snapshots.",
+			[]row{{"", float64(s.snapLoadedPlans.Load())}}},
+		{"pland_snapshot_errors_total", "counter", "Snapshot saves/loads that failed.",
+			[]row{{"", float64(s.snapErrors.Load())}}},
 	}
 	var sb strings.Builder
 	for _, m := range ms {

@@ -177,6 +177,30 @@ type Server struct {
 	routedFallback atomic.Int64 // proxy exhausted, planned locally instead
 	routedIn       atomic.Int64 // routed requests received from peers
 
+	// Warm-fill state and counters (see warmfill.go).
+	hints        hintStore
+	warmRounds   atomic.Int64 // completed warm-fill rounds
+	warmPulled   atomic.Int64 // plans pulled from peer digests
+	warmPushed   atomic.Int64 // hinted plans delivered to risen owners
+	warmHinted   atomic.Int64 // handoff hints recorded
+	warmErrors   atomic.Int64 // digest/fill/push round-trips that failed
+	warmReads    atomic.Int64 // read-through sweeps before non-owner builds
+	fillServed   atomic.Int64 // GET /cache/fill answered with a plan
+	fillMisses   atomic.Int64 // GET /cache/fill for a non-resident plan
+	fillAccepted atomic.Int64 // POST /cache/fill plans installed
+
+	// readThrough throttles per-workload read-through sweeps (see
+	// warmReadThrough).
+	readMu   sync.Mutex
+	readLast map[uint64]time.Time
+
+	// Snapshot counters (see warmfill.go).
+	snapSaves       atomic.Int64 // successful snapshot saves
+	snapLoads       atomic.Int64 // successful snapshot loads
+	snapSavedPlans  atomic.Int64 // plans in the latest saved snapshot
+	snapLoadedPlans atomic.Int64 // plans restored from snapshots
+	snapErrors      atomic.Int64 // failed saves/loads
+
 	// rnd drives the Retry-After jitter.
 	rmu sync.Mutex
 	rnd *rand.Rand
@@ -200,6 +224,8 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("/plan", s.handlePlan)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/cache/digest", s.handleCacheDigest)
+	s.mux.HandleFunc("/cache/fill", s.handleCacheFill)
 	return s
 }
 
@@ -523,6 +549,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), limit)
 	defer cancel()
 
+	// A local build on a peer that is not the workload's static owner is
+	// the recovery path — the owner was unreachable, or the client was
+	// re-routed here. Before paying a cold build, read through the other
+	// peers' caches: some replica usually survives a single-peer outage.
+	if rt := s.opt.Router; rt != nil {
+		if fp := pipeline.Fingerprint(g, p); s.replicaRank(fp) > 0 {
+			s.warmReadThrough(ctx, fp)
+		}
+	}
+
 	b := &pipeline.Builder{
 		Estimator:   pipeline.StrategyEstimator(strategy),
 		Distributor: deadline.Sliced{Metric: metric, Params: slicing.CalibratedParams()},
@@ -551,6 +587,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+
+	// Serving a key whose static ring owner is elsewhere means the
+	// owner missed it (unreachable, or restarted cold): remember to
+	// hand the plan off when it is reachable again.
+	s.maybeHint(plan.Key)
 
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, PlanResponse{

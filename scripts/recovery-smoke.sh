@@ -1,0 +1,82 @@
+#!/bin/sh
+# Crash-recovery smoke of the pland fleet: boot three peers with
+# durable cache snapshots and warm fill enabled, drive them with
+# cmd/loadgen, kill -9 one peer mid-load, restart it against the same
+# snapshot file, and assert that recovery was warm — Mandatory
+# availability held >= 99%, the fleet paid zero recovery rebuilds, and
+# the restarted peer served its hot keys without one cold build. Exits
+# non-zero on the first broken contract.
+set -eu
+
+fail() { echo "recovery-smoke: $1" >&2; exit 1; }
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pland" ./cmd/pland
+go build -o "$tmp/loadgen" ./cmd/loadgen
+
+peers="p0=http://127.0.0.1:18190,p1=http://127.0.0.1:18191,p2=http://127.0.0.1:18192"
+boot() {
+    i=$1
+    "$tmp/pland" -addr "127.0.0.1:1819$i" -peers "$peers" -self "p$i" \
+        -snapshot "$tmp/p$i.snap" -snapshot-interval 2s \
+        -warm-fill -warm-fill-interval 500ms -probe-interval 200ms \
+        2>>"$tmp/p$i.log" &
+    eval "pid$i=$!"
+    pids="$pids $!"
+}
+for i in 0 1 2; do boot "$i"; done
+
+for i in 0 1 2; do
+    j=0
+    until curl -fsS "http://127.0.0.1:1819$i/healthz" >/dev/null 2>&1; do
+        j=$((j + 1))
+        [ "$j" -ge 100 ] && { cat "$tmp/p$i.log" >&2; fail "p$i never became healthy"; }
+        sleep 0.1
+    done
+done
+
+"$tmp/loadgen" -peers "$peers" -duration 18s -concurrency 8 -workloads 12 \
+    -optional-frac 0.25 -min-mandatory-availability 0.99 \
+    -out "$tmp/bench.json" 2>"$tmp/loadgen.log" &
+lg=$!
+pids="$pids $lg"
+
+# Hard-kill one peer mid-load — no drain, no final snapshot, so
+# recovery must come from the periodic snapshot and the other peers'
+# warm copies — then restart it against the same snapshot file.
+sleep 6
+kill -9 "$pid2"
+sleep 3
+boot 2
+
+wait "$lg" || { cat "$tmp/loadgen.log" >&2; fail "mandatory availability fell below 99% (or loadgen broke)"; }
+
+# Recovery rebuilds are cold builds beyond one per distinct
+# fingerprint; snapshots + warm fill must hold them at zero.
+rebuilds=$(awk -F'[:,]' '/"recoveryRebuilds"/{gsub(/ /,"",$2); print $2; exit}' "$tmp/bench.json")
+[ "${rebuilds%.*}" -eq 0 ] || fail "fleet paid $rebuilds recovery rebuilds; want 0"
+
+grep -q "restored" "$tmp/p2.log" || { cat "$tmp/p2.log" >&2; fail "restarted p2 never restored its snapshot"; }
+
+# The restarted peer's hot keys all came back via snapshot + warm
+# fill: it served post-restart traffic without a single cold build.
+metrics=$(curl -fsS "http://127.0.0.1:18192/metrics")
+builds=$(printf '%s\n' "$metrics" | awk '/^pland_builds_total /{print $2}')
+[ "${builds:-1}" -eq 0 ] || fail "restarted p2 cold-built $builds plans; want 0"
+restored=$(printf '%s\n' "$metrics" | awk '/^pland_snapshot_loaded_plans_total /{print $2}')
+pulled=$(printf '%s\n' "$metrics" | awk '/^pland_warmfill_pulled_total /{print $2}')
+[ $(( ${restored:-0} + ${pulled:-0} )) -gt 0 ] || fail "restarted p2 recovered nothing (restored=${restored:-0} pulled=${pulled:-0})"
+
+kill -TERM "$pid0" "$pid1" "$pid2" 2>/dev/null || true
+wait "$pid0" "$pid1" "$pid2" 2>/dev/null || true
+pids=""
+grep -q "drained" "$tmp/p2.log" || fail "restarted p2 did not drain cleanly: $(cat "$tmp/p2.log")"
+
+echo "recovery-smoke: ok (availability held through kill -9; recoveryRebuilds=${rebuilds%.*}, p2 post-restart builds=$builds, restored=${restored:-0}, pulled=${pulled:-0})"
