@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check smoke serve-smoke fleet-smoke recovery-smoke faults margins degrade fuzz bench bench-serve
+.PHONY: all build test race vet fmt check smoke serve-smoke fleet-smoke recovery-smoke overload-smoke faults margins degrade fuzz bench bench-serve
 
 all: check
 
@@ -47,6 +47,14 @@ fleet-smoke:
 # serve its hot keys without a single cold rebuild.
 recovery-smoke:
 	sh scripts/recovery-smoke.sh
+
+# Overload smoke: three peers driven far past their sustainable rate
+# with fresh workloads. Mandatory availability must hold at 99% with
+# zero outright failures, the brownout ladder must visibly serve
+# degraded plans during the storm, and every peer must walk back to
+# full quality once it passes.
+overload-smoke:
+	sh scripts/overload-smoke.sh
 
 # Graceful-degradation curves under injected faults (robustness study).
 faults:

@@ -25,6 +25,16 @@
 // Requests may carry X-Plan-Criticality: under queue pressure the
 // server sheds "optional" work before "mandatory".
 //
+// Overload: past criticality shedding, an adaptive admission
+// controller (-admit-target, -admit-window) watches queue delay and
+// thins admitted load when it stays over target, while a brownout
+// ladder (-brownout-cheap, -brownout-cache-only) first degrades cold
+// builds to a cheap configuration and then serves cached plans only,
+// instead of failing outright; every 200 carries its served quality in
+// X-Plan-Quality. POST /plan/batch (capped by -max-batch) plans many
+// workloads under the same shared admission budget and returns
+// per-item outcomes.
+//
 // -chaos loads a fault-injection scenario (internal/chaos JSON) and
 // wraps both the serving handler and the fleet client with it, for
 // resilience drills like scripts/fleet-smoke.sh.
@@ -86,6 +96,11 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	snapEvery := fs.Duration("snapshot-interval", 30*time.Second, "background cache snapshot interval")
 	warmFill := fs.Bool("warm-fill", false, "pull hot plans from ring neighbors (owner+standby replication) and push hinted handoffs; fleet mode only")
 	warmEvery := fs.Duration("warm-fill-interval", 2*time.Second, "warm-fill round interval")
+	admitTarget := fs.Duration("admit-target", 25*time.Millisecond, "queue-delay target for adaptive admission (negative disables the controller)")
+	admitWindow := fs.Duration("admit-window", 250*time.Millisecond, "adaptive-admission measurement window")
+	brownCheap := fs.Duration("brownout-cheap", 0, "queue delay that engages cheap builds (0 = 2x admit-target)")
+	brownCacheOnly := fs.Duration("brownout-cache-only", 0, "queue delay that engages cache-only serving (0 = 8x admit-target)")
+	maxBatch := fs.Int("max-batch", 256, "max workload items accepted in one POST /plan/batch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,11 +123,16 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 
 	opt := server.Options{
-		MaxInFlight:    *inflight,
-		MaxQueue:       *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		CacheCapacity:  *cacheCap,
+		MaxInFlight:         *inflight,
+		MaxQueue:            *queue,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		CacheCapacity:       *cacheCap,
+		AdmitTarget:         *admitTarget,
+		AdmitWindow:         *admitWindow,
+		BrownoutCheapAt:     *brownCheap,
+		BrownoutCacheOnlyAt: *brownCacheOnly,
+		MaxBatchItems:       *maxBatch,
 	}
 	var ring *cluster.Ring
 	if *peersSpec != "" {

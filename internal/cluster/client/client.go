@@ -98,6 +98,11 @@ func (o Options) withDefaults() Options {
 type PlanRequest struct {
 	// Key routes the request: its ring owner is tried first.
 	Key uint64
+	// Path is the request path; empty means "/plan". The batch fan-out
+	// sets "/plan/batch" and ships a whole owner group in one body —
+	// retry, hedging, and breaker policy apply to the group exactly as
+	// they would to a single plan.
+	Path string
 	// Query is the raw query string ("metric=ADAPT-L&verify=1").
 	Query string
 	// Criticality is sent as X-Plan-Criticality when non-empty, so an
@@ -116,6 +121,10 @@ type PlanResult struct {
 	// Status and Body are the peer's HTTP answer verbatim.
 	Status int
 	Body   []byte
+	// Quality is the peer's X-Plan-Quality header ("full", or
+	// "degraded" when the plan was served under brownout); empty when
+	// the peer sent none (non-200s, older peers).
+	Quality string
 	// Peer is the name of the peer that answered.
 	Peer string
 	// Attempts is how many requests were launched (1 = first try won).
@@ -320,14 +329,19 @@ func (c *Client) pick(prefs []*cluster.Peer, cursor *int) *cluster.Peer {
 }
 
 // attempt runs one HTTP request against one peer and classifies the
-// outcome. Breaker feedback happens here: a 2xx or non-retryable 4xx
-// proves the peer healthy; a transport failure, 5xx, or 429 counts
-// against it. An attempt canceled because a sibling already won gives
-// no feedback at all — losing a hedge race is not a peer failure.
+// outcome. Breaker feedback happens here: a 2xx, a non-retryable 4xx,
+// or a deliberate shed (429, or 503 with Retry-After) proves the peer
+// healthy; a transport failure, 5xx, or bare 503 counts against it. An
+// attempt canceled because a sibling already won gives no feedback at
+// all — losing a hedge race is not a peer failure.
 func (c *Client) attempt(ctx, parent context.Context, peer *cluster.Peer, req PlanRequest, hedged bool) outcome {
 	actx, cancel := context.WithTimeout(ctx, c.opt.AttemptTimeout)
 	defer cancel()
-	url := peer.URL + "/plan"
+	path := req.Path
+	if path == "" {
+		path = "/plan"
+	}
+	url := peer.URL + path
 	if req.Query != "" {
 		url += "?" + req.Query
 	}
@@ -367,15 +381,27 @@ func (c *Client) attempt(ctx, parent context.Context, peer *cluster.Peer, req Pl
 		c.breakers[peer.Name].Failure()
 		return outcome{err: pe, hedged: hedged}
 	}
-	res := &PlanResult{Status: resp.StatusCode, Body: body, Peer: peer.Name}
+	res := &PlanResult{Status: resp.StatusCode, Body: body, Peer: peer.Name,
+		Quality: resp.Header.Get("X-Plan-Quality")}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		c.breakers[peer.Name].Success()
 		return outcome{res: res, hedged: hedged}
 	}
 	pe := cluster.StatusError(peer.Name, resp.StatusCode, resp.Header.Get("Retry-After"))
-	if pe.Retryable() {
+	// A 429, or a 503 carrying an explicit Retry-After, is deliberate
+	// shedding from a peer that is up and answering fast. Counting it
+	// as a breaker failure would turn every fleet-wide overload into a
+	// client-side outage: breakers open on all peers and even cache
+	// hits get refused locally. Only a bare 503 (draining, sick proxy)
+	// and real transport/5xx failures feed the breaker.
+	policyShed := resp.StatusCode == http.StatusTooManyRequests ||
+		(resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "")
+	switch {
+	case policyShed:
+		c.breakers[peer.Name].Success()
+	case pe.Retryable():
 		c.breakers[peer.Name].Failure()
-	} else {
+	default:
 		// The peer is healthy; the request is bad.
 		c.breakers[peer.Name].Success()
 	}
@@ -385,6 +411,10 @@ func (c *Client) attempt(ctx, parent context.Context, peer *cluster.Peer, req Pl
 // backoff computes the delay before launch number n (1-based count of
 // already-launched attempts): capped exponential growth with ±50%
 // jitter, floored by the peer's Retry-After hint when one was sent.
+// The floor itself is capped at the attempt timeout — an HTTP-date
+// hint far in the future (a miscalibrated peer, clock skew) must not
+// park the request for longer than a single attempt is even allowed
+// to run.
 func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
 	d := c.opt.BaseBackoff << uint(n-1)
 	if d > c.opt.MaxBackoff || d <= 0 {
@@ -393,6 +423,9 @@ func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
 	c.rmu.Lock()
 	jittered := d/2 + time.Duration(c.rnd.Int63n(int64(d)))
 	c.rmu.Unlock()
+	if retryAfter > c.opt.AttemptTimeout {
+		retryAfter = c.opt.AttemptTimeout
+	}
 	if retryAfter > jittered {
 		return retryAfter
 	}

@@ -195,6 +195,15 @@ func TestBackoffJitterBounds(t *testing.T) {
 	if d := c.backoff(1, 5*time.Second); d != 5*time.Second {
 		t.Fatalf("Retry-After floor ignored: %v", d)
 	}
+	// The floor is capped at the attempt timeout: an HTTP-date hint
+	// hours out (clock skew, a confused peer) must not stall the retry
+	// loop for longer than one attempt may even run.
+	if d := c.backoff(1, 3*time.Hour); d != c.opt.AttemptTimeout {
+		t.Fatalf("Retry-After floor not capped at the attempt timeout: %v (timeout %v)", d, c.opt.AttemptTimeout)
+	}
+	if d := c.backoff(1, c.opt.AttemptTimeout-time.Second); d != c.opt.AttemptTimeout-time.Second {
+		t.Fatalf("sub-timeout floor should pass through: %v", d)
+	}
 }
 
 // TestHedgeWins: the owner stalls past HedgeAfter, the hedge lands on

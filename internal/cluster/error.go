@@ -111,13 +111,41 @@ func Classify(peer string, err error) *PeerError {
 }
 
 // StatusError builds the PeerError for a non-2xx response, folding in
-// the Retry-After header when the peer sent one.
+// the Retry-After header when the peer sent one. Both RFC 9110 forms
+// are understood: delay-seconds ("2") and HTTP-date ("Mon, 02 Jan 2006
+// 15:04:05 GMT", plus the legacy RFC 850 and asctime shapes
+// http.ParseTime accepts). A malformed header, like an absent one,
+// simply leaves RetryAfter zero — a bad hint must never make a failure
+// unretryable.
 func StatusError(peer string, status int, retryAfter string) *PeerError {
+	return statusErrorAt(peer, status, retryAfter, time.Now())
+}
+
+// statusErrorAt is StatusError with the clock injected, so the
+// HTTP-date arithmetic is testable.
+func statusErrorAt(peer string, status int, retryAfter string, now time.Time) *PeerError {
 	e := &PeerError{Peer: peer, Kind: HTTPStatus, Status: status}
-	if retryAfter != "" {
-		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
-			e.RetryAfter = time.Duration(secs) * time.Second
+	e.RetryAfter = parseRetryAfter(retryAfter, now)
+	return e
+}
+
+// parseRetryAfter resolves a Retry-After header value into a wait
+// duration relative to now. Unparseable values, negative delays, and
+// dates already in the past all resolve to 0.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
 		}
 	}
-	return e
+	return 0
 }

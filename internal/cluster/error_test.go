@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins both RFC 9110 header forms against one
+// fixed clock: delay-seconds, the three date shapes http.ParseTime
+// accepts, and the malformed/past values that must resolve to no
+// floor at all.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name, header string
+		want         time.Duration
+	}{
+		{"empty", "", 0},
+		{"zero seconds", "0", 0},
+		{"integer seconds", "2", 2 * time.Second},
+		{"large integer", "120", 2 * time.Minute},
+		{"negative seconds", "-3", 0},
+		{"http-date ahead", "Sat, 08 Aug 2026 12:00:30 GMT", 30 * time.Second},
+		{"http-date far ahead", "Sat, 08 Aug 2026 12:10:00 GMT", 10 * time.Minute},
+		{"http-date now", "Sat, 08 Aug 2026 12:00:00 GMT", 0},
+		{"http-date past", "Sat, 08 Aug 2026 11:59:00 GMT", 0},
+		{"rfc850 date ahead", "Saturday, 08-Aug-26 12:00:05 GMT", 5 * time.Second},
+		{"asctime date ahead", "Sat Aug  8 12:00:10 2026", 10 * time.Second},
+		{"garbage", "soon", 0},
+		{"fractional seconds", "1.5", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.header, now); got != c.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", c.name, c.header, got, c.want)
+		}
+		e := statusErrorAt("p", 429, c.header, now)
+		if e.RetryAfter != c.want {
+			t.Errorf("%s: statusErrorAt RetryAfter = %v, want %v", c.name, e.RetryAfter, c.want)
+		}
+		if e.Status != 429 || e.Kind != HTTPStatus {
+			t.Errorf("%s: status/kind mangled: %+v", c.name, e)
+		}
+	}
+}
+
+// TestStatusErrorDateUsesRealClock sanity-checks the exported
+// entrypoint against the live clock: a date one minute out yields a
+// floor close to a minute, never above it.
+func TestStatusErrorDateUsesRealClock(t *testing.T) {
+	h := time.Now().Add(time.Minute).UTC().Format(http.TimeFormat)
+	got := StatusError("p", 503, h).RetryAfter
+	if got <= 50*time.Second || got > time.Minute {
+		t.Fatalf("RetryAfter = %v, want in (50s, 1m]", got)
+	}
+}

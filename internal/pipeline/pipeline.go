@@ -170,6 +170,13 @@ type Builder struct {
 	// Recorder, when non-nil, accumulates per-stage statistics and
 	// cache hit/miss counts across builds.
 	Recorder *Recorder
+	// Quality tags every Plan this builder produces (see Quality). The
+	// zero value is QualityFull. A degraded builder's cheapened
+	// configuration is already part of the cache key (distributor,
+	// dispatcher, verifier names), so the tag never has to be — it only
+	// rides along so consumers can tell a substitute plan from the real
+	// thing.
+	Quality Quality
 }
 
 // Verdict is the schedulability outcome of a Plan, folding the primary
@@ -215,6 +222,34 @@ func (s PlanStats) Total() time.Duration {
 	return s.Estimate.Wall + s.Slice.Wall + s.Dispatch.Wall + s.Verify.Wall
 }
 
+// Quality tags how a Plan was built relative to the full-fidelity
+// pipeline configuration. The serving layer's brownout ladder builds
+// cheap substitute plans under overload; tagging the artifact itself
+// lets caches, snapshots, and fleet fills carry the distinction along
+// with the plan instead of losing it at the first process boundary.
+type Quality int
+
+const (
+	// QualityFull is the default: the plan was built with the
+	// configuration the caller asked for.
+	QualityFull Quality = iota
+	// QualityDegraded marks a plan built through a deliberately cheaper
+	// configuration (e.g. the brownout ladder's NORM-metric substitute
+	// for an ADAPT-L request).
+	QualityDegraded
+)
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	switch q {
+	case QualityFull:
+		return "full"
+	case QualityDegraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("Quality(%d)", int(q))
+}
+
 // Plan is the immutable artifact of one pipeline execution. Cached
 // plans are shared across goroutines — consumers must not mutate any
 // field or pointee.
@@ -233,6 +268,9 @@ type Plan struct {
 	Schedule *sched.Schedule
 	// Verdict folds the schedulability outcome.
 	Verdict Verdict
+	// Quality records whether the build ran the caller's full
+	// configuration or a deliberately cheapened one (see Quality).
+	Quality Quality
 	// Stats instruments the build that produced this plan (a cache hit
 	// returns the original build's stats).
 	Stats PlanStats
@@ -350,6 +388,44 @@ func (b *Builder) BuildContext(ctx context.Context, spec Spec) (*Plan, error) {
 	}
 }
 
+// Probe computes spec's cache key under this builder's configuration —
+// running the estimator stage when the spec carries no estimates — and
+// consults the cache without ever building. It returns the resident
+// plan (nil on a miss, or when the builder has no cache) alongside the
+// key, so a caller refusing cold work under overload can answer from
+// residency alone. Probe is a pure lookup: it records neither hits nor
+// builds in the Recorder and never joins an in-flight build.
+func (b *Builder) Probe(spec Spec) (*Plan, Key, error) {
+	if spec.Graph == nil || spec.Platform == nil {
+		return nil, Key{}, fmt.Errorf("pipeline: Spec needs a graph and a platform")
+	}
+	est := spec.Estimates
+	if est == nil {
+		var err error
+		est, err = b.estimator().Run(spec.Graph, spec.Platform)
+		if err != nil {
+			return nil, Key{}, err
+		}
+	}
+	distName, params := distributorKey(b.distributor())
+	key := Key{
+		Workload:    Fingerprint(spec.Graph, spec.Platform),
+		Estimates:   hashTimes(est),
+		Distributor: distName,
+		Params:      params,
+		Dispatcher:  b.dispatcher().Name,
+		Verifier:    b.Verifier.Name,
+	}
+	if b.Cache == nil {
+		return nil, key, nil
+	}
+	plan, ok := b.Cache.Lookup(key)
+	if !ok {
+		return nil, key, nil
+	}
+	return plan, key, nil
+}
+
 // buildLeader runs the cold build as the owner of an in-flight entry,
 // guaranteeing the flight resolves even when a stage panics (the panic
 // itself propagates on, preserving the worker pool's panic isolation).
@@ -431,6 +507,7 @@ func (b *Builder) buildCold(ctx context.Context, spec Spec, dist deadline.Distri
 		Assignment: asg,
 		Schedule:   s,
 		Verdict:    verdict,
+		Quality:    b.Quality,
 		Stats:      stats,
 	}
 	b.Recorder.recordBuild(stats)

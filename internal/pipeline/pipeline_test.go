@@ -233,6 +233,47 @@ func TestRecorderFormat(t *testing.T) {
 	}
 }
 
+// TestProbe pins the cache-only lookup: same key as a real build, nil
+// plan before the build, the built plan after, and no recorder traffic
+// either way.
+func TestProbe(t *testing.T) {
+	cfg := gen.Default(5)
+	cfg.Seed = 99
+	w := gen.MustGenerate(cfg)
+	spec := Spec{Graph: w.Graph, Platform: w.Platform}
+	rec := NewRecorder(false)
+	b := &Builder{Cache: NewCache(8), Recorder: rec}
+
+	plan, key, err := b.Probe(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		t.Fatal("probe before any build should miss")
+	}
+	built, err := b.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Key != key {
+		t.Fatalf("probe key %+v != build key %+v", key, built.Key)
+	}
+	hit, _, err := b.Probe(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != built {
+		t.Fatal("probe after build should return the cached plan")
+	}
+	if sum := rec.Summary(); sum.Hits != 0 || sum.Builds != 1 {
+		t.Fatalf("probe must not touch the recorder: %+v", sum)
+	}
+
+	if _, _, err := (&Builder{}).Probe(Spec{}); err == nil {
+		t.Fatal("probe of an empty spec should fail")
+	}
+}
+
 func TestBuildRejectsEmptySpec(t *testing.T) {
 	if _, err := (&Builder{}).Build(Spec{}); err == nil {
 		t.Fatal("Build accepted an empty spec")

@@ -174,6 +174,9 @@ type PlanJSON struct {
 	Assignment AssignmentJSON       `json:"assignment"`
 	Schedule   ScheduleJSON         `json:"schedule"`
 	Verdict    VerdictJSON          `json:"verdict"`
+	// Quality is the plan's quality tag ("full" is omitted, keeping
+	// pre-brownout snapshots byte-identical and readable both ways).
+	Quality string `json:"quality,omitempty"`
 	// StageWallNS is estimate/slice/dispatch/verify wall time in ns.
 	StageWallNS [4]int64 `json:"stageWallNS"`
 }
@@ -215,6 +218,9 @@ func EncodePlan(p *Plan) PlanJSON {
 			int64(p.Stats.Dispatch.Wall),
 			int64(p.Stats.Verify.Wall),
 		},
+	}
+	if p.Quality != QualityFull {
+		pj.Quality = p.Quality.String()
 	}
 	platform := graphio.EncodePlatform(p.Platform)
 	pj.Workload.Platform = &platform
@@ -273,11 +279,20 @@ func DecodePlan(in PlanJSON) (*Plan, error) {
 			Finish: in.Schedule.Finish[i],
 		}
 	}
+	quality := QualityFull
+	switch in.Quality {
+	case "", QualityFull.String():
+	case QualityDegraded.String():
+		quality = QualityDegraded
+	default:
+		return nil, fmt.Errorf("pipeline: serialized plan carries unknown quality %q", in.Quality)
+	}
 	return &Plan{
 		Key:       key,
 		Graph:     g,
 		Platform:  p,
 		Estimates: in.Estimates,
+		Quality:   quality,
 		Assignment: &slicing.Assignment{
 			Arrival:         in.Assignment.Arrival,
 			AbsDeadline:     in.Assignment.AbsDeadline,

@@ -57,6 +57,49 @@ func planEqual(t *testing.T, a, b *Plan) {
 	if a.Verdict != b.Verdict {
 		t.Fatalf("verdict changed across round-trip: %+v vs %+v", a.Verdict, b.Verdict)
 	}
+	if a.Quality != b.Quality {
+		t.Fatalf("quality changed across round-trip: %v vs %v", a.Quality, b.Quality)
+	}
+}
+
+// TestQualityRoundTrip pins the quality tag's wire behavior: full
+// quality is omitted (old snapshots stay byte-identical), degraded
+// survives the round-trip, and an unknown tag is refused rather than
+// silently promoted to full.
+func TestQualityRoundTrip(t *testing.T) {
+	b := &Builder{Quality: QualityDegraded}
+	cfg := gen.Default(4)
+	cfg.Seed = 41
+	w := gen.MustGenerate(cfg)
+	p, err := b.Build(Spec{Graph: w.Graph, Platform: w.Platform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Quality != QualityDegraded {
+		t.Fatalf("builder quality not stamped: %v", p.Quality)
+	}
+	pj := EncodePlan(p)
+	if pj.Quality != "degraded" {
+		t.Fatalf("encoded quality = %q, want degraded", pj.Quality)
+	}
+	got, err := DecodePlan(pj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planEqual(t, p, got)
+
+	full, err := (&Builder{}).Build(Spec{Graph: w.Graph, Platform: w.Platform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc := EncodePlan(full); enc.Quality != "" {
+		t.Fatalf("full quality should encode as empty, got %q", enc.Quality)
+	}
+
+	pj.Quality = "shiny"
+	if _, err := DecodePlan(pj); err == nil {
+		t.Fatal("unknown quality tag should be refused")
+	}
 }
 
 // TestPlanRoundTrip checks EncodePlan → JSON → DecodePlan is lossless

@@ -26,6 +26,7 @@ type row struct {
 // client library dependency.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sum := s.rec.Summary()
+	admitFrac, queueDelay, level, transitions := s.adm.snapshot()
 	stageSeconds := []row{
 		{`stage="estimate"`, sum.Estimate.Wall.Seconds()},
 		{`stage="slice"`, sum.Slice.Wall.Seconds()},
@@ -70,6 +71,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				{`criticality="optional"`, float64(s.shedOptional.Load())},
 				{`criticality="mandatory"`, float64(s.shedMandatory.Load())},
 			}},
+		{"pland_admission_admit_fraction", "gauge", "Fraction of offered load the AIMD controller currently admits.",
+			[]row{{"", admitFrac}}},
+		{"pland_queue_delay_seconds", "gauge", "Worst queue sojourn of the last closed admission window.",
+			[]row{{"", queueDelay.Seconds()}}},
+		{"pland_admission_shed_total", "counter", "Requests shed by the AIMD admit coin.",
+			[]row{{"", float64(s.admitShed.Load())}}},
+		{"pland_brownout_level", "gauge", "Brownout ladder rung (0 full, 1 cheap builds, 2 cache-only).",
+			[]row{{"", float64(level)}}},
+		{"pland_brownout_transitions_total", "counter", "Brownout ladder moves in either direction.",
+			[]row{{"", float64(transitions)}}},
+		{"pland_plans_total", "counter", "Plans served by quality.",
+			[]row{
+				{`quality="full"`, float64(s.plansFull.Load())},
+				{`quality="degraded"`, float64(s.plansDegraded.Load())},
+			}},
+		{"pland_cache_only_total", "counter", "Cache-only rung outcomes (hit: served from cache, miss: 503).",
+			[]row{
+				{`outcome="hit"`, float64(s.cacheOnlyHits.Load())},
+				{`outcome="miss"`, float64(s.cacheOnlyMiss.Load())},
+			}},
+		{"pland_batch_requests_total", "counter", "POST /plan/batch requests.",
+			[]row{{"", float64(s.batchRequests.Load())}}},
+		{"pland_batch_items_total", "counter", "Workload items across all batch requests.",
+			[]row{{"", float64(s.batchItems.Load())}}},
+		{"pland_batch_routed_groups_total", "counter", "Batch item groups shipped to their owning peers.",
+			[]row{{"", float64(s.batchRoutedOut.Load())}}},
 		{"pland_routed_total", "counter", "Fleet routing outcomes.",
 			[]row{
 				{`direction="out"`, float64(s.routedOut.Load())},

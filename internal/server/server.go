@@ -49,6 +49,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"strings"
@@ -56,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/cluster/client"
 	"repro/internal/deadline"
 	"repro/internal/graphio"
@@ -94,6 +96,28 @@ type Options struct {
 	// ShedLowFrac is the fraction below which shedding disengages; 0
 	// means 0.25.
 	ShedLowFrac float64
+	// AdmitTarget is the queue-delay (sojourn) target of the adaptive
+	// admission controller: windows whose worst queue wait exceeds it
+	// shrink the admitted fraction of offered load and climb the
+	// brownout ladder. 0 means 25ms; negative disables the controller
+	// (static MaxQueue admission only).
+	AdmitTarget time.Duration
+	// AdmitWindow is the controller's measurement window; 0 means 250ms.
+	AdmitWindow time.Duration
+	// BrownoutCheapAt is the worst-window-sojourn rung at which cold
+	// builds switch to the cheap NORM-metric configuration; 0 means
+	// 2×AdmitTarget, negative disables the rung.
+	BrownoutCheapAt time.Duration
+	// BrownoutCacheOnlyAt is the rung at which cold builds stop
+	// entirely (cache/read-through or 503); 0 means 8×AdmitTarget,
+	// negative disables the rung.
+	BrownoutCacheOnlyAt time.Duration
+	// BrownoutPromoteAfter is how many consecutive clean windows
+	// re-promote one brownout rung; 0 means 3.
+	BrownoutPromoteAfter int
+	// MaxBatchItems bounds the items of one POST /plan/batch; 0 means
+	// 256.
+	MaxBatchItems int
 	// Router, when non-nil, puts the server in fleet mode: requests
 	// owned by other live peers are proxied to them.
 	Router *Router
@@ -135,6 +159,9 @@ func (o Options) withDefaults() Options {
 	if o.ShedLowFrac > o.ShedHighFrac {
 		o.ShedLowFrac = o.ShedHighFrac
 	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = 256
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -171,6 +198,18 @@ type Server struct {
 	shedEngaged   atomic.Int64 // mode entries, for observing flappiness
 	shedOptional  atomic.Int64 // optional requests shed by the ladder
 	shedMandatory atomic.Int64 // mandatory requests shed (queue truly full)
+
+	// adm is the queue-delay admission controller and brownout ladder
+	// (see admission.go); the counters split its decisions.
+	adm            *admitController
+	admitShed      atomic.Int64 // requests shed by the AIMD admit coin
+	plansFull      atomic.Int64 // 200s served at full quality
+	plansDegraded  atomic.Int64 // 200s served degraded under brownout
+	cacheOnlyHits  atomic.Int64 // cache-only rung answered from cache
+	cacheOnlyMiss  atomic.Int64 // cache-only rung 503s (no resident plan)
+	batchRequests  atomic.Int64 // POST /plan/batch calls
+	batchItems     atomic.Int64 // items across all batch calls
+	batchRoutedOut atomic.Int64 // batch item groups shipped to owning peers
 
 	// Fleet routing counters.
 	routedOut      atomic.Int64 // requests proxied to their owning peer
@@ -219,9 +258,18 @@ func New(opt Options) *Server {
 		rec:   pipeline.NewRecorder(false),
 		slots: make(chan struct{}, opt.MaxInFlight),
 		rnd:   rand.New(rand.NewSource(opt.Seed)),
+		adm: newAdmitController(admitOptions{
+			Target:       opt.AdmitTarget,
+			Window:       opt.AdmitWindow,
+			CheapAt:      opt.BrownoutCheapAt,
+			CacheOnlyAt:  opt.BrownoutCacheOnlyAt,
+			PromoteAfter: opt.BrownoutPromoteAfter,
+			Seed:         opt.Seed,
+		}),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/plan", s.handlePlan)
+	s.mux.HandleFunc("/plan/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/cache/digest", s.handleCacheDigest)
@@ -257,6 +305,10 @@ type PlanResponse struct {
 	// PlanningMS is the wall-clock planning time of the build that
 	// produced the plan (0 for a cache hit whose build was instant).
 	PlanningMS float64 `json:"planningMS"`
+	// Quality is "full" or "degraded": degraded marks a plan built
+	// under brownout with the cheap configuration substituted for a
+	// richer one the client asked for. Also sent as X-Plan-Quality.
+	Quality string `json:"quality"`
 }
 
 // errorResponse is the JSON body of every non-200 answer.
@@ -288,7 +340,12 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 
 // admit takes a planning slot, waiting in the bounded queue if none is
 // free. It returns a release func, or false when the queue is full or
-// the request died while waiting.
+// the request died while waiting. Every request that actually queued
+// feeds its sojourn to the admission controller — on both outcomes,
+// since a request that gave up after 80ms in queue is exactly as loud
+// an overload signal as one that got a slot after 80ms. Fast-path
+// admissions (a free slot, zero wait) are not observed; the controller
+// keys on the worst sojourn per window, which zeros cannot move.
 func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
 	select {
 	case s.slots <- struct{}{}:
@@ -299,7 +356,11 @@ func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
 		s.queued.Add(-1)
 		return nil, false
 	}
-	defer s.queued.Add(-1)
+	start := time.Now()
+	defer func() {
+		s.queued.Add(-1)
+		s.adm.observe(time.Since(start))
+	}()
 	select {
 	case s.slots <- struct{}{}:
 		return func() { <-s.slots }, true
@@ -447,27 +508,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	q := r.URL.Query()
-	metricName := q.Get("metric")
-	if metricName == "" {
-		metricName = slicing.AdaptL().Name()
-	}
-	metric, err := slicing.ByName(metricName)
-	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	strategy, err := strategyByName(q.Get("wcet"))
-	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	disp, err := dispatcherByName(q.Get("dispatcher"))
-	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	limit, err := s.budget(q.Get("timeout"))
+	cfg, err := s.parsePlanConfig(r.URL.Query())
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -515,39 +556,183 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Criticality-aware shedding happens before a queue seat is taken:
-	// under pressure the optional tier is refused outright so the queue
-	// it would have occupied stays available to mandatory work.
-	if s.updateShedding() && crit == taskgraph.Optional {
+	s.writeOutcome(w, s.planOne(r.Context(), cfg, crit, g, p))
+}
+
+// planConfig is one request's resolved planning configuration.
+type planConfig struct {
+	metric   slicing.Metric
+	strategy wcet.Strategy
+	disp     pipeline.Dispatcher
+	verify   bool
+	limit    time.Duration
+}
+
+// parsePlanConfig resolves the query parameters shared by /plan and
+// /plan/batch.
+func (s *Server) parsePlanConfig(q url.Values) (planConfig, error) {
+	var cfg planConfig
+	name := q.Get("metric")
+	if name == "" {
+		name = slicing.AdaptL().Name()
+	}
+	metric, err := slicing.ByName(name)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.metric = metric
+	if cfg.strategy, err = strategyByName(q.Get("wcet")); err != nil {
+		return cfg, err
+	}
+	if cfg.disp, err = dispatcherByName(q.Get("dispatcher")); err != nil {
+		return cfg, err
+	}
+	if cfg.limit, err = s.budget(q.Get("timeout")); err != nil {
+		return cfg, err
+	}
+	cfg.verify = q.Get("verify") == "1" || q.Get("verify") == "true"
+	return cfg, nil
+}
+
+// builder materializes the pipeline builder for cfg; plans it builds
+// cold carry the quality tag.
+func (s *Server) builder(cfg planConfig, quality pipeline.Quality) *pipeline.Builder {
+	b := &pipeline.Builder{
+		Estimator:   pipeline.StrategyEstimator(cfg.strategy),
+		Distributor: deadline.Sliced{Metric: cfg.metric, Params: slicing.CalibratedParams()},
+		Dispatcher:  cfg.disp,
+		Cache:       s.cache,
+		Recorder:    s.rec,
+		Quality:     quality,
+	}
+	if cfg.verify {
+		b.Verifier = pipeline.FeasVerifier()
+	}
+	return b
+}
+
+// cheapen strips cfg to the brownout build — the NORM metric (identity
+// virtual costs, no parallel-set analysis), time-driven dispatch, no
+// verification — and reports whether that is actually a downgrade from
+// what the client asked for. A request that already asked for the
+// cheap configuration is served as-is at full quality: brownout
+// substitutes, it never relabels.
+func cheapen(cfg planConfig) (planConfig, bool) {
+	cheap := cfg
+	cheap.metric = slicing.NORM()
+	cheap.disp = pipeline.TimeDriven()
+	cheap.verify = false
+	downgraded := cfg.metric.Name() != cheap.metric.Name() ||
+		cfg.disp.Name != cheap.disp.Name || cfg.verify
+	return cheap, downgraded
+}
+
+// planOutcome is the result of planning one workload through the local
+// admission path.
+type planOutcome struct {
+	code       int
+	resp       *PlanResponse // non-nil iff code is 200
+	errMsg     string
+	quality    pipeline.Quality
+	retryAfter bool // attach a pressure-scaled Retry-After hint
+}
+
+// planOne plans one workload locally under the full overload policy —
+// the criticality rung, the AIMD admit coin, the bounded queue, and
+// the brownout ladder. It is the shared core of POST /plan and of each
+// /plan/batch item, which is what makes a batch spend the same
+// admission budget as the equivalent stream of single requests.
+func (s *Server) planOne(ctx context.Context, cfg planConfig, crit taskgraph.Criticality, g *taskgraph.Graph, p *arch.Platform) planOutcome {
+	// First rung: under pressure the optional tier is refused outright
+	// so the queue seat it would have taken stays available to
+	// mandatory work. Either pressure signal engages the rung — queue
+	// depth (the static ladder) or queue delay (the controller).
+	if (s.updateShedding() || s.adm.sheddingOptional()) && crit == taskgraph.Optional {
 		s.shedOptional.Add(1)
-		s.reject429(w, "shedding optional work (queue depth %d of %d)",
-			s.queued.Load(), s.opt.MaxQueue)
-		return
+		return planOutcome{code: http.StatusTooManyRequests, retryAfter: true,
+			errMsg: "shedding optional work under overload"}
+	}
+	// Second rung: while queue delay sits over target the AIMD coin
+	// sheds a growing fraction of everything else, which is what holds
+	// the queue wait near the target instead of at the timeout cliff.
+	if !s.adm.admit() {
+		s.admitShed.Add(1)
+		if crit == taskgraph.Optional {
+			s.shedOptional.Add(1)
+		} else {
+			s.shedMandatory.Add(1)
+		}
+		return planOutcome{code: http.StatusTooManyRequests, retryAfter: true,
+			errMsg: "admission controller shedding: queue delay over target"}
 	}
 
-	release, ok := s.admit(r.Context())
+	release, ok := s.admit(ctx)
 	if !ok {
-		if err := r.Context().Err(); err != nil {
+		if ctx.Err() != nil {
 			// The client went away while queued; nothing to answer.
-			s.fail(w, http.StatusServiceUnavailable, "request canceled while queued")
-			return
+			return planOutcome{code: http.StatusServiceUnavailable,
+				errMsg: "request canceled while queued"}
 		}
 		if crit == taskgraph.Optional {
 			s.shedOptional.Add(1)
 		} else {
 			s.shedMandatory.Add(1)
 		}
-		s.reject429(w, "planning queue is full (%d in flight, %d queued)",
-			s.opt.MaxInFlight, s.opt.MaxQueue)
-		return
+		return planOutcome{code: http.StatusTooManyRequests, retryAfter: true,
+			errMsg: fmt.Sprintf("planning queue is full (%d in flight, %d queued)",
+				s.opt.MaxInFlight, s.opt.MaxQueue)}
 	}
 	defer release()
 	if s.holdBuild != nil {
 		<-s.holdBuild
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), limit)
+	bctx, cancel := context.WithTimeout(ctx, cfg.limit)
 	defer cancel()
+	spec := pipeline.Spec{Graph: g, Platform: p}
+
+	// Brownout ladder: decide what this request's cold work may cost.
+	// Cached plans always serve at the quality they were built at; the
+	// ladder only governs new builds.
+	served, quality := cfg, pipeline.QualityFull
+	if level := s.adm.currentLevel(); level > brownoutOff {
+		// A resident plan of the requested configuration short-circuits
+		// any rung at full quality.
+		if plan, _, err := s.builder(cfg, pipeline.QualityFull).Probe(spec); err == nil && plan != nil {
+			if level == brownoutCacheOnly {
+				s.cacheOnlyHits.Add(1)
+			}
+			return s.respond(cfg, plan, pipeline.QualityFull)
+		}
+		cheap, downgraded := cheapen(cfg)
+		switch level {
+		case brownoutCheap:
+			if downgraded {
+				served, quality = cheap, pipeline.QualityDegraded
+			}
+		case brownoutCacheOnly:
+			// No cold builds at all. In fleet mode, sweep the peers'
+			// caches for this fingerprint first — some replica may hold
+			// the plan this process never built.
+			if s.opt.Router != nil {
+				s.warmReadThrough(bctx, pipeline.Fingerprint(g, p))
+				if plan, _, err := s.builder(cfg, pipeline.QualityFull).Probe(spec); err == nil && plan != nil {
+					s.cacheOnlyHits.Add(1)
+					return s.respond(cfg, plan, pipeline.QualityFull)
+				}
+			}
+			// A degraded plan cached by an earlier brownout beats a 503.
+			if downgraded {
+				if plan, _, err := s.builder(cheap, pipeline.QualityDegraded).Probe(spec); err == nil && plan != nil {
+					s.cacheOnlyHits.Add(1)
+					return s.respond(cheap, plan, pipeline.QualityDegraded)
+				}
+			}
+			s.cacheOnlyMiss.Add(1)
+			return planOutcome{code: http.StatusServiceUnavailable, retryAfter: true,
+				errMsg: "browned out: serving cached plans only, none resident for this workload"}
+		}
+	}
 
 	// A local build on a peer that is not the workload's static owner is
 	// the recovery path — the owner was unreachable, or the client was
@@ -555,57 +740,92 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// peers' caches: some replica usually survives a single-peer outage.
 	if rt := s.opt.Router; rt != nil {
 		if fp := pipeline.Fingerprint(g, p); s.replicaRank(fp) > 0 {
-			s.warmReadThrough(ctx, fp)
+			s.warmReadThrough(bctx, fp)
 		}
 	}
 
-	b := &pipeline.Builder{
-		Estimator:   pipeline.StrategyEstimator(strategy),
-		Distributor: deadline.Sliced{Metric: metric, Params: slicing.CalibratedParams()},
-		Dispatcher:  disp,
-		Cache:       s.cache,
-		Recorder:    s.rec,
-	}
-	if q.Get("verify") == "1" || q.Get("verify") == "true" {
-		b.Verifier = pipeline.FeasVerifier()
-	}
-
 	s.inFlight.Add(1)
-	plan, err := b.BuildContext(ctx, pipeline.Spec{Graph: g, Platform: p})
+	plan, err := s.builder(served, quality).BuildContext(bctx, spec)
 	s.inFlight.Add(-1)
 	switch {
 	case err == nil:
 	case errors.Is(err, context.DeadlineExceeded):
-		s.fail(w, http.StatusGatewayTimeout, "planning exceeded its %v budget", limit)
-		return
+		return planOutcome{code: http.StatusGatewayTimeout,
+			errMsg: fmt.Sprintf("planning exceeded its %v budget", cfg.limit)}
 	case errors.Is(err, context.Canceled):
-		s.fail(w, http.StatusServiceUnavailable, "request canceled")
-		return
+		return planOutcome{code: http.StatusServiceUnavailable, errMsg: "request canceled"}
 	default:
 		// Stage errors are properties of the submitted workload
 		// (inconsistent graph, unschedulable windows), not of the server.
-		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+		return planOutcome{code: http.StatusUnprocessableEntity, errMsg: err.Error()}
 	}
+	return s.respond(served, plan, quality)
+}
 
+// respond folds a plan into the 200 outcome, echoing the configuration
+// it was actually built with (under brownout that is the substituted
+// cheap one, so clients can see what they got).
+func (s *Server) respond(cfg planConfig, plan *pipeline.Plan, quality pipeline.Quality) planOutcome {
 	// Serving a key whose static ring owner is elsewhere means the
 	// owner missed it (unreachable, or restarted cold): remember to
 	// hand the plan off when it is reachable again.
 	s.maybeHint(plan.Key)
+	return planOutcome{
+		code:    http.StatusOK,
+		quality: quality,
+		resp: &PlanResponse{
+			Metric:             cfg.metric.Name(),
+			WCET:               cfg.strategy.String(),
+			Dispatcher:         cfg.disp.Name,
+			Feasible:           plan.Verdict.Feasible,
+			OverConstrained:    plan.Verdict.OverConstrained,
+			ProvablyInfeasible: plan.Verdict.ProvablyInfeasible,
+			MaxLateness:        int64(plan.Verdict.MaxLateness),
+			MinLaxity:          int64(plan.Verdict.MinLaxity),
+			Result:             graphio.EncodeResult(plan.Assignment, plan.Schedule),
+			PlanningMS:         float64(plan.Stats.Total()) / float64(time.Millisecond),
+			Quality:            quality.String(),
+		},
+	}
+}
 
-	s.served.Add(1)
-	writeJSON(w, http.StatusOK, PlanResponse{
-		Metric:             metric.Name(),
-		WCET:               strategy.String(),
-		Dispatcher:         disp.Name,
-		Feasible:           plan.Verdict.Feasible,
-		OverConstrained:    plan.Verdict.OverConstrained,
-		ProvablyInfeasible: plan.Verdict.ProvablyInfeasible,
-		MaxLateness:        int64(plan.Verdict.MaxLateness),
-		MinLaxity:          int64(plan.Verdict.MinLaxity),
-		Result:             graphio.EncodeResult(plan.Assignment, plan.Schedule),
-		PlanningMS:         float64(plan.Stats.Total()) / float64(time.Millisecond),
-	})
+// qualityHeader carries the served quality ("full" or "degraded") on
+// every 200 from /plan.
+const qualityHeader = "X-Plan-Quality"
+
+// countOutcome advances the outcome counters for one planned item.
+func (s *Server) countOutcome(o planOutcome) {
+	switch o.code {
+	case http.StatusOK:
+		s.served.Add(1)
+		if o.quality == pipeline.QualityDegraded {
+			s.plansDegraded.Add(1)
+		} else {
+			s.plansFull.Add(1)
+		}
+	case http.StatusTooManyRequests:
+		s.throttled.Add(1)
+	case http.StatusServiceUnavailable:
+		s.refused.Add(1)
+	case http.StatusGatewayTimeout:
+		s.expired.Add(1)
+	default:
+		s.rejected.Add(1)
+	}
+}
+
+// writeOutcome renders a planOutcome as the HTTP answer of /plan.
+func (s *Server) writeOutcome(w http.ResponseWriter, o planOutcome) {
+	s.countOutcome(o)
+	if o.retryAfter {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	if o.code == http.StatusOK {
+		w.Header().Set(qualityHeader, o.quality.String())
+		writeJSON(w, http.StatusOK, o.resp)
+		return
+	}
+	writeJSON(w, o.code, errorResponse{Error: o.errMsg})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -485,8 +486,11 @@ func TestHintedHandoff(t *testing.T) {
 	owner.restore()
 	ring.ByName("p0").MarkUp()
 	fallback.srv.NoteRisen("p0")
+	// Wait for the pusher's own counter, not just the owner-side
+	// install: the install completes before PushFill returns to the
+	// fallback, so polling the cache alone races the counter bump.
 	deadline := time.Now().Add(5 * time.Second)
-	for !owner.srv.cache.Contains(key) {
+	for !owner.srv.cache.Contains(key) || fallback.srv.warmPushed.Load() < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("handoff never reached the risen owner")
 		}
@@ -735,5 +739,88 @@ func TestServerSnapshotRoundTrip(t *testing.T) {
 	// A missing snapshot is a cold start, not an error.
 	if n, err := New(Options{}).LoadSnapshot(dir + "/absent.snap"); err != nil || n != 0 {
 		t.Fatalf("missing snapshot: n=%d err=%v", n, err)
+	}
+}
+
+// TestReadThroughCooldownExpiry: one read-through sweep per fingerprint
+// per cooldown window — a repeat miss inside the window is absorbed
+// without any peer traffic, and once the entry ages out the next miss
+// sweeps and refetches.
+func TestReadThroughCooldownExpiry(t *testing.T) {
+	nodes, ring := newWarmFleet(t, 2, Options{}, warmCopt())
+	body, key := warmSeed(t, ring, nodes[0].srv, "p0")
+	owner := byName(t, nodes, "p0")
+	puller := byName(t, nodes, "p1")
+	if resp, raw := postPlan(t, owner.ts, "", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner build: %d %s", resp.StatusCode, raw)
+	}
+
+	ctx := context.Background()
+	if n := puller.srv.warmReadThrough(ctx, key.Workload); n != 1 {
+		t.Fatalf("first sweep pulled %d plans, want 1", n)
+	}
+	if got := puller.srv.warmReads.Load(); got != 1 {
+		t.Fatalf("sweeps = %d, want 1", got)
+	}
+
+	// A miss inside the window stays local even when the plan is gone.
+	puller.srv.cache.Purge()
+	if n := puller.srv.warmReadThrough(ctx, key.Workload); n != 0 {
+		t.Fatalf("in-window sweep pulled %d plans, want 0", n)
+	}
+	if got := puller.srv.warmReads.Load(); got != 1 {
+		t.Fatalf("sweeps = %d after in-window miss, want still 1", got)
+	}
+
+	// Age the entry past the cooldown: the next miss sweeps again and
+	// reinstalls the plan.
+	puller.srv.readMu.Lock()
+	puller.srv.readLast[key.Workload] = time.Now().Add(-2 * readThroughCooldown)
+	puller.srv.readMu.Unlock()
+	if n := puller.srv.warmReadThrough(ctx, key.Workload); n != 1 {
+		t.Fatalf("post-expiry sweep pulled %d plans, want 1", n)
+	}
+	if got := puller.srv.warmReads.Load(); got != 2 {
+		t.Fatalf("sweeps = %d after expiry, want 2", got)
+	}
+	if !puller.srv.cache.Contains(key) {
+		t.Fatal("plan not reinstalled after the post-expiry sweep")
+	}
+}
+
+// TestReadThroughCooldownConcurrent: simultaneous misses on one
+// fingerprint collapse to exactly one sweep — the first caller stamps
+// the cooldown entry under the lock before sweeping, so the rest see a
+// fresh entry and return without touching any peer.
+func TestReadThroughCooldownConcurrent(t *testing.T) {
+	nodes, ring := newWarmFleet(t, 2, Options{}, warmCopt())
+	body, key := warmSeed(t, ring, nodes[0].srv, "p0")
+	owner := byName(t, nodes, "p0")
+	puller := byName(t, nodes, "p1")
+	if resp, raw := postPlan(t, owner.ts, "", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner build: %d %s", resp.StatusCode, raw)
+	}
+
+	const callers = 16
+	var (
+		wg     sync.WaitGroup
+		pulled atomic.Int64
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pulled.Add(int64(puller.srv.warmReadThrough(context.Background(), key.Workload)))
+		}()
+	}
+	wg.Wait()
+	if got := pulled.Load(); got != 1 {
+		t.Fatalf("concurrent sweeps pulled %d plans total, want 1", got)
+	}
+	if got := puller.srv.warmReads.Load(); got != 1 {
+		t.Fatalf("sweeps = %d for %d concurrent misses, want 1", puller.srv.warmReads.Load(), callers)
+	}
+	if !puller.srv.cache.Contains(key) {
+		t.Fatal("winning sweep did not install the plan")
 	}
 }
