@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check smoke serve-smoke fleet-smoke recovery-smoke overload-smoke faults margins degrade fuzz bench bench-serve
+.PHONY: all build test race vet fmt check smoke serve-smoke fleet-smoke recovery-smoke overload-smoke faults margins degrade fuzz bench bench-check bench-serve
 
 all: check
 
@@ -80,6 +80,12 @@ degrade:
 # and on).
 bench:
 	$(GO) run ./cmd/benchpipe -o BENCH_pipeline.json
+
+# Performance gate: re-runs the suite and fails if cold builds or
+# incremental rebuilds regressed more than 20% (time or allocations)
+# against the checked-in BENCH_pipeline.json.
+bench-check:
+	sh scripts/bench-check.sh
 
 # Serving-layer baseline: refreshes the checked-in BENCH_serve.json by
 # driving a 3-peer fleet (snapshots + warm fill on) through the 30 s

@@ -43,6 +43,11 @@ type resliceCell struct {
 	RecTotal  int     `json:"rec_total"`
 	ItersMean float64 `json:"iters_mean"`
 	Errors    int     `json:"errors"`
+	// Correction rounds re-planned incrementally (pipeline.Rebuild) and
+	// the subset answered from cache residency. omitempty keeps journals
+	// written before these columns replayable.
+	Rebuilds    int `json:"rebuilds,omitempty"`
+	RebuildHits int `json:"rebuild_hits,omitempty"`
 }
 
 // cell returns the journaled value for key, computing and recording it
@@ -162,15 +167,20 @@ func studyMargins() int {
 			return resliceCell{
 				RecSucc: pt.Recovered.Succ, RecTotal: pt.Recovered.Total,
 				ItersMean: pt.ResliceIters.Mean(), Errors: pt.Errors,
+				Rebuilds: pt.Rebuilds, RebuildHits: pt.RebuildHits,
 			}
 		})
 		if err != nil {
 			fmt.Fprintf(sw.errw, "sweep: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(sw.w, "  %-8s recovered %3.0f%% of %d missed runs, mean %.1f feedback iterations\n",
+		fmt.Fprintf(sw.w, "  %-8s recovered %3.0f%% of %d missed runs, mean %.1f feedback iterations",
 			metric.Name(), 100*float64(c.RecSucc)/float64(max(c.RecTotal, 1)),
 			c.RecTotal, c.ItersMean)
+		if c.Rebuilds > 0 {
+			fmt.Fprintf(sw.w, " (%d rebuilds, %d cached)", c.Rebuilds, c.RebuildHits)
+		}
+		fmt.Fprintln(sw.w)
 	}
 	fmt.Fprintln(sw.w, "  (misses are always judged against the originally assigned windows)")
 	return 0

@@ -35,6 +35,15 @@ type Distributor interface {
 	Distribute(g *taskgraph.Graph, est []rtime.Time, m int) (*slicing.Assignment, error)
 }
 
+// WorkspaceDistributor is the optional Distributor extension for
+// strategies that can run over a reusable slicing workspace. The
+// pipeline's pooled build path type-asserts for it; the assignment must
+// be identical to Distribute's for any workspace state.
+type WorkspaceDistributor interface {
+	Distributor
+	DistributeWith(ws *slicing.Workspace, g *taskgraph.Graph, est []rtime.Time, m int) (*slicing.Assignment, error)
+}
+
 // Sliced adapts the slicing technique to the Distributor interface.
 type Sliced struct {
 	Metric slicing.Metric
@@ -47,6 +56,11 @@ func (s Sliced) Name() string { return "SLICE/" + s.Metric.Name() }
 // Distribute implements Distributor.
 func (s Sliced) Distribute(g *taskgraph.Graph, est []rtime.Time, m int) (*slicing.Assignment, error) {
 	return slicing.Distribute(g, est, m, s.Metric, s.Params)
+}
+
+// DistributeWith implements WorkspaceDistributor.
+func (s Sliced) DistributeWith(ws *slicing.Workspace, g *taskgraph.Graph, est []rtime.Time, m int) (*slicing.Assignment, error) {
+	return ws.Distribute(g, est, m, s.Metric, s.Params)
 }
 
 // UD is the ultimate-deadline strategy: every task's absolute deadline

@@ -1,0 +1,79 @@
+package deadline
+
+import (
+	"fmt"
+
+	"repro/internal/rtime"
+	"repro/internal/slicing"
+	"repro/internal/taskgraph"
+)
+
+// Fixed replays an explicit window assignment: every task's arrival and
+// absolute deadline are given verbatim instead of being derived from the
+// estimates. It exists for incremental re-planning (pipeline.Rebuild's
+// window deltas): a prior plan's windows — possibly with a few tasks
+// overridden for fault-adjusted corridors — are re-dispatched and
+// re-verified without re-running the slicer.
+//
+// Like the overlapping baselines, only empty windows mark the assignment
+// over-constrained; window overlap between precedence-related tasks is
+// legal here (overridden windows need not respect slicing's
+// non-overlap invariant).
+type Fixed struct {
+	Arrival     []rtime.Time
+	AbsDeadline []rtime.Time
+}
+
+// Name implements Distributor. Distinct window sets yield distinct
+// names, so cached plans never collide across Fixed instances.
+func (f Fixed) Name() string {
+	// FNV-1a over the window values.
+	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset
+	mix := func(v rtime.Time) {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	for _, v := range f.Arrival {
+		mix(v)
+	}
+	for _, v := range f.AbsDeadline {
+		mix(v)
+	}
+	return fmt.Sprintf("FIXED/%016x", h)
+}
+
+// Distribute implements Distributor.
+func (f Fixed) Distribute(g *taskgraph.Graph, est []rtime.Time, m int) (*slicing.Assignment, error) {
+	n := g.NumTasks()
+	if len(f.Arrival) != n || len(f.AbsDeadline) != n {
+		return nil, fmt.Errorf("deadline: fixed windows cover %d/%d tasks, graph has %d",
+			len(f.Arrival), len(f.AbsDeadline), n)
+	}
+	if len(est) != n {
+		return nil, fmt.Errorf("deadline: %d estimates for %d tasks", len(est), n)
+	}
+	asg := &slicing.Assignment{
+		Arrival:     append([]rtime.Time(nil), f.Arrival...),
+		AbsDeadline: append([]rtime.Time(nil), f.AbsDeadline...),
+		RelDeadline: make([]rtime.Time, n),
+		Virtual:     append([]rtime.Time(nil), est...),
+		MetricName:  "FIXED",
+	}
+	for v := 0; v < n; v++ {
+		if !asg.Arrival[v].IsSet() || !asg.AbsDeadline[v].IsSet() {
+			return nil, fmt.Errorf("deadline: task %d has an unset fixed window", v)
+		}
+		rel := asg.AbsDeadline[v] - asg.Arrival[v]
+		if rel <= 0 {
+			rel = rtime.Max(rel, 0)
+			asg.OverConstrained = true
+		}
+		asg.RelDeadline[v] = rel
+	}
+	return asg, nil
+}

@@ -89,6 +89,10 @@ type MarginPoint struct {
 	// ResliceIters accumulates the feedback iterations of attempted
 	// recoveries.
 	ResliceIters stats.Running
+	// Rebuilds and RebuildHits total the re-slice correction rounds
+	// re-planned incrementally and the subset answered from the shared
+	// cache (see pipeline.Replanner).
+	Rebuilds, RebuildHits int
 	// Overruns and Reclamations total the observed overruns and online
 	// slack reclamations of the first (pre-reslice) executions.
 	Overruns, Reclamations int
@@ -113,6 +117,8 @@ type marginOutcome struct {
 	attempted    bool // re-slicing ran
 	recovered    bool
 	iters        int
+	rebuilds     int
+	rebuildHits  int
 }
 
 // MarginRun evaluates one estimation-error data point: every workload's
@@ -145,6 +151,8 @@ func MarginRun(cfg MarginConfig) MarginPoint {
 		if o.attempted {
 			point.Recovered.Add(o.recovered)
 			point.ResliceIters.Add(float64(o.iters))
+			point.Rebuilds += o.rebuilds
+			point.RebuildHits += o.rebuildHits
 		}
 	}
 	return point
@@ -207,6 +215,8 @@ func marginRunOne(ctx context.Context, cfg MarginConfig, idx int) (marginOutcome
 		o.attempted = true
 		o.recovered = rr.Recovered
 		o.iters = rr.Iterations
+		o.rebuilds = rr.Rebuilds
+		o.rebuildHits = rr.RebuildHits
 	}
 	return o, nil
 }

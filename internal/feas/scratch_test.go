@@ -1,0 +1,57 @@
+package feas
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/slicing"
+	"repro/internal/wcet"
+)
+
+// InfeasibleScratch must agree with Infeasible verdict-for-verdict,
+// including over a reused scratch, across workloads that hit all three
+// conditions (tight OLR forces violations, resources exercise
+// condition 3).
+func TestInfeasibleScratchMatchesCheck(t *testing.T) {
+	sc := &Scratch{}
+	rng := rand.New(rand.NewSource(9))
+	sawBad, sawGood := false, false
+	for seed := int64(0); seed < 40; seed++ {
+		cfg := gen.Default(2 + rng.Intn(3))
+		cfg.Seed = seed
+		cfg.OLR = 0.2 + rng.Float64()*0.8
+		if seed%3 == 0 {
+			cfg.NumResources = 2
+			cfg.ResourceProb = 0.5
+		}
+		w, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := wcet.Estimates(w.Graph, w.Platform, wcet.AVG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asg, err := slicing.Distribute(w.Graph, est, cfg.M, slicing.AdaptR(), slicing.CalibratedParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err1 := Infeasible(w.Graph, w.Platform, asg)
+		got, err2 := InfeasibleScratch(w.Graph, w.Platform, asg, sc)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("seed %d: err %v vs %v", seed, err1, err2)
+		}
+		if err1 == nil && want != got {
+			t.Fatalf("seed %d: Infeasible=%v InfeasibleScratch=%v", seed, want, got)
+		}
+		if want {
+			sawBad = true
+		} else {
+			sawGood = true
+		}
+	}
+	if !sawBad || !sawGood {
+		t.Fatalf("weak coverage: sawBad=%v sawGood=%v — adjust OLR range", sawBad, sawGood)
+	}
+}

@@ -15,6 +15,18 @@
 // sweeps stop re-planning identical inputs. An optional Recorder
 // aggregates stage statistics across builds (the `sweep -stats` view).
 //
+// Builds draw their transient working memory from a pooled
+// BuildScratch (BuildWith accepts a caller-owned one), so the cold
+// path's allocations are essentially the Plan itself; scratch never
+// aliases into a Plan. Consumers that re-plan the same graph under
+// slightly changed inputs — the re-slice correction loop, the degrade
+// ladder, brownout cheap builds — use a Replanner
+// (Builder.NewReplanner) whose Rebuild applies a declared Delta
+// (estimates, single-task WCET, window overrides, or a full workload
+// swap) to a previous Plan, reusing everything the delta provably left
+// intact while producing a Plan byte-identical to a cold Build. See
+// DESIGN.md §11 for the memory model and the delta contract.
+//
 // The experiment harness, the robustness instruments (robust), the
 // degradation study, the annealing search, and the cmd front-ends all
 // consume this package; none of them pair slicing.Distribute with
@@ -79,25 +91,35 @@ func Slice(g *taskgraph.Graph, est []rtime.Time, m int, metric slicing.Metric, p
 
 // Dispatcher is the named third-stage hook: a window assignment into a
 // concrete schedule. The zero value makes Build fall back to TimeDriven.
+// RunScratch, when non-nil, is preferred by pooled builds: it must
+// produce the same schedule as Run while drawing working memory from the
+// supplied scratch (never aliasing it into the schedule).
 type Dispatcher struct {
-	Name string
-	Run  func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*sched.Schedule, error)
+	Name       string
+	Run        func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*sched.Schedule, error)
+	RunScratch func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, ws *sched.Scratch) (*sched.Schedule, error)
 }
 
 // TimeDriven is the paper's non-preemptive time-driven EDF dispatcher.
 func TimeDriven() Dispatcher {
-	return Dispatcher{Name: "time-driven", Run: sched.Dispatch}
+	return Dispatcher{
+		Name: "time-driven",
+		Run:  sched.Dispatch,
+		RunScratch: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, ws *sched.Scratch) (*sched.Schedule, error) {
+			return sched.DispatchScratch(g, p, asg, sched.EDFPolicy, ws)
+		},
+	}
 }
 
 // Planner is the offline greedy EDF list scheduler with per-processor
 // reservation.
 func Planner() Dispatcher {
-	return Dispatcher{Name: "planner", Run: sched.EDF}
+	return Dispatcher{Name: "planner", Run: sched.EDF, RunScratch: sched.EDFScratch}
 }
 
 // Insertion is the insertion-based (backfilling) offline EDF variant.
 func Insertion() Dispatcher {
-	return Dispatcher{Name: "insertion", Run: sched.InsertEDF}
+	return Dispatcher{Name: "insertion", Run: sched.InsertEDF, RunScratch: sched.InsertEDFScratch}
 }
 
 // Preemptive is the global preemptive EDF dispatcher with migration.
@@ -117,17 +139,25 @@ func Preemptive() Dispatcher {
 // WithPolicy is the time-driven dispatcher under an alternative
 // ready-task policy (§7.3's policy axis).
 func WithPolicy(pol sched.Policy) Dispatcher {
-	return Dispatcher{Name: "policy:" + pol.String(), Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*sched.Schedule, error) {
-		return sched.DispatchWith(g, p, asg, pol)
-	}}
+	return Dispatcher{
+		Name: "policy:" + pol.String(),
+		Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*sched.Schedule, error) {
+			return sched.DispatchWith(g, p, asg, pol)
+		},
+		RunScratch: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, ws *sched.Scratch) (*sched.Schedule, error) {
+			return sched.DispatchScratch(g, p, asg, pol, ws)
+		},
+	}
 }
 
 // Verifier is the named optional fourth-stage hook: an extra
 // schedulability verdict on the assignment. The zero value skips the
-// stage.
+// stage. RunScratch, when non-nil, is preferred by pooled builds and
+// must return the same verdict as Run over the supplied scratch.
 type Verifier struct {
-	Name string
-	Run  func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (infeasible bool, err error)
+	Name       string
+	Run        func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (infeasible bool, err error)
+	RunScratch func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, sc *feas.Scratch) (infeasible bool, err error)
 }
 
 // FeasVerifier runs the fast necessary feasibility conditions; a true
@@ -136,10 +166,17 @@ type Verifier struct {
 // errors are swallowed — an uncheckable assignment is simply not
 // provably infeasible.
 func FeasVerifier() Verifier {
-	return Verifier{Name: "feas", Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (bool, error) {
-		bad, err := feas.Infeasible(g, p, asg)
-		return err == nil && bad, nil
-	}}
+	return Verifier{
+		Name: "feas",
+		Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (bool, error) {
+			bad, err := feas.Infeasible(g, p, asg)
+			return err == nil && bad, nil
+		},
+		RunScratch: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, sc *feas.Scratch) (bool, error) {
+			bad, err := feas.InfeasibleScratch(g, p, asg, sc)
+			return err == nil && bad, nil
+		},
+	}
 }
 
 // Shared bundles the cross-run pipeline state callers may thread through
@@ -271,6 +308,11 @@ type Plan struct {
 	// Quality records whether the build ran the caller's full
 	// configuration or a deliberately cheapened one (see Quality).
 	Quality Quality
+	// Estimator names the estimator stage that produced Estimates, or ""
+	// when the spec supplied them verbatim (re-slicing feedback, window
+	// replays). Consumers gating on how estimates were derived (the
+	// serving layer's brownout reuse) read this instead of guessing.
+	Estimator string
 	// Stats instruments the build that produced this plan (a cache hit
 	// returns the original build's stats).
 	Stats PlanStats
@@ -319,6 +361,19 @@ func (b *Builder) Build(spec Spec) (*Plan, error) {
 // leader was itself canceled retries — the next round either finds the
 // plan another builder finished, or becomes the leader.
 func (b *Builder) BuildContext(ctx context.Context, spec Spec) (*Plan, error) {
+	return b.buildContextWith(ctx, spec, nil)
+}
+
+// BuildWith is Build over caller-owned scratch: cold working sets come
+// from sc instead of cycling through the package pool, so a
+// single-threaded build loop reuses one warm scratch with no pool
+// traffic. sc must not be shared between concurrent builds; nil is
+// Build.
+func (b *Builder) BuildWith(spec Spec, sc *BuildScratch) (*Plan, error) {
+	return b.buildContextWith(context.Background(), spec, sc)
+}
+
+func (b *Builder) buildContextWith(ctx context.Context, spec Spec, sc *BuildScratch) (*Plan, error) {
 	if spec.Graph == nil || spec.Platform == nil {
 		return nil, fmt.Errorf("pipeline: Spec needs a graph and a platform")
 	}
@@ -331,10 +386,12 @@ func (b *Builder) BuildContext(ctx context.Context, spec Spec) (*Plan, error) {
 	// Stage 1: estimate. Always executed (it is O(n) and its output is
 	// part of the cache key), unless the spec supplies estimates.
 	var est []rtime.Time
+	var estName string
 	if spec.Estimates != nil {
 		est = append([]rtime.Time(nil), spec.Estimates...)
 	} else {
 		e := b.estimator()
+		estName = e.Name
 		probe := beginStage(countAllocs)
 		var err error
 		est, err = e.Run(spec.Graph, spec.Platform)
@@ -355,17 +412,32 @@ func (b *Builder) BuildContext(ctx context.Context, spec Spec) (*Plan, error) {
 		Dispatcher:  b.dispatcher().Name,
 		Verifier:    b.Verifier.Name,
 	}
+	plan, _, err := b.buildKeyed(ctx, spec, dist, key, est, estName, stats, sc)
+	return plan, err
+}
+
+// buildKeyed is the shared back half of BuildContext and Rebuild: the
+// key is already computed, the estimates resolved. It consults the
+// cache (coalescing concurrent builds of one key) and otherwise runs the
+// cold stages over sc — nil draws a pooled BuildScratch. The returned
+// hit flag reports a plan served from cache residency (coalesced waiters
+// report false: they paid the wait, not nothing).
+func (b *Builder) buildKeyed(ctx context.Context, spec Spec, dist deadline.Distributor,
+	key Key, est []rtime.Time, estName string, stats PlanStats, sc *BuildScratch) (*Plan, bool, error) {
+
 	if b.Cache == nil {
-		return b.buildCold(ctx, spec, dist, key, est, stats)
+		plan, err := b.buildCold(ctx, spec, dist, key, est, estName, stats, sc)
+		return plan, false, err
 	}
 	for {
 		plan, f, leader := b.Cache.acquire(key)
 		switch {
 		case plan != nil:
 			b.Recorder.recordHit()
-			return plan, nil
+			return plan, true, nil
 		case leader:
-			return b.buildLeader(ctx, spec, dist, key, est, stats, f)
+			plan, err := b.buildLeader(ctx, spec, dist, key, est, estName, stats, sc, f)
+			return plan, false, err
 		}
 		// Another build of this key is in flight: wait for its plan
 		// instead of duplicating the work.
@@ -378,12 +450,12 @@ func (b *Builder) BuildContext(ctx context.Context, spec Spec) (*Plan, error) {
 					// request is still live, so try again.
 					continue
 				}
-				return nil, f.err
+				return nil, false, f.err
 			}
-			return f.plan, nil
+			return f.plan, false, nil
 		case <-ctx.Done():
 			b.Recorder.recordCanceled()
-			return nil, ctx.Err()
+			return nil, false, ctx.Err()
 		}
 	}
 }
@@ -430,7 +502,7 @@ func (b *Builder) Probe(spec Spec) (*Plan, Key, error) {
 // guaranteeing the flight resolves even when a stage panics (the panic
 // itself propagates on, preserving the worker pool's panic isolation).
 func (b *Builder) buildLeader(ctx context.Context, spec Spec, dist deadline.Distributor,
-	key Key, est []rtime.Time, stats PlanStats, f *flight) (plan *Plan, err error) {
+	key Key, est []rtime.Time, estName string, stats PlanStats, sc *BuildScratch, f *flight) (plan *Plan, err error) {
 
 	completed := false
 	defer func() {
@@ -438,7 +510,7 @@ func (b *Builder) buildLeader(ctx context.Context, spec Spec, dist deadline.Dist
 			b.Cache.complete(key, f, nil, fmt.Errorf("pipeline: build of %v panicked", key.Distributor))
 		}
 	}()
-	plan, err = b.buildCold(ctx, spec, dist, key, est, stats)
+	plan, err = b.buildCold(ctx, spec, dist, key, est, estName, stats, sc)
 	completed = true
 	b.Cache.complete(key, f, plan, err)
 	return plan, err
@@ -449,16 +521,26 @@ func (b *Builder) buildLeader(ctx context.Context, spec Spec, dist deadline.Dist
 // inserted into the cache here — with a cache, buildLeader publishes it
 // through the flight so waiters and the LRU table update atomically.
 func (b *Builder) buildCold(ctx context.Context, spec Spec, dist deadline.Distributor,
-	key Key, est []rtime.Time, stats PlanStats) (*Plan, error) {
+	key Key, est []rtime.Time, estName string, stats PlanStats, sc *BuildScratch) (*Plan, error) {
 
 	countAllocs := b.Recorder.countsAllocs()
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
 
 	// Stage 2: slice.
 	if err := b.stageGate(ctx); err != nil {
 		return nil, err
 	}
 	probe := beginStage(countAllocs)
-	asg, err := dist.Distribute(spec.Graph, est, spec.Platform.M())
+	var asg *slicing.Assignment
+	var err error
+	if wd, ok := dist.(deadline.WorkspaceDistributor); ok {
+		asg, err = wd.DistributeWith(sc.Slicing, spec.Graph, est, spec.Platform.M())
+	} else {
+		asg, err = dist.Distribute(spec.Graph, est, spec.Platform.M())
+	}
 	stats.Slice = probe.end()
 	if err != nil {
 		b.Recorder.recordError()
@@ -471,7 +553,12 @@ func (b *Builder) buildCold(ctx context.Context, spec Spec, dist deadline.Distri
 	}
 	d := b.dispatcher()
 	probe = beginStage(countAllocs)
-	s, err := d.Run(spec.Graph, spec.Platform, asg)
+	var s *sched.Schedule
+	if d.RunScratch != nil {
+		s, err = d.RunScratch(spec.Graph, spec.Platform, asg, sc.Sched)
+	} else {
+		s, err = d.Run(spec.Graph, spec.Platform, asg)
+	}
 	stats.Dispatch = probe.end()
 	if err != nil {
 		b.Recorder.recordError()
@@ -485,12 +572,17 @@ func (b *Builder) buildCold(ctx context.Context, spec Spec, dist deadline.Distri
 		MaxLateness:     s.MaxLateness,
 		MinLaxity:       asg.MinLaxity(est),
 	}
-	if b.Verifier.Run != nil {
+	if b.Verifier.Run != nil || b.Verifier.RunScratch != nil {
 		if err := b.stageGate(ctx); err != nil {
 			return nil, err
 		}
 		probe = beginStage(countAllocs)
-		bad, err := b.Verifier.Run(spec.Graph, spec.Platform, asg)
+		var bad bool
+		if b.Verifier.RunScratch != nil {
+			bad, err = b.Verifier.RunScratch(spec.Graph, spec.Platform, asg, sc.Feas)
+		} else {
+			bad, err = b.Verifier.Run(spec.Graph, spec.Platform, asg)
+		}
 		stats.Verify = probe.end()
 		if err != nil {
 			b.Recorder.recordError()
@@ -508,6 +600,7 @@ func (b *Builder) buildCold(ctx context.Context, spec Spec, dist deadline.Distri
 		Schedule:   s,
 		Verdict:    verdict,
 		Quality:    b.Quality,
+		Estimator:  estName,
 		Stats:      stats,
 	}
 	b.Recorder.recordBuild(stats)

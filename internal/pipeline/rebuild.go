@@ -1,0 +1,258 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/deadline"
+	"repro/internal/rtime"
+)
+
+// DeltaKind classifies what changed between a previous Plan and the
+// workload to re-plan.
+type DeltaKind int
+
+const (
+	// DeltaNone: same workload, same estimates — re-plan under this
+	// Replanner's stage configuration (the brownout ladder's cheap
+	// substitute builds reuse a full plan's estimates this way).
+	DeltaNone DeltaKind = iota
+	// DeltaEstimates replaces the whole estimate vector (the re-slicing
+	// loop's inflation-corrected estimates).
+	DeltaEstimates
+	// DeltaTaskEstimate changes a single task's WCET estimate.
+	DeltaTaskEstimate
+	// DeltaWindows overrides some tasks' windows (fault-adjusted
+	// corridors) and replays the rest of the previous assignment
+	// verbatim, skipping the slicer entirely.
+	DeltaWindows
+	// DeltaWorkload changes the graph or platform; nothing from the
+	// previous plan survives and the Replanner falls back to a full
+	// build.
+	DeltaWorkload
+)
+
+// String implements fmt.Stringer.
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaNone:
+		return "none"
+	case DeltaEstimates:
+		return "estimates"
+	case DeltaTaskEstimate:
+		return "task-estimate"
+	case DeltaWindows:
+		return "windows"
+	case DeltaWorkload:
+		return "workload"
+	}
+	return fmt.Sprintf("DeltaKind(%d)", int(k))
+}
+
+// Delta describes one workload change for Rebuild. Use the constructors;
+// the zero value is DeltaNone.
+type Delta struct {
+	Kind DeltaKind
+
+	// Estimates is the full replacement vector (DeltaEstimates).
+	Estimates []rtime.Time
+
+	// Task and Estimate are the single changed entry (DeltaTaskEstimate).
+	Task     int
+	Estimate rtime.Time
+
+	// Arrival and AbsDeadline are per-task window overrides
+	// (DeltaWindows); rtime.Unset entries keep the previous plan's
+	// window. Either slice may be nil (no overrides on that edge).
+	Arrival     []rtime.Time
+	AbsDeadline []rtime.Time
+
+	// Spec is the replacement workload (DeltaWorkload).
+	Spec Spec
+}
+
+// EstimatesDelta declares a full estimate-vector replacement.
+func EstimatesDelta(est []rtime.Time) Delta {
+	return Delta{Kind: DeltaEstimates, Estimates: est}
+}
+
+// TaskEstimateDelta declares a single-task WCET change.
+func TaskEstimateDelta(task int, est rtime.Time) Delta {
+	return Delta{Kind: DeltaTaskEstimate, Task: task, Estimate: est}
+}
+
+// WindowsDelta declares per-task window overrides; Unset entries (or a
+// nil slice) keep the previous plan's values.
+func WindowsDelta(arrival, absDeadline []rtime.Time) Delta {
+	return Delta{Kind: DeltaWindows, Arrival: arrival, AbsDeadline: absDeadline}
+}
+
+// WorkloadDelta declares a workload replacement; Rebuild degenerates to
+// a full build of spec.
+func WorkloadDelta(spec Spec) Delta {
+	return Delta{Kind: DeltaWorkload, Spec: spec}
+}
+
+// RebuildOutcome reports how a Rebuild was satisfied.
+type RebuildOutcome int
+
+const (
+	// RebuildHit: the plan was already resident in the cache.
+	RebuildHit RebuildOutcome = iota
+	// RebuildIncremental: the plan was rebuilt through the Replanner's
+	// retained scratch — prior work (workload fingerprint, estimator
+	// output, surviving slicer candidates, warm buffers) was reused.
+	RebuildIncremental
+	// RebuildFull: the delta invalidated everything and a cold build of
+	// the new workload ran instead.
+	RebuildFull
+)
+
+// String implements fmt.Stringer.
+func (o RebuildOutcome) String() string {
+	switch o {
+	case RebuildHit:
+		return "hit"
+	case RebuildIncremental:
+		return "incremental"
+	case RebuildFull:
+		return "full"
+	}
+	return fmt.Sprintf("RebuildOutcome(%d)", int(o))
+}
+
+// Replanner rebuilds plans incrementally against a previous Plan. It
+// owns a private retaining BuildScratch: across Rebuild calls on the
+// same graph, the slicer keeps the candidate lists whose reachable
+// tasks' virtual costs did not change, so an estimate-correction
+// iteration re-runs only the invalidated critical-chain searches. The
+// produced Plan is byte-identical to a cold Build of the mutated
+// workload — retention moves work, never results (the workspace's
+// exactness contract).
+//
+// A Replanner is NOT safe for concurrent use; it is cheap to create,
+// so give each goroutine its own. The underlying Builder's cache and
+// recorder stay shared and concurrency-safe.
+type Replanner struct {
+	b  *Builder
+	sc *BuildScratch
+}
+
+// NewReplanner returns a Replanner over this builder's configuration.
+func (b *Builder) NewReplanner() *Replanner {
+	sc := NewBuildScratch()
+	sc.Slicing.Retain = true
+	return &Replanner{b: b, sc: sc}
+}
+
+// Rebuild re-plans prev's workload under the given delta; see
+// RebuildContext.
+func (rp *Replanner) Rebuild(prev *Plan, delta Delta) (*Plan, RebuildOutcome, error) {
+	return rp.RebuildContext(context.Background(), prev, delta)
+}
+
+// RebuildContext produces the Plan a cold BuildContext of the mutated
+// workload would produce — same fingerprint, assignment, schedule, and
+// verdict — while reusing everything the delta provably left intact:
+// the workload fingerprint, the previous estimator output (no estimator
+// re-run for estimate and window deltas), the Replanner's warm build
+// scratch, and — for estimate deltas on the same graph — the slicer's
+// surviving candidate lists. Cache and recorder behavior match
+// BuildContext's: hits coalesce and are reported as RebuildHit.
+//
+// DeltaWorkload (or a nil prev) falls back to a full build of the new
+// workload; this is reported as RebuildFull.
+func (rp *Replanner) RebuildContext(ctx context.Context, prev *Plan, delta Delta) (*Plan, RebuildOutcome, error) {
+	b := rp.b
+	if delta.Kind == DeltaWorkload {
+		plan, err := b.BuildContext(ctx, delta.Spec)
+		b.Recorder.recordRebuild(RebuildFull)
+		return plan, RebuildFull, err
+	}
+	if prev == nil {
+		return nil, RebuildFull, fmt.Errorf("pipeline: Rebuild needs a previous plan for %v deltas", delta.Kind)
+	}
+	if prev.Graph == nil || prev.Platform == nil {
+		return nil, RebuildFull, fmt.Errorf("pipeline: previous plan carries no workload (snapshot stub?)")
+	}
+	n := prev.Graph.NumTasks()
+
+	// Resolve the estimates and their hash without re-running the
+	// estimator: the previous plan already carries its output.
+	var est []rtime.Time
+	var estHash uint64
+	estName := ""
+	switch delta.Kind {
+	case DeltaNone:
+		est = prev.Estimates
+		estHash = prev.Key.Estimates
+		estName = prev.Estimator
+	case DeltaEstimates:
+		if len(delta.Estimates) != n {
+			return nil, RebuildFull, fmt.Errorf("pipeline: %d estimates for %d tasks", len(delta.Estimates), n)
+		}
+		est = append([]rtime.Time(nil), delta.Estimates...)
+		estHash = hashTimes(est)
+	case DeltaTaskEstimate:
+		if delta.Task < 0 || delta.Task >= n {
+			return nil, RebuildFull, fmt.Errorf("pipeline: task %d outside graph of %d", delta.Task, n)
+		}
+		est = append([]rtime.Time(nil), prev.Estimates...)
+		est[delta.Task] = delta.Estimate
+		estHash = hashTimes(est)
+	case DeltaWindows:
+		est = prev.Estimates
+		estHash = prev.Key.Estimates
+	default:
+		return nil, RebuildFull, fmt.Errorf("pipeline: unknown delta kind %v", delta.Kind)
+	}
+
+	// Resolve the distributor: window deltas replay the previous
+	// assignment's windows (with overrides) through deadline.Fixed and
+	// skip the slicer; everything else re-slices under the builder's
+	// configured distributor.
+	var dist deadline.Distributor
+	if delta.Kind == DeltaWindows {
+		if prev.Assignment == nil {
+			return nil, RebuildFull, fmt.Errorf("pipeline: previous plan carries no assignment")
+		}
+		if (delta.Arrival != nil && len(delta.Arrival) != n) ||
+			(delta.AbsDeadline != nil && len(delta.AbsDeadline) != n) {
+			return nil, RebuildFull, fmt.Errorf("pipeline: window overrides cover %d/%d tasks, graph has %d",
+				len(delta.Arrival), len(delta.AbsDeadline), n)
+		}
+		arr := append([]rtime.Time(nil), prev.Assignment.Arrival...)
+		dl := append([]rtime.Time(nil), prev.Assignment.AbsDeadline...)
+		for i := 0; i < n; i++ {
+			if delta.Arrival != nil && delta.Arrival[i].IsSet() {
+				arr[i] = delta.Arrival[i]
+			}
+			if delta.AbsDeadline != nil && delta.AbsDeadline[i].IsSet() {
+				dl[i] = delta.AbsDeadline[i]
+			}
+		}
+		dist = deadline.Fixed{Arrival: arr, AbsDeadline: dl}
+	} else {
+		dist = b.distributor()
+	}
+
+	distName, params := distributorKey(dist)
+	key := Key{
+		Workload:    prev.Key.Workload, // same graph and platform: reuse the fingerprint
+		Estimates:   estHash,
+		Distributor: distName,
+		Params:      params,
+		Dispatcher:  b.dispatcher().Name,
+		Verifier:    b.Verifier.Name,
+	}
+	spec := Spec{Graph: prev.Graph, Platform: prev.Platform, Estimates: est}
+	plan, hit, err := b.buildKeyed(ctx, spec, dist, key, est, estName, PlanStats{}, rp.sc)
+	outcome := RebuildIncremental
+	if hit {
+		outcome = RebuildHit
+	}
+	if err == nil {
+		b.Recorder.recordRebuild(outcome)
+	}
+	return plan, outcome, err
+}

@@ -62,6 +62,12 @@ type Summary struct {
 	// their context was done; cancellations are operational, so they
 	// are kept apart from stage Errors.
 	Canceled uint64
+	// Rebuilds counts Replanner.Rebuild calls; RebuildHits the subset
+	// answered from cache residency, RebuildFallbacks the subset that
+	// degenerated to a full cold build (workload deltas). The remainder
+	// ran incrementally over retained scratch.
+	Rebuilds, RebuildHits, RebuildFallbacks uint64
+
 	Estimate StageSummary
 	Slice    StageSummary
 	Dispatch StageSummary
@@ -132,6 +138,21 @@ func (r *Recorder) recordCoalesced() {
 	r.mu.Unlock()
 }
 
+func (r *Recorder) recordRebuild(o RebuildOutcome) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sum.Rebuilds++
+	switch o {
+	case RebuildHit:
+		r.sum.RebuildHits++
+	case RebuildFull:
+		r.sum.RebuildFallbacks++
+	}
+	r.mu.Unlock()
+}
+
 func (r *Recorder) recordCanceled() {
 	if r == nil {
 		return
@@ -171,6 +192,10 @@ func (s Summary) Format() string {
 		s.Builds, s.Hits, s.Coalesced, s.Errors, total.Round(time.Microsecond))
 	if s.Canceled > 0 {
 		fmt.Fprintf(&sb, "  %d builds canceled at a stage boundary\n", s.Canceled)
+	}
+	if s.Rebuilds > 0 {
+		fmt.Fprintf(&sb, "  %d rebuilds: %d cache hits, %d incremental, %d full fallbacks\n",
+			s.Rebuilds, s.RebuildHits, s.Rebuilds-s.RebuildHits-s.RebuildFallbacks, s.RebuildFallbacks)
 	}
 	for _, r := range rows {
 		if r.st.Wall == 0 && r.st.Allocs == 0 {

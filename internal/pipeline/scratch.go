@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/feas"
+	"repro/internal/sched"
+	"repro/internal/slicing"
+)
+
+// BuildScratch bundles the reusable working memory of one cold build:
+// the slicer's workspace (DP tables, candidate caches, corridor arrays),
+// the scheduler scratch (ready tables, landing matrix, timelines), and
+// the verifier's boundary buffers. Every Build draws one from a package
+// pool and returns it afterwards, so steady-state builds allocate only
+// the immutable Plan artifact itself — nothing reachable from a Plan
+// ever aliases scratch memory (each sub-scratch guarantees this for its
+// stage's output).
+//
+// A BuildScratch is not safe for concurrent use. Replanners own a
+// private, retaining instance instead of the pooled ones.
+type BuildScratch struct {
+	Slicing *slicing.Workspace
+	Sched   *sched.Scratch
+	Feas    *feas.Scratch
+}
+
+// NewBuildScratch returns an empty scratch; its arrays grow to the
+// largest workload it serves.
+func NewBuildScratch() *BuildScratch {
+	return &BuildScratch{
+		Slicing: slicing.NewWorkspace(),
+		Sched:   &sched.Scratch{},
+		Feas:    &feas.Scratch{},
+	}
+}
+
+var scratchPool = sync.Pool{New: func() any { return NewBuildScratch() }}
+
+func getScratch() *BuildScratch { return scratchPool.Get().(*BuildScratch) }
+func putScratch(sc *BuildScratch) {
+	if sc.Slicing.Retain {
+		// A retaining workspace (a Replanner's) must never enter the
+		// shared pool: its cross-build candidate reuse is only exact for
+		// its owner's delta sequence.
+		return
+	}
+	scratchPool.Put(sc)
+}

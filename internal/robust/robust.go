@@ -248,6 +248,10 @@ type ResliceResult struct {
 	// Degradation.Reclamations counts online recoveries, reported
 	// alongside the offline re-slice Iterations).
 	Final *sim.InjectedReport
+	// Rebuilds counts the correction rounds re-planned incrementally
+	// through pipeline.Rebuild (round 0 is a plain build); RebuildHits
+	// the subset answered from cache residency.
+	Rebuilds, RebuildHits int
 }
 
 // ResliceLoop executes the estimate→slice→schedule→inject pipeline under
@@ -286,14 +290,31 @@ func ResliceLoopContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platfor
 		Cache:       opt.Pipe.Cache,
 		Recorder:    opt.Pipe.Recorder,
 	}
+	rp := b.NewReplanner()
 	cur := append([]rtime.Time(nil), est...)
 	inflate := 1.0
 	res := &ResliceResult{}
+	var plan *pipeline.Plan
 	for round := 0; ; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		plan, err := b.BuildContext(ctx, pipeline.Spec{Graph: g, Platform: p, Estimates: cur})
+		var err error
+		if round == 0 {
+			plan, err = b.BuildContext(ctx, pipeline.Spec{Graph: g, Platform: p, Estimates: cur})
+		} else {
+			// Correction rounds change only the estimate vector, so they
+			// re-plan incrementally off the previous round's plan instead
+			// of keying a fresh cold build.
+			var outcome pipeline.RebuildOutcome
+			plan, outcome, err = rp.RebuildContext(ctx, plan, pipeline.EstimatesDelta(cur))
+			if err == nil {
+				res.Rebuilds++
+				if outcome == pipeline.RebuildHit {
+					res.RebuildHits++
+				}
+			}
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -25,13 +25,27 @@ import (
 // non-preemptive anomaly, and a genuine source of deadline misses that
 // the deadline-distribution metrics compete to avoid.
 func Dispatch(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*Schedule, error) {
-	return DispatchWith(g, p, asg, EDFPolicy)
+	return DispatchScratch(g, p, asg, EDFPolicy, nil)
 }
 
 // DispatchWith is Dispatch under an alternative dispatch policy (§7.3's
 // policy axis): the same work-conserving time-driven dispatcher, with
 // the ready-task selection rule swapped.
 func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, policy Policy) (*Schedule, error) {
+	return DispatchScratch(g, p, asg, policy, nil)
+}
+
+// DispatchScratch is DispatchWith running over reusable scratch memory
+// (nil allocates internally). The schedule is identical for any scratch
+// state and never aliases it.
+//
+// Readiness is tracked incrementally instead of rescanning predecessors:
+// landing[i·m+q] carries the latest message-landing time of task i on
+// processor q (seeded with the arrival time, folded in as predecessors
+// are placed), and predsLeft[i] counts unfinished predecessors — task i
+// is dispatchable on q once predsLeft hits zero and
+// max(landing[i·m+q], resource floor) has been reached.
+func DispatchScratch(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, policy Policy, ws *Scratch) (*Schedule, error) {
 	n := g.NumTasks()
 	if len(asg.Arrival) != n || len(asg.AbsDeadline) != n {
 		return nil, fmt.Errorf("sched: assignment covers %d tasks, graph has %d", len(asg.Arrival), n)
@@ -52,15 +66,26 @@ func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 	}
 
 	m := p.M()
-	procFree := make([]rtime.Time, m)
-	resFree := ResourceTable(g)
-	done := make([]bool, n)
+	if ws == nil {
+		ws = &Scratch{}
+	}
+	ws.ensure(g, n, m)
+	procFree, resFree := ws.procFree, ws.resFree
+	done, minC := ws.done, ws.minC
+	predsLeft, landing := ws.predsLeft, ws.landing
 	placed := 0
+
+	for i := 0; i < n; i++ {
+		predsLeft[i] = int32(len(g.Preds(i)))
+		a := asg.Arrival[i]
+		for q := i * m; q < (i+1)*m; q++ {
+			landing[q] = a
+		}
+	}
 
 	// eligibleAnywhere pre-screens tasks that can never run; minC feeds
 	// the LLF policy's dynamic laxity.
 	present := p.ClassesPresent()
-	minC := make([]rtime.Time, n)
 	for i := 0; i < n; i++ {
 		minC[i] = rtime.Infinity
 		if pin := g.Task(i).Pinned; pin >= 0 {
@@ -81,28 +106,19 @@ func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 			s.Missed = append(s.Missed, i)
 			done[i] = true // treat as absent; successors become stuck too
 			placed++
+			// An unplaceable predecessor never finishes and never sends:
+			// successors wait on it no further (they are doomed to stall
+			// at Infinity unless every other input lands).
+			for _, u := range g.Succs(i) {
+				predsLeft[u]--
+			}
 		}
 	}
 
-	// readyOn returns the earliest time task i could start on processor
-	// q — window arrival, message landings, and the release times of
-	// every exclusive resource it needs — or Unset if a predecessor has
-	// not finished (or never will).
-	readyOn := func(i, q int) rtime.Time {
-		t := asg.Arrival[i]
-		for _, pr := range g.Preds(i) {
-			pl := s.Placements[pr]
-			if pl.Proc < 0 {
-				if done[pr] {
-					continue // unplaceable predecessor: ignore, task is doomed anyway
-				}
-				return rtime.Unset
-			}
-			arrive := pl.Finish + p.CommCost(pl.Proc, q, g.MessageItems(pr, i))
-			if arrive > t {
-				t = arrive
-			}
-		}
+	// resFloor is the release time of the latest exclusive resource task
+	// i needs — processor-independent, so hoisted out of the q probe.
+	resFloor := func(i int) rtime.Time {
+		t := rtime.Time(0)
 		for _, res := range g.Task(i).Resources {
 			if resFree[res] > t {
 				t = resFree[res]
@@ -111,17 +127,27 @@ func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 		return t
 	}
 
+	// The ready list holds exactly the tasks with every predecessor
+	// finished and not yet placed; tasks enter when their counter hits
+	// zero and leave when placed. Scanning it instead of all n tasks
+	// cannot change the outcome — the selection rule (policy key, then
+	// task id) is a strict total order, so the winner is scan-order
+	// independent.
+	ready := ws.ready[:0]
+	for i := 0; i < n; i++ {
+		if !done[i] && predsLeft[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
 	now := rtime.Time(0)
 	for placed < n {
 		// Dispatch loop at the current instant: repeatedly take the
 		// EDF-closest task that is dispatchable on an idle processor.
 		for {
-			bestTask, bestProc := -1, -1
+			bestTask, bestProc, bestIdx := -1, -1, -1
 			var bestFinish rtime.Time
-			for i := 0; i < n; i++ {
-				if done[i] {
-					continue
-				}
+			for ri, i := range ready {
 				task := g.Task(i)
 				// Skip unless strictly better under the policy before
 				// probing processors.
@@ -132,20 +158,21 @@ func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 						continue
 					}
 				}
+				floor := resFloor(i)
+				if floor > now {
+					continue
+				}
+				base := i * m
 				tProc, tFinish := -1, rtime.Time(0)
 				for q := 0; q < m; q++ {
 					if task.Pinned >= 0 && q != task.Pinned {
 						continue
 					}
-					if procFree[q] > now {
+					if procFree[q] > now || landing[base+q] > now {
 						continue
 					}
 					class := p.ClassOf(q)
 					if !task.EligibleOn(class) {
-						continue
-					}
-					r := readyOn(i, q)
-					if !r.IsSet() || r > now {
 						continue
 					}
 					finish := now + task.WCET[class]
@@ -154,7 +181,7 @@ func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 					}
 				}
 				if tProc >= 0 {
-					bestTask, bestProc, bestFinish = i, tProc, tFinish
+					bestTask, bestProc, bestFinish, bestIdx = i, tProc, tFinish, ri
 				}
 			}
 			if bestTask < 0 {
@@ -167,7 +194,22 @@ func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 			}
 			done[bestTask] = true
 			placed++
+			ready[bestIdx] = ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
 			s.Order = append(s.Order, bestTask)
+			for _, u := range g.Succs(bestTask) {
+				predsLeft[u]--
+				if predsLeft[u] == 0 && !done[u] {
+					ready = append(ready, u)
+				}
+				items := g.MessageItems(bestTask, u)
+				ub := u * m
+				for q := 0; q < m; q++ {
+					if arrive := bestFinish + p.CommCost(bestProc, q, items); arrive > landing[ub+q] {
+						landing[ub+q] = arrive
+					}
+				}
+			}
 			if bestFinish > s.Makespan {
 				s.Makespan = bestFinish
 			}
@@ -192,19 +234,22 @@ func DispatchWith(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment,
 				next = procFree[q]
 			}
 		}
-		for i := 0; i < n; i++ {
-			if done[i] {
-				continue
-			}
+		for _, i := range ready {
+			task := g.Task(i)
+			floor := resFloor(i)
+			base := i * m
 			for q := 0; q < m; q++ {
-				if g.Task(i).Pinned >= 0 && q != g.Task(i).Pinned {
+				if task.Pinned >= 0 && q != task.Pinned {
 					continue
 				}
-				if !g.Task(i).EligibleOn(p.ClassOf(q)) {
+				if !task.EligibleOn(p.ClassOf(q)) {
 					continue
 				}
-				r := readyOn(i, q)
-				if r.IsSet() && r > now && r < next {
+				r := landing[base+q]
+				if floor > r {
+					r = floor
+				}
+				if r > now && r < next {
 					next = r
 				}
 			}

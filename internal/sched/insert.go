@@ -18,6 +18,13 @@ import (
 // are staggered, at the cost of O(n) gap scanning per placement —
 // overall O(n²·m), the same bound as the paper's baseline.
 func InsertEDF(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*Schedule, error) {
+	return InsertEDFScratch(g, p, asg, nil)
+}
+
+// InsertEDFScratch is InsertEDF running over reusable scratch memory
+// (nil allocates internally). The schedule is identical for any scratch
+// state and never aliases it.
+func InsertEDFScratch(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, ws *Scratch) (*Schedule, error) {
 	if usesResources(g) {
 		return nil, fmt.Errorf("sched: InsertEDF does not support exclusive resources; use Dispatch or EDF")
 	}
@@ -40,8 +47,11 @@ func InsertEDF(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*
 		s.Placements[i] = Placement{Proc: -1}
 	}
 
-	type span struct{ start, end rtime.Time }
-	timeline := make([][]span, p.M()) // sorted, non-overlapping busy spans
+	if ws == nil {
+		ws = &Scratch{}
+	}
+	ws.ensureList(g, n, p.M())
+	timeline := ws.timelines(p.M()) // sorted, non-overlapping busy spans
 
 	// earliestFit returns the earliest start ≥ ready on processor q for
 	// a task of length c, scanning the gaps of q's timeline.
@@ -60,16 +70,16 @@ func InsertEDF(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*
 	insert := func(q int, start, end rtime.Time) {
 		tl := timeline[q]
 		i := sort.Search(len(tl), func(k int) bool { return tl[k].start >= start })
-		tl = append(tl, span{})
+		tl = append(tl, ispan{})
 		copy(tl[i+1:], tl[i:])
-		tl[i] = span{start, end}
+		tl[i] = ispan{start, end}
 		timeline[q] = tl
 	}
 
-	unscheduledPreds := make([]int, n)
-	ready := make([]int, 0, n)
+	unscheduledPreds := ws.predsLeft
+	ready := ws.ready
 	for i := 0; i < n; i++ {
-		unscheduledPreds[i] = len(g.Preds(i))
+		unscheduledPreds[i] = int32(len(g.Preds(i)))
 		if unscheduledPreds[i] == 0 {
 			ready = append(ready, i)
 		}

@@ -60,6 +60,13 @@ func (s *Schedule) LatenessOf(i int, deadline rtime.Time) rtime.Time {
 // care how the assignment was produced; any assignment with one window
 // per task works.
 func EDF(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*Schedule, error) {
+	return EDFScratch(g, p, asg, nil)
+}
+
+// EDFScratch is EDF running over reusable scratch memory (nil allocates
+// internally). The schedule is identical for any scratch state and never
+// aliases it.
+func EDFScratch(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, ws *Scratch) (*Schedule, error) {
 	n := g.NumTasks()
 	if len(asg.Arrival) != n || len(asg.AbsDeadline) != n {
 		return nil, fmt.Errorf("sched: assignment covers %d tasks, graph has %d", len(asg.Arrival), n)
@@ -79,12 +86,15 @@ func EDF(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (*Schedu
 		s.Placements[i] = Placement{Proc: -1}
 	}
 
-	procFree := make([]rtime.Time, p.M())
-	resFree := ResourceTable(g)
-	unscheduledPreds := make([]int, n)
-	ready := make([]int, 0, n)
+	if ws == nil {
+		ws = &Scratch{}
+	}
+	ws.ensureList(g, n, p.M())
+	procFree, resFree := ws.procFree, ws.resFree
+	unscheduledPreds := ws.predsLeft
+	ready := ws.ready
 	for i := 0; i < n; i++ {
-		unscheduledPreds[i] = len(g.Preds(i))
+		unscheduledPreds[i] = int32(len(g.Preds(i)))
 		if unscheduledPreds[i] == 0 {
 			ready = append(ready, i)
 		}

@@ -170,12 +170,17 @@ func (s shape) r(window rtime.Time, n int, sumC rtime.Time) float64 {
 }
 
 func (s shape) shares(window rtime.Time, costs []rtime.Time) []float64 {
+	return s.sharesInto(make([]float64, len(costs)), window, costs)
+}
+
+// sharesInto is shares writing into caller-provided storage (the slicer
+// workspace's scratch), len(out) == len(costs).
+func (s shape) sharesInto(out []float64, window rtime.Time, costs []rtime.Time) []float64 {
 	var sumC rtime.Time
 	for _, c := range costs {
 		sumC += c
 	}
 	r := s.r(window, len(costs), sumC)
-	out := make([]float64, len(costs))
 	for i, c := range costs {
 		switch s {
 		case pureShape:

@@ -102,22 +102,31 @@ func (a *Assignment) Validate(g *taskgraph.Graph) error {
 	return nil
 }
 
-// slicer carries one Distribute invocation.
+// slicer carries one Distribute invocation. All working memory lives in
+// the workspace; the slicer itself only binds the invocation's inputs.
 type slicer struct {
-	g        *taskgraph.Graph
-	metric   Metric
-	mode     Mode
-	est      []rtime.Time // c̄, the WCET estimates
-	vc       []rtime.Time // ĉ, the metric's virtual costs
+	g      *taskgraph.Graph
+	metric Metric
+	mode   Mode
+	est    []rtime.Time // c̄, the WCET estimates
+	vc     []rtime.Time // ĉ, the metric's virtual costs
+	n      int
+	topo   []int
+	ws     *Workspace
+	// assigned/ea/ld alias workspace arrays. In Consistent mode ea/ld
+	// are the ASAP/ALAP corridors recomputed every round; in Faithful
+	// mode they hold the recorded boundary values of Figure 1's attach
+	// step, rtime.Unset when absent.
 	assigned []bool
-	// In Consistent mode ea/ld are the ASAP/ALAP corridors recomputed
-	// every round; in Faithful mode they hold the recorded boundary
-	// values of Figure 1's attach step, rtime.Unset when absent.
-	ea  []rtime.Time
-	ld  []rtime.Time
-	asg *Assignment
+	ea       []rtime.Time
+	ld       []rtime.Time
+	asg      *Assignment
 	// left is |Π|, the number of tasks not yet sliced.
 	left int
+	// sh devirtualizes the metric's R/Shares rules when the metric is
+	// one of the package's shape-based ones (all built-ins are).
+	sh   shape
+	shOK bool
 }
 
 // Distribute runs the SLICING algorithm (Figure 1) over graph g with the
@@ -134,6 +143,11 @@ type slicer struct {
 // and additionally keep multi-spine constraints consistent for tasks
 // further away (see DESIGN.md).
 func Distribute(g *taskgraph.Graph, est []rtime.Time, m int, metric Metric, params Params) (*Assignment, error) {
+	return distribute(&Workspace{}, g, est, m, metric, params)
+}
+
+// distribute is Distribute bound to a workspace.
+func distribute(ws *Workspace, g *taskgraph.Graph, est []rtime.Time, m int, metric Metric, params Params) (*Assignment, error) {
 	if !g.Frozen() {
 		return nil, fmt.Errorf("slicing: graph must be frozen")
 	}
@@ -151,15 +165,20 @@ func Distribute(g *taskgraph.Graph, est []rtime.Time, m int, metric Metric, para
 
 	env := &Env{G: g, Est: est, M: m, Params: params}
 	n := g.NumTasks()
+	vc := metric.VirtualCosts(env)
+	ws.prepare(g, vc)
 	s := &slicer{
 		g:        g,
 		metric:   metric,
 		mode:     params.Mode,
 		est:      est,
-		vc:       metric.VirtualCosts(env),
-		assigned: make([]bool, n),
-		ea:       make([]rtime.Time, n),
-		ld:       make([]rtime.Time, n),
+		vc:       vc,
+		n:        n,
+		topo:     g.TopoOrder(),
+		ws:       ws,
+		assigned: ws.assigned,
+		ea:       ws.ea,
+		ld:       ws.ld,
 		left:     n,
 		asg: &Assignment{
 			Arrival:     make([]rtime.Time, n),
@@ -167,6 +186,9 @@ func Distribute(g *taskgraph.Graph, est []rtime.Time, m int, metric Metric, para
 			RelDeadline: make([]rtime.Time, n),
 			MetricName:  metric.Name(),
 		},
+	}
+	if bm, ok := metric.(*baseMetric); ok {
+		s.sh, s.shOK = bm.shape, true
 	}
 	for i := range s.asg.Arrival {
 		s.asg.Arrival[i] = rtime.Unset
@@ -198,6 +220,7 @@ func Distribute(g *taskgraph.Graph, est []rtime.Time, m int, metric Metric, para
 			return nil, fmt.Errorf("slicing: internal error: no candidate chain with %d tasks unassigned", s.left)
 		}
 		s.distribute(chain)
+		s.ws.invalidateChain(chain)
 		if s.mode == Faithful {
 			s.attach(chain)
 		}
@@ -227,7 +250,7 @@ func Distribute(g *taskgraph.Graph, est []rtime.Time, m int, metric Metric, para
 //	EA(τ) = max(φ_τ, max over preds p: p assigned ? D_p : EA(p)+c̄_p)
 //	LD(τ) = min(D_ETE if output, min over succs u: u assigned ? a_u : LD(u)−c̄_u)
 func (s *slicer) computeBounds() {
-	topo := s.g.TopoOrder()
+	topo := s.topo
 	for _, v := range topo {
 		if s.assigned[v] {
 			continue
@@ -276,7 +299,6 @@ type candidate struct {
 	nTasks     int
 	sumC       rtime.Time
 	start, end int
-	chain      []int
 	valid      bool
 }
 
@@ -302,100 +324,201 @@ func (c *candidate) better(b *candidate) bool {
 	return b.end < c.end
 }
 
-// findCriticalChain implements Step 3: a breadth-first sweep over the
-// unassigned subgraph that finds the chain minimizing the metric value
-// R. A chain may start and end at any unassigned task; its end-to-end
-// window is [EA(start), LD(end)]. For a fixed (endpoint, length) pair
-// every metric's R is strictly decreasing in the chain's total virtual
-// cost, so a per-start DP that keeps the maximum Σĉ for each
-// (node, length) finds the exact minimum.
+// findCriticalChain implements Step 3: a sweep over the unassigned
+// subgraph that finds the chain minimizing the metric value R. A chain
+// may start and end at any unassigned task; its end-to-end window is
+// [EA(start), LD(end)]. For a fixed (endpoint, length) pair every
+// metric's R is strictly decreasing in the chain's total virtual cost,
+// so a per-start DP that keeps the maximum Σĉ for each (node, length)
+// finds the exact minimum.
+//
+// The DP itself is window-free, so its candidate lists are cached per
+// start in the workspace and only recomputed for starts whose reachable
+// set intersects a chain committed since (the EA/LD windows, which do
+// change every round, are applied at evaluation time).
 func (s *slicer) findCriticalChain() ([]int, float64, bool) {
 	var best candidate
-	n := s.g.NumTasks()
-	topo := s.g.TopoOrder()
-	depth := s.g.Depth()
-
-	for start := 0; start < n; start++ {
+	ws := s.ws
+	for start := 0; start < s.n; start++ {
 		if s.assigned[start] {
 			continue
 		}
 		if s.mode == Faithful && !s.ea[start].IsSet() {
 			continue // Figure 1: chains begin at recorded arrivals
 		}
-		maxC := make([][]rtime.Time, n)
-		parent := make([][]int32, n)
-		row := func(v int) {
-			if maxC[v] == nil {
-				maxC[v] = make([]rtime.Time, depth+1)
-				parent[v] = make([]int32, depth+1)
-				for l := range maxC[v] {
-					maxC[v][l] = rtime.Unset
-					parent[v][l] = -1
-				}
-			}
+		switch ws.state[start] {
+		case candBase, candMid:
+		default:
+			s.runDP(start)
+			s.collectCands(start)
 		}
-		row(start)
-		maxC[start][1] = s.vc[start]
-
-		for _, v := range topo {
-			if maxC[v] == nil || s.assigned[v] {
-				continue
-			}
-			for l := 1; l < depth+1; l++ {
-				cur := maxC[v][l]
-				if cur == rtime.Unset {
-					continue
-				}
-				for _, u := range s.g.Succs(v) {
-					if s.assigned[u] || l+1 > depth {
-						continue
-					}
-					row(u)
-					if tot := cur + s.vc[u]; tot > maxC[u][l+1] {
-						maxC[u][l+1] = tot
-						parent[u][l+1] = int32(v)
-					}
-				}
-			}
-		}
-
-		// Every reached node with a deadline bound can end the chain (in
-		// Consistent mode that is every reached node).
-		for v := 0; v < n; v++ {
-			if maxC[v] == nil || s.assigned[v] {
-				continue
-			}
-			if s.mode == Faithful && !s.ld[v].IsSet() {
-				continue
-			}
-			window := s.ld[v] - s.ea[start]
-			for l := 1; l <= depth; l++ {
-				sum := maxC[v][l]
-				if sum == rtime.Unset {
-					continue
-				}
-				r := s.metric.R(window, l, sum)
-				cand := candidate{r: r, nTasks: l, sumC: sum, start: start, end: v, valid: true}
-				if best.better(&cand) {
-					cand.chain = reconstruct(parent, v, l)
-					best = cand
-				}
-			}
-		}
+		s.evalCands(start, &best)
 	}
 	if !best.valid {
 		return nil, 0, false
 	}
-	return best.chain, best.r, true
+	return s.reconstruct(best.start, best.end, best.nTasks), best.r, true
 }
 
-// reconstruct walks the parent table back from (end, length).
-func reconstruct(parent [][]int32, end, length int) []int {
+// evalCands folds start's (exact) candidate list into best under the
+// current EA/LD windows. The r computation is specialized per shape
+// inline — this fold is the hottest loop of the slicer — and candidates
+// that lose on R alone (the overwhelming majority) skip the tie-break
+// comparison entirely, which is sound because better replaces only on
+// strictly smaller r or on a tie.
+func (s *slicer) evalCands(start int, best *candidate) {
+	eaStart := s.ea[start]
+	faithful := s.mode == Faithful
+	pure := s.shOK && s.sh == pureShape
+	norm := s.shOK && s.sh == normShape
+	for _, c := range s.ws.cands[start] {
+		end := int(c.end)
+		ld := s.ld[end]
+		if faithful && !ld.IsSet() {
+			continue
+		}
+		window := ld - eaStart
+		var r float64
+		switch {
+		case pure: // candidate lengths are ≥ 1 by construction
+			r = float64(window-c.sum) / float64(c.l)
+		case norm:
+			if c.sum == 0 {
+				r = math.Inf(1)
+			} else {
+				r = float64(window-c.sum) / float64(c.sum)
+			}
+		default:
+			r = s.metric.R(window, int(c.l), c.sum)
+		}
+		if best.valid && r > best.r {
+			continue
+		}
+		cand := candidate{r: r, nTasks: int(c.l), sumC: c.sum, start: start, end: end, valid: true}
+		if best.better(&cand) {
+			*best = cand
+		}
+	}
+}
+
+// runDP runs the per-start longest-chain DP into the workspace's flat
+// tables: maxC[v·W+l] is the maximum Σĉ over chains of length l from
+// start to v through unassigned tasks, par the matching predecessor.
+// Cells are claimed lazily through a per-cell visit stamp and each
+// reached node carries its [lo, hi] band of set lengths, so the DP
+// initializes nothing up front, scans no unset cells outside the bands,
+// and allocates nothing. Nodes are relaxed in topo order (a node's
+// cells are final before its own band is scanned), and for equal sums
+// the topo-earliest predecessor wins — the same tie-break the dense
+// formulation had.
+func (s *slicer) runDP(start int) {
+	ws := s.ws
+	depth := ws.depth
+	W := depth + 1
+	ws.tick++
+	tick := ws.tick
+	ws.touched = ws.touched[:0]
+	ws.stamp[start] = tick
+	ws.touched = append(ws.touched, int32(start))
+	ws.lo[start], ws.hi[start] = 1, 1
+	c0 := start*W + 1
+	ws.maxC[c0] = s.vc[start]
+	ws.par[c0] = -1
+	ws.cell[c0] = tick
+
+	for _, v := range s.topo {
+		if ws.stamp[v] != tick || s.assigned[v] {
+			continue
+		}
+		row := v * W
+		hi := ws.hi[v]
+		if hi >= int32(depth) {
+			hi = int32(depth) - 1 // targets sit at l+1 ≤ depth
+		}
+		for l := ws.lo[v]; l <= hi; l++ {
+			cell := row + int(l)
+			if ws.cell[cell] != tick {
+				continue // a hole in the band: no chain of this length
+			}
+			cur := ws.maxC[cell]
+			for _, u := range s.g.Succs(v) {
+				if s.assigned[u] {
+					continue
+				}
+				uc := u*W + int(l) + 1
+				tot := cur + s.vc[u]
+				if ws.cell[uc] != tick {
+					ws.cell[uc] = tick
+					ws.maxC[uc] = tot
+					ws.par[uc] = int32(v)
+					if ws.stamp[u] != tick {
+						ws.stamp[u] = tick
+						ws.touched = append(ws.touched, int32(u))
+						ws.lo[u], ws.hi[u] = l+1, l+1
+					} else {
+						if l+1 < ws.lo[u] {
+							ws.lo[u] = l + 1
+						}
+						if l+1 > ws.hi[u] {
+							ws.hi[u] = l + 1
+						}
+					}
+				} else if tot > ws.maxC[uc] {
+					ws.maxC[uc] = tot
+					ws.par[uc] = int32(v)
+				}
+			}
+		}
+	}
+	ws.dpStart = start
+}
+
+// collectCands snapshots the DP's reached (end, length, Σĉ) triples into
+// the start's cached candidate list and records the reached-task bitset
+// that governs the list's invalidation.
+func (s *slicer) collectCands(start int) {
+	ws := s.ws
+	W := ws.depth + 1
+	tick := ws.tick
+	rb := ws.reach[start]
+	for i := range rb {
+		rb[i] = 0
+	}
+	cl := ws.cands[start][:0]
+	for _, v32 := range ws.touched {
+		v := int(v32)
+		rb[v>>6] |= 1 << (uint(v) & 63)
+		row := v * W
+		for l := ws.lo[v]; l <= ws.hi[v]; l++ {
+			if cell := row + int(l); ws.cell[cell] == tick {
+				cl = append(cl, cand{end: v32, l: l, sum: ws.maxC[cell]})
+			}
+		}
+	}
+	ws.cands[start] = cl
+	if s.left == s.n {
+		ws.state[start] = candBase
+	} else {
+		ws.state[start] = candMid
+	}
+}
+
+// reconstruct recovers the winning chain by walking the parent table of
+// the start's DP, re-running it first unless it is the one still in the
+// workspace tables. A cached candidate's DP re-run is bit-identical to
+// the run that produced it: its validity guarantees no task it reaches
+// was assigned (or re-costed) since.
+func (s *slicer) reconstruct(start, end, length int) []int {
+	ws := s.ws
+	if ws.dpStart != start {
+		s.runDP(start)
+	}
+	W := ws.depth + 1
 	chain := make([]int, length)
 	v, l := end, length
 	for l > 0 {
 		chain[l-1] = v
-		v, l = int(parent[v][l]), l-1
+		v, l = int(ws.par[v*W+l]), l-1
 	}
 	return chain
 }
@@ -424,11 +547,16 @@ func (s *slicer) distribute(chain []int) {
 		return
 	}
 
-	costs := make([]rtime.Time, k)
+	costs := s.ws.costs[:k]
 	for i, t := range chain {
 		costs[i] = s.vc[t]
 	}
-	shares := s.metric.Shares(window, costs)
+	var shares []float64
+	if s.shOK {
+		shares = s.sh.sharesInto(s.ws.shares[:k], window, costs)
+	} else {
+		shares = s.metric.Shares(window, costs)
+	}
 	total := 0.0
 	for i, sh := range shares {
 		if sh < 0 || math.IsNaN(sh) {
@@ -448,7 +576,7 @@ func (s *slicer) distribute(chain []int) {
 
 	// Monotone cumulative rounding: b_j = a0 + round(W·cum_j/total),
 	// with b_0 = a0 and b_k = dEnd exactly.
-	b := make([]rtime.Time, k+1)
+	b := s.ws.bnd[:k+1]
 	b[0] = a0
 	cum := 0.0
 	for i := 0; i < k; i++ {

@@ -1,0 +1,286 @@
+package slicing
+
+import (
+	"repro/internal/rtime"
+	"repro/internal/taskgraph"
+)
+
+// cand is one cached chain candidate of a start task: the best
+// (maximum-Σĉ) chain of length l from the start to end. Candidates are
+// window-free — the end-to-end window [EA(start), LD(end)] is applied at
+// evaluation time, which is what makes them reusable across rounds (and,
+// with Retain, across builds): the DP that produces them depends only on
+// the graph, the virtual costs, and the set of already-assigned tasks.
+type cand struct {
+	end int32
+	l   int32
+	sum rtime.Time
+}
+
+// candState tracks the validity of one start's cached candidate list.
+type candState uint8
+
+const (
+	// candInvalid: no usable candidates; the DP must run.
+	candInvalid candState = iota
+	// candBase: computed against an empty assigned set (round 0). Base
+	// entries survive into the next build of the same graph when Retain
+	// is set and no reached task's virtual cost changed.
+	candBase
+	// candMid: computed mid-build against a partial assigned set; valid
+	// for the remainder of this build only.
+	candMid
+	// candBaseStale: a base list whose reach intersected a chain
+	// committed later in the same build. It is unusable for the rest of
+	// that build — but it was computed against the empty assigned set,
+	// which is exactly the next build's round-0 state, so with Retain it
+	// becomes exact (candBase) again at the next prepare unless a
+	// reached task's virtual cost changed.
+	candBaseStale
+)
+
+// Workspace is the reusable working memory of Distribute: the flat
+// critical-chain DP tables, the per-start candidate caches, the EA/LD
+// corridor arrays, and the slice-boundary scratch. A zero Workspace is
+// ready to use; it grows to the largest graph it has seen and never
+// shrinks. A Workspace is not safe for concurrent use — pool instances
+// (pipeline.BuildScratch does) instead of sharing one.
+//
+// Nothing reachable from the returned *Assignment ever aliases workspace
+// memory: all assignment fields are freshly allocated on every call, so
+// assignments stay immutable when the workspace is reused.
+type Workspace struct {
+	// Retain opts into cross-invocation candidate reuse: when the next
+	// Distribute call runs over the same *taskgraph.Graph, round-0
+	// candidate lists of starts whose reachable set contains no task
+	// with a changed virtual cost are kept instead of recomputed. This
+	// is the incremental path pipeline.Rebuild rides for estimate-only
+	// deltas. Leave false for independent builds (the default), so a
+	// "cold" build never borrows work from a previous identical one.
+	Retain bool
+
+	g     *taskgraph.Graph
+	n     int
+	depth int
+	words int // ⌈n/64⌉, the bitset width
+	vc    []rtime.Time
+
+	// Per-start candidate store.
+	state []candState
+	cands [][]cand
+	reach [][]uint64 // reach[s]: bitset of tasks the DP from s touched
+
+	// DP scratch for one start at a time. Tables are allocated flat
+	// (n×(depth+1)) and cells are claimed lazily via visit stamps (stamp
+	// per node, cell per (node, length) entry), with lo/hi bracketing
+	// each reached node's set lengths, so a DP touches only the cells it
+	// reaches and allocates nothing.
+	maxC    []rtime.Time
+	par     []int32
+	stamp   []uint32
+	cell    []uint32
+	lo, hi  []int32
+	tick    uint32
+	touched []int32
+	dpStart int // start of the last DP run this round; -1 when stale
+
+	// Per-build slicer state.
+	assigned []bool
+	ea, ld   []rtime.Time
+	dirty    []uint64
+
+	// Slice-boundary scratch.
+	costs  []rtime.Time
+	shares []float64
+	bnd    []rtime.Time
+}
+
+// NewWorkspace returns an empty workspace. The zero value is equivalent.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Distribute runs the slicing algorithm through this workspace; see the
+// package-level Distribute for the algorithm contract. The result is
+// identical to Distribute's for any workspace state: reuse (and Retain)
+// change where working memory comes from, never the outcome.
+func (ws *Workspace) Distribute(g *taskgraph.Graph, est []rtime.Time, m int, metric Metric, params Params) (*Assignment, error) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	return distribute(ws, g, est, m, metric, params)
+}
+
+// prepare sizes the workspace for graph g and reconciles the retained
+// candidate store with the new virtual costs: on a fresh graph (or with
+// Retain off) everything is invalidated; otherwise base entries survive
+// unless a task they reach changed its virtual cost, and mid entries —
+// valid only within the build that made them — are always dropped.
+func (ws *Workspace) prepare(g *taskgraph.Graph, vc []rtime.Time) {
+	n, depth := g.NumTasks(), g.Depth()
+	words := (n + 63) / 64
+	fresh := !ws.Retain || ws.g != g || ws.n != n || ws.depth != depth
+
+	ws.grow(n, depth, words)
+
+	if fresh {
+		for i := 0; i < n; i++ {
+			ws.state[i] = candInvalid
+		}
+		copy(ws.vc, vc)
+	} else {
+		d := ws.dirty
+		for i := range d {
+			d[i] = 0
+		}
+		any := false
+		for i := 0; i < n; i++ {
+			if ws.vc[i] != vc[i] {
+				d[i>>6] |= 1 << (uint(i) & 63)
+				ws.vc[i] = vc[i]
+				any = true
+			}
+		}
+		for s := 0; s < n; s++ {
+			switch ws.state[s] {
+			case candMid:
+				// Mid lists were computed against a partial assigned set
+				// of the previous build; the new build assigns nothing
+				// yet, so they must go.
+				ws.state[s] = candInvalid
+			case candBase, candBaseStale:
+				// Base lists were computed against the empty assigned
+				// set, which is exactly the new build's round-0 state:
+				// they are exact again, unless a reached task's virtual
+				// cost changed.
+				if any && intersects(ws.reach[s], d) {
+					ws.state[s] = candInvalid
+				} else {
+					ws.state[s] = candBase
+				}
+			}
+		}
+	}
+
+	ws.g, ws.n, ws.depth, ws.words = g, n, depth, words
+	for i := 0; i < n; i++ {
+		ws.assigned[i] = false
+	}
+	ws.dpStart = -1
+}
+
+// grow (re)sizes every array for an n-task, depth-deep graph, keeping
+// existing backing stores when they are large enough.
+func (ws *Workspace) grow(n, depth, words int) {
+	rows := n * (depth + 1)
+	if cap(ws.maxC) < rows {
+		ws.maxC = make([]rtime.Time, rows)
+		ws.par = make([]int32, rows)
+	}
+	ws.maxC = ws.maxC[:rows]
+	ws.par = ws.par[:rows]
+
+	if cap(ws.stamp) < n || cap(ws.cell) < rows {
+		// The node and cell stamps share one tick: reset them together
+		// so a zeroed new array can never collide with a surviving one.
+		ws.stamp = make([]uint32, n)
+		ws.cell = make([]uint32, rows)
+		ws.tick = 0
+	}
+	ws.stamp = ws.stamp[:n]
+	ws.cell = ws.cell[:rows]
+	if cap(ws.lo) < n {
+		ws.lo = make([]int32, n)
+		ws.hi = make([]int32, n)
+	}
+	ws.lo, ws.hi = ws.lo[:n], ws.hi[:n]
+
+	if cap(ws.state) < n {
+		state := make([]candState, n)
+		copy(state, ws.state)
+		ws.state = state
+	}
+	ws.state = ws.state[:n]
+	if len(ws.cands) < n {
+		cands := make([][]cand, n)
+		copy(cands, ws.cands)
+		ws.cands = cands
+	}
+	if len(ws.reach) < n {
+		reach := make([][]uint64, n)
+		copy(reach, ws.reach)
+		ws.reach = reach
+	}
+	for i := 0; i < n; i++ {
+		if cap(ws.reach[i]) < words {
+			ws.reach[i] = make([]uint64, words)
+		}
+		ws.reach[i] = ws.reach[i][:words]
+	}
+
+	ws.vc = growTimes(ws.vc, n)
+	ws.ea = growTimes(ws.ea, n)
+	ws.ld = growTimes(ws.ld, n)
+	ws.costs = growTimes(ws.costs, n)
+	ws.bnd = growTimes(ws.bnd, n+1)
+	if cap(ws.assigned) < n {
+		ws.assigned = make([]bool, n)
+	}
+	ws.assigned = ws.assigned[:n]
+	if cap(ws.shares) < n {
+		ws.shares = make([]float64, n)
+	}
+	ws.shares = ws.shares[:n]
+	if cap(ws.dirty) < words {
+		ws.dirty = make([]uint64, words)
+	}
+	ws.dirty = ws.dirty[:words]
+	if cap(ws.touched) < n {
+		ws.touched = make([]int32, 0, n)
+	}
+}
+
+func growTimes(s []rtime.Time, n int) []rtime.Time {
+	if cap(s) < n {
+		return make([]rtime.Time, n)
+	}
+	return s[:n]
+}
+
+// intersects reports whether two equal-width bitsets share a bit.
+func intersects(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidateChain drops every candidate list whose DP reached a task
+// of the just-committed chain: those lists were computed when the
+// chain's tasks were still unassigned, so their sums and reachability
+// are no longer exact. Base lists are demoted to candBaseStale rather
+// than candInvalid so that, with Retain, prepare can resurrect them at
+// the next build's round 0. Lists whose reach is disjoint from the
+// chain would compute bit-identically today and stay valid.
+func (ws *Workspace) invalidateChain(chain []int) {
+	d := ws.dirty
+	for i := range d {
+		d[i] = 0
+	}
+	for _, t := range chain {
+		d[t>>6] |= 1 << (uint(t) & 63)
+	}
+	for s := 0; s < ws.n; s++ {
+		switch ws.state[s] {
+		case candBase:
+			if intersects(ws.reach[s], d) {
+				ws.state[s] = candBaseStale
+			}
+		case candMid:
+			if intersects(ws.reach[s], d) {
+				ws.state[s] = candInvalid
+			}
+		}
+	}
+	ws.dpStart = -1
+}
