@@ -93,10 +93,11 @@ bench-check:
 bench-serve:
 	sh scripts/bench-serve.sh
 
-# Native fuzzers: the checkpoint-journal parser, the workload reader,
-# and the chaos scenario parser, each briefly past their checked-in
-# seed corpora.
+# Native fuzzers: the checkpoint-journal parser, the workload reader
+# (plain and release-aware), and the chaos scenario parser, each
+# briefly past their checked-in seed corpora.
 fuzz:
-	$(GO) test -run='^$$' -fuzz=FuzzParseJournal -fuzztime=10s ./internal/experiment/
-	$(GO) test -run='^$$' -fuzz=FuzzReadWorkload -fuzztime=10s ./internal/graphio/
-	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=10s ./internal/chaos/
+	$(GO) test -run='^$$' -fuzz='^FuzzParseJournal$$' -fuzztime=10s ./internal/experiment/
+	$(GO) test -run='^$$' -fuzz='^FuzzReadWorkload$$' -fuzztime=10s ./internal/graphio/
+	$(GO) test -run='^$$' -fuzz='^FuzzReadWorkloadRelease$$' -fuzztime=10s ./internal/graphio/
+	$(GO) test -run='^$$' -fuzz='^FuzzParseScenario$$' -fuzztime=10s ./internal/chaos/

@@ -14,6 +14,13 @@
 //     with a full corrected-estimate vector off the previous plan
 //   - build/rebuild-wcet      Rebuild with a single-task WCET bump
 //   - fingerprint             the workload hash alone
+//   - verify/analytic         the holistic-RTA schedulability proof of
+//     the 120-task plan released sporadically — one fixed-point
+//     iteration covering every legal release sequence, no timeline
+//   - verify/replay           the same sporadic system checked by
+//     replay: dispatch and simulate a 32-release horizon (one sequence)
+//   - build/verify-analytic   a full cold build of the 120-task graph
+//     with the analytic verifier as its fourth stage
 //   - breakdown/cache=off     breakdown-factor bisection, re-planning on
 //     every probe
 //   - breakdown/cache=on      the same bisection planning once
@@ -21,7 +28,9 @@
 // The off/on contrast and the cold/rebuild contrast are the headline
 // numbers: the plan cache is what makes the robustness bisection
 // affordable, and incremental replanning is what makes the re-slice
-// feedback loop cheap.
+// feedback loop cheap. The verify contrast records why analytic-first
+// verification is the serving default worth reaching for: proving
+// deadlines costs a fixed-point iteration, not a timeline.
 //
 // With -check BASELINE the suite instead runs fresh and exits nonzero
 // if the cold-build numbers regressed more than 20% against the
@@ -40,6 +49,8 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/robust"
 	"repro/internal/rtime"
+	"repro/internal/sim"
+	"repro/internal/verify"
 )
 
 type result struct {
@@ -64,6 +75,10 @@ type report struct {
 	// correction round is through incremental replanning than through a
 	// fresh cold build.
 	ResliceSpeedup float64 `json:"reslice_speedup,omitempty"`
+	// VerifySpeedup is verify/replay ns divided by verify/analytic ns:
+	// how much cheaper proving a 120-task plan's deadlines analytically
+	// is than replaying its schedule.
+	VerifySpeedup float64 `json:"verify_speedup,omitempty"`
 }
 
 func workload(seed int64) (*gen.Workload, error) {
@@ -217,6 +232,82 @@ func run(out, check string) error {
 			pipeline.Fingerprint(w.Graph, w.Platform)
 		}
 	})
+	// Analytic verification vs replay, on the standard 120-task graph
+	// released sporadically (minimum gap 1.25× the plan horizon, 1/8
+	// jitter — a recurring deployment of the same plan). The analytic
+	// proof covers every legal release sequence with one fixed-point
+	// iteration; replay verification is O(timeline) — it must dispatch
+	// and simulate the whole release horizon (32 releases here) to check
+	// even one sequence. VerifySpeedup records the gap.
+	vcfg := gen.Default(3)
+	vcfg.Seed = 11
+	vcfg.MinTasks, vcfg.MaxTasks = 120, 120
+	vw, err := gen.Generate(vcfg)
+	if err != nil {
+		return err
+	}
+	vspec := pipeline.Spec{Graph: vw.Graph, Platform: vw.Platform}
+	vplan, err := (&pipeline.Builder{}).Build(vspec)
+	if err != nil {
+		return err
+	}
+	var horizon rtime.Time
+	for _, d := range vplan.Assignment.AbsDeadline {
+		if d > horizon {
+			horizon = d
+		}
+	}
+	vrel := gen.Release{
+		Mode:   gen.ReleaseSporadic,
+		Count:  32,
+		MinGap: horizon + horizon/4,
+		Jitter: (horizon + horizon/4) / 8,
+	}
+	vsp := verify.Sporadic{MinGap: vrel.MinGap, Jitter: vrel.Jitter}
+	// The contrast is only meaningful if both sides verify the system:
+	// the proof must land (accept), and the replayed sequence must agree.
+	vres, err := verify.AnalyzeSporadic(vw.Graph, vw.Platform, vplan.Assignment, vsp)
+	if err != nil {
+		return err
+	}
+	if vres.Verdict != verify.Accept {
+		return fmt.Errorf("verify bench: analytic verdict %v (%s), want accept", vres.Verdict, vres.Reason)
+	}
+	vrep, _, _, err := sim.ReplayReleases(vw.Graph, vw.Platform, vplan.Assignment, vrel, 11, sim.Options{})
+	if err != nil {
+		return err
+	}
+	if !vrep.Valid || len(vrep.DeadlineMisses) > 0 {
+		return fmt.Errorf("verify bench: replay disagrees (valid=%v, %d misses)", vrep.Valid, len(vrep.DeadlineMisses))
+	}
+	va := bench("verify/analytic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := verify.AnalyzeSporadic(vw.Graph, vw.Platform, vplan.Assignment, vsp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	vr := bench("verify/replay", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := sim.ReplayReleases(vw.Graph, vw.Platform, vplan.Assignment, vrel, 11, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if va.NsPerOp > 0 {
+		rep.VerifySpeedup = vr.NsPerOp / va.NsPerOp
+	}
+	bench("build/verify-analytic", func(b *testing.B) {
+		builder := &pipeline.Builder{Verifier: verify.AnalyticVerifier()}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := builder.Build(vspec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	off := bench("breakdown/cache=off", func(b *testing.B) { bisect(b, false) })
 	on := bench("breakdown/cache=on", func(b *testing.B) { bisect(b, true) })
 	if on.NsPerOp > 0 {
@@ -238,8 +329,8 @@ func run(out, check string) error {
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (breakdown speedup with plan cache: %.1fx, reslice speedup with Rebuild: %.1fx)\n",
-		out, rep.BreakdownSpeedup, rep.ResliceSpeedup)
+	fmt.Printf("wrote %s (breakdown speedup with plan cache: %.1fx, reslice speedup with Rebuild: %.1fx, analytic-verify speedup over replay: %.1fx)\n",
+		out, rep.BreakdownSpeedup, rep.ResliceSpeedup, rep.VerifySpeedup)
 	return nil
 }
 

@@ -45,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -119,6 +120,7 @@ type Requests struct {
 type Latency struct {
 	P50  float64 `json:"p50"`
 	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
 	P99  float64 `json:"p99"`
 	P999 float64 `json:"p999"`
 	Max  float64 `json:"max"`
@@ -590,17 +592,27 @@ func peerNames(peers []*cluster.Peer) []string {
 	return names
 }
 
-// percentiles summarizes successful-request latencies in milliseconds.
+// percentiles summarizes successful-request latencies in milliseconds
+// using the nearest-rank definition: the q-quantile of N samples is the
+// ⌈q·N⌉-th smallest. Flooring a linear index instead (the old rounding)
+// collapses upper tails on small samples — p999 of 10 samples must be
+// the maximum, not the 9th value — and can never reach the last rank.
 func percentiles(ms []float64) Latency {
 	if len(ms) == 0 {
 		return Latency{}
 	}
 	sort.Float64s(ms)
 	at := func(q float64) float64 {
-		i := int(q * float64(len(ms)-1))
-		return ms[i]
+		rank := int(math.Ceil(q * float64(len(ms))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(ms) {
+			rank = len(ms)
+		}
+		return ms[rank-1]
 	}
-	return Latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), P999: at(0.999), Max: ms[len(ms)-1]}
+	return Latency{P50: at(0.50), P90: at(0.90), P95: at(0.95), P99: at(0.99), P999: at(0.999), Max: ms[len(ms)-1]}
 }
 
 func sumPeer(fl Fleet, f func(PeerStats) float64) float64 {

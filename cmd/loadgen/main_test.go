@@ -83,6 +83,38 @@ func TestLoadgenAvailabilityBar(t *testing.T) {
 	}
 }
 
+// TestPercentilesNearestRank pins the nearest-rank quantile definition
+// (q-quantile of N samples = ⌈q·N⌉-th smallest) on sample sizes where
+// the old floored linear index collapsed the upper tail: p999 of 10
+// samples must be the maximum, not the 9th value.
+func TestPercentilesNearestRank(t *testing.T) {
+	seq := func(n int) []float64 {
+		ms := make([]float64, n)
+		for i := range ms {
+			ms[i] = float64(n - i) // reversed, so the sort matters
+		}
+		return ms
+	}
+	cases := []struct {
+		name string
+		ms   []float64
+		want Latency
+	}{
+		{"empty", nil, Latency{}},
+		{"one", seq(1), Latency{P50: 1, P90: 1, P95: 1, P99: 1, P999: 1, Max: 1}},
+		{"two", seq(2), Latency{P50: 1, P90: 2, P95: 2, P99: 2, P999: 2, Max: 2}},
+		{"ten", seq(10), Latency{P50: 5, P90: 9, P95: 10, P99: 10, P999: 10, Max: 10}},
+		{"thousand", seq(1000), Latency{P50: 500, P90: 900, P95: 950, P99: 990, P999: 999, Max: 1000}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := percentiles(c.ms); got != c.want {
+				t.Fatalf("percentiles = %+v, want %+v", got, c.want)
+			}
+		})
+	}
+}
+
 // TestLoadgenFlagValidation pins the required-flag surface.
 func TestLoadgenFlagValidation(t *testing.T) {
 	var out, logs bytes.Buffer

@@ -10,8 +10,15 @@
 //
 // Query parameters: metric (PURE, NORM, ADAPT-G, ADAPT-L, ...), wcet
 // (WCET-AVG, WCET-MAX, WCET-MIN), dispatcher (time-driven, planner,
-// insertion, preemptive), verify (1 adds the feasibility verifier), and
-// timeout (a per-request planning budget like 500ms).
+// insertion, preemptive), verify, and timeout (a per-request planning
+// budget like 500ms). verify selects how the plan is checked before it
+// is served: "feas" (or the historical "1") runs the necessary-condition
+// checks, "analytic" proves deadlines met by holistic response-time
+// analysis (time-driven dispatcher only), "replay" simulates the
+// schedule, and "analytic-first" takes the analytic proof and falls back
+// to replay when it is inconclusive. The verdict comes back in the
+// response's "proof" field and in pland_verify_total{mode,outcome}; the
+// -verify flag sets the default mode for requests that do not ask.
 //
 // /healthz answers 200 while serving and 503 while draining; /metrics
 // exports the pipeline and admission aggregates in the Prometheus text
@@ -101,11 +108,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	brownCheap := fs.Duration("brownout-cheap", 0, "queue delay that engages cheap builds (0 = 2x admit-target)")
 	brownCacheOnly := fs.Duration("brownout-cache-only", 0, "queue delay that engages cache-only serving (0 = 8x admit-target)")
 	maxBatch := fs.Int("max-batch", 256, "max workload items accepted in one POST /plan/batch")
+	verifyDefault := fs.String("verify", "", "default verification mode for requests without ?verify= (off, feas, analytic, replay, analytic-first)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *warmFill && *peersSpec == "" {
 		return errors.New("-warm-fill needs fleet mode (-peers and -self)")
+	}
+	if err := server.CheckVerifyMode(*verifyDefault); err != nil {
+		return fmt.Errorf("-verify: %w", err)
 	}
 
 	var inj *chaos.Injector
@@ -133,6 +144,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		BrownoutCheapAt:     *brownCheap,
 		BrownoutCacheOnlyAt: *brownCacheOnly,
 		MaxBatchItems:       *maxBatch,
+		DefaultVerify:       *verifyDefault,
 	}
 	var ring *cluster.Ring
 	if *peersSpec != "" {

@@ -32,6 +32,13 @@
 // Each study prints a success-ratio table over its parameter axis for a
 // three-processor system at the calibrated operating point.
 //
+// -release sporadic judges every plan over a recurring workload instead
+// of a single release: each workload re-releases -releases times with a
+// minimum inter-arrival time of -mit and up to -rjitter of release
+// jitter, and a plan succeeds only when every release meets its shifted
+// deadlines (the margins and faults studies likewise perturb the whole
+// released horizon).
+//
 // Long sweeps can checkpoint: -checkpoint journal.jsonl records every
 // completed cell, and -resume replays the journal so an interrupted run
 // recomputes only the missing cells and renders byte-identically.
@@ -52,6 +59,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/gen"
 	"repro/internal/pipeline"
+	"repro/internal/rtime"
 	"repro/internal/sched"
 	"repro/internal/slicing"
 	"repro/internal/wcet"
@@ -69,6 +77,7 @@ type cfgT struct {
 	resume     bool
 	wtimeout   time.Duration
 	stats      bool
+	rel        gen.Release
 	pipe       pipeline.Shared
 	w          io.Writer
 	errw       io.Writer
@@ -94,14 +103,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resume := fs.Bool("resume", false, "replay the -checkpoint journal before computing")
 	wtimeout := fs.Duration("wtimeout", 0, "per-workload wall-clock budget (0 = none; margins study)")
 	stats := fs.Bool("stats", false, "print the pipeline per-stage time/alloc breakdown after the studies")
+	release := fs.String("release", "single", "release model the studies judge plans under (single, sporadic)")
+	releases := fs.Int("releases", 8, "releases per workload under -release sporadic")
+	mit := fs.Int64("mit", 1000, "minimum inter-arrival time between releases (sporadic)")
+	rjitter := fs.Int64("rjitter", 0, "release jitter on top of the minimum inter-arrival time (sporadic)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	relMode, err := gen.ParseReleaseMode(*release)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: -release: %v\n", err)
+		return 2
+	}
+	rel := gen.Release{Mode: relMode, Count: *releases,
+		MinGap: rtime.Time(*mit), Jitter: rtime.Time(*rjitter)}
+	if relMode == gen.ReleaseSporadic {
+		if err := rel.Validate(); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 2
+		}
+	}
 	sw = cfgT{graphs: *graphs, seed: *seed, m: *m, olr: *olr, workers: *workers,
 		checkpoint: *checkpoint, resume: *resume, wtimeout: *wtimeout, stats: *stats,
-		w: stdout, errw: stderr}
+		rel: rel, w: stdout, errw: stderr}
 	// One plan cache and recorder shared by every study of the
 	// invocation: workloads revisited across studies (same seed, metric,
 	// parameters, scheduler) reuse their plans, and -stats aggregates
@@ -200,7 +226,7 @@ func runPoint(g gen.Config, metric slicing.Metric, params slicing.Params, schd e
 	pt := experiment.Run(experiment.Config{
 		Gen: g, Metric: metric, Params: params, WCET: wcet.AVG,
 		NumGraphs: sw.graphs, MasterSeed: sw.seed, Workers: sw.workers, Scheduler: schd,
-		Pipe: sw.pipe,
+		Pipe: sw.pipe, Release: sw.rel,
 	})
 	return 100 * pt.Success.Value()
 }
@@ -240,7 +266,11 @@ func sliced(metric slicing.Metric) deadline.Distributor {
 }
 
 func header(title string) {
-	fmt.Fprintf(sw.w, "== %s (m=%d, OLR=%.2f, %d graphs/point) ==\n", title, sw.m, sw.olr, sw.graphs)
+	fmt.Fprintf(sw.w, "== %s (m=%d, OLR=%.2f, %d graphs/point", title, sw.m, sw.olr, sw.graphs)
+	if sw.rel.Mode == gen.ReleaseSporadic {
+		fmt.Fprintf(sw.w, ", sporadic %d×T=%d J=%d", sw.rel.Count, sw.rel.MinGap, sw.rel.Jitter)
+	}
+	fmt.Fprintln(sw.w, ") ==")
 }
 
 func studyKL() {
@@ -478,7 +508,7 @@ func studyFaults() {
 		return experiment.FaultRun(experiment.FaultConfig{
 			Gen: genCfg(), Metric: metric, Params: slicing.CalibratedParams(), WCET: wcet.AVG,
 			NumGraphs: sw.graphs, MasterSeed: sw.seed, Workers: sw.workers,
-			Intensity: intensity, Reclaim: reclaim, Pipe: sw.pipe,
+			Intensity: intensity, Reclaim: reclaim, Pipe: sw.pipe, Release: sw.rel,
 		})
 	}
 	// Success ratio and per-run task miss ratio per metric as the fault

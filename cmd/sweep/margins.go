@@ -85,7 +85,7 @@ func studyMargins() int {
 		return experiment.MarginConfig{
 			Gen: genCfg(), Metric: metric, Params: slicing.CalibratedParams(), WCET: wcet.AVG,
 			NumGraphs: sw.graphs, MasterSeed: sw.seed, Workers: sw.workers, Timeout: sw.wtimeout,
-			Pipe: sw.pipe,
+			Pipe: sw.pipe, Release: sw.rel,
 		}
 	}
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/deadline"
 	"repro/internal/gen"
 	"repro/internal/pipeline"
+	"repro/internal/sim"
 	"repro/internal/slicing"
 	"repro/internal/stats"
 	"repro/internal/wcet"
@@ -52,6 +53,17 @@ type Config struct {
 	// recorder for the planning pipeline; the zero value plans uncached
 	// and unrecorded.
 	Pipe pipeline.Shared
+	// Release selects the release model the planned system is judged
+	// under. The zero value (ReleaseSingle) keeps the classic one-shot
+	// evaluation. With ReleaseSporadic, each workload's plan is
+	// additionally replayed over a seeded sporadic release sequence
+	// (sim.ReplayReleases) and counts as a success only when every
+	// release of every task meets its shifted deadline; lateness and
+	// laxity still report the base plan, so the secondary measures stay
+	// comparable across release models. The release sequence of workload
+	// i derives from MasterSeed, so paired comparison across metrics is
+	// preserved.
+	Release gen.Release
 }
 
 // builder assembles the pipeline configuration this point plans with.
@@ -178,6 +190,17 @@ func runOne(ctx context.Context, cfg Config, idx int) (runOutcome, error) {
 	o.provablyInfeasible = plan.Verdict.ProvablyInfeasible
 	o.maxLateness = float64(plan.Verdict.MaxLateness)
 	o.minLaxity = float64(plan.Verdict.MinLaxity)
+	if cfg.Release.Mode == gen.ReleaseSporadic && o.feasible {
+		// A plan that survives one release must also survive the
+		// recurring workload: replay the seeded release sequence and
+		// demote the success when any release misses. The base verdict's
+		// lateness/laxity are kept — they grade the plan, not the draw.
+		rep, _, _, err := sim.ReplayReleases(w.Graph, w.Platform, plan.Assignment, cfg.Release, gcfg.Seed, sim.Options{})
+		if err != nil {
+			return o, err
+		}
+		o.feasible = rep.Valid && len(rep.DeadlineMisses) == 0
+	}
 	return o, nil
 }
 

@@ -207,3 +207,36 @@ func TestClassifyCountsProvablyInfeasible(t *testing.T) {
 		t.Error("counter filled without Classify")
 	}
 }
+
+// Sporadic releases can only demote a point's successes: a plan counts
+// only when every release meets its shifted deadline. And with releases
+// spaced far beyond any horizon, each release replays the one-shot
+// schedule verbatim, so the success count must match exactly.
+func TestRunSporadicRelease(t *testing.T) {
+	base := smallConfig(slicing.AdaptL())
+	single := Run(base)
+
+	wide := base
+	wide.Release = gen.Release{Mode: gen.ReleaseSporadic, Count: 3, MinGap: 1 << 20}
+	wp := Run(wide)
+	if wp.Errors != 0 {
+		t.Fatalf("wide sporadic point errored %d times", wp.Errors)
+	}
+	if wp.Success != single.Success {
+		t.Errorf("disjoint releases changed success: %v, one-shot %v", wp.Success, single.Success)
+	}
+
+	tight := base
+	tight.Release = gen.Release{Mode: gen.ReleaseSporadic, Count: 4, MinGap: 40, Jitter: 10}
+	tp := Run(tight)
+	if tp.Errors != 0 {
+		t.Fatalf("tight sporadic point errored %d times", tp.Errors)
+	}
+	if tp.Success.Succ > single.Success.Succ {
+		t.Errorf("overlapping releases raised success: %v > %v", tp.Success, single.Success)
+	}
+	// Secondary measures still grade the base plan.
+	if tp.Lateness.N() != single.Lateness.N() {
+		t.Errorf("lateness sample size %d, want %d", tp.Lateness.N(), single.Lateness.N())
+	}
+}

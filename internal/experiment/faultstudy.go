@@ -45,6 +45,14 @@ type FaultConfig struct {
 	// Pipe optionally supplies a shared plan cache and instrumentation
 	// recorder for the planning pipeline.
 	Pipe pipeline.Shared
+	// Release selects the release model the faulted executions run
+	// under. The zero value (ReleaseSingle) injects into one release of
+	// the plan, as before. With ReleaseSporadic, the plan is expanded
+	// over a seeded sporadic release sequence (sim.ExpandSystem) and the
+	// fault plan is materialized over the whole released horizon, so
+	// overruns and processor failures can land in any release — the
+	// graceful-degradation measures then grade the recurring workload.
+	Release gen.Release
 }
 
 // builder assembles the pipeline configuration this point plans with
@@ -143,25 +151,35 @@ func faultRunOne(ctx context.Context, cfg FaultConfig, idx int) (faultOutcome, e
 	if err != nil {
 		return o, err
 	}
-	// The failure-instant horizon is the workload's end-to-end deadline:
-	// metric-independent, so identical across the compared series.
+	graph, asg, sched := w.Graph, plan.Assignment, plan.Schedule
+	if cfg.Release.Mode == gen.ReleaseSporadic {
+		// Recurring workload: the faulted execution covers every release,
+		// so faults are drawn over the expanded system and its horizon.
+		graph, asg, sched, _, err = sim.ExpandSystem(w.Graph, w.Platform, plan.Assignment, cfg.Release, gcfg.Seed)
+		if err != nil {
+			return o, err
+		}
+	}
+	// The failure-instant horizon is the workload's end-to-end deadline
+	// (of the last release, under sporadic releases): metric-independent,
+	// so identical across the compared series.
 	var span rtime.Time
-	for _, out := range w.Graph.Outputs() {
-		if d := w.Graph.Task(out).ETEDeadline; d > span {
+	for _, out := range graph.Outputs() {
+		if d := graph.Task(out).ETEDeadline; d > span {
 			span = d
 		}
 	}
 	fplan := faults.Scaled(cfg.Intensity, gen.SubSeed(cfg.MasterSeed+1, idx))
-	trace, err := fplan.Materialize(w.Graph, w.Platform, span)
+	trace, err := fplan.Materialize(graph, w.Platform, span)
 	if err != nil {
 		return o, err
 	}
-	ir, err := sim.Inject(w.Graph, w.Platform, plan.Assignment, plan.Schedule,
+	ir, err := sim.Inject(graph, w.Platform, asg, sched,
 		sim.Options{Faults: trace, Reclaim: cfg.Reclaim})
 	if err != nil {
 		return o, err
 	}
 	o.deg = ir.Degradation
-	o.outputs = len(w.Graph.Outputs())
+	o.outputs = len(graph.Outputs())
 	return o, nil
 }

@@ -98,3 +98,29 @@ func TestFaultRunReclaimFires(t *testing.T) {
 		t.Errorf("%d pipeline errors", p.Errors)
 	}
 }
+
+// At intensity 0 the sporadic fault study replays the released system
+// fault-free; with disjoint releases that reduces to the nominal
+// success ratio. A positive intensity must run cleanly too.
+func TestFaultRunSporadicRelease(t *testing.T) {
+	nominal := Run(smallConfig(slicing.AdaptL()))
+	cfg := smallFaultConfig(slicing.AdaptL(), 0)
+	cfg.Release = gen.Release{Mode: gen.ReleaseSporadic, Count: 3, MinGap: 1 << 20}
+	pt := FaultRun(cfg)
+	if pt.Errors != 0 {
+		t.Fatalf("sporadic fault point errored %d times", pt.Errors)
+	}
+	if pt.Success != nominal.Success {
+		t.Errorf("disjoint sporadic zero-intensity success %v, nominal %v", pt.Success, nominal.Success)
+	}
+
+	hot := smallFaultConfig(slicing.AdaptL(), 0.6)
+	hot.Release = gen.Release{Mode: gen.ReleaseSporadic, Count: 3, MinGap: 1 << 20}
+	hp := FaultRun(hot)
+	if hp.Errors != 0 {
+		t.Fatalf("faulted sporadic point errored %d times", hp.Errors)
+	}
+	if hp.Overruns == 0 && hp.Aborted == 0 {
+		t.Error("intensity 0.6 over the released horizon injected nothing")
+	}
+}

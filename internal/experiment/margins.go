@@ -59,6 +59,15 @@ type MarginConfig struct {
 	// re-slicing loop's first round and the breakdown bisection's probes
 	// reuse the nominal plan instead of re-planning it.
 	Pipe pipeline.Shared
+	// Release selects the release model the perturbed executions run
+	// under. The zero value (ReleaseSingle) injects into one release of
+	// the plan, as before. With ReleaseSporadic, the plan is expanded
+	// over a seeded sporadic release sequence (sim.ExpandSystem) and the
+	// estimation-error trace is tiled over every release (faults.Tile),
+	// so a margin point grades the recurring workload. The re-slicing
+	// feedback loop is single-shot recovery machinery and is skipped on
+	// sporadic points. BreakdownRun ignores this field.
+	Release gen.Release
 }
 
 // builder assembles the pipeline configuration this point plans with.
@@ -190,21 +199,34 @@ func marginRunOne(ctx context.Context, cfg MarginConfig, idx int) (marginOutcome
 	pert := cfg.Model.Draw(w.Graph.NumTasks(), w.Platform.NumClasses(),
 		gen.SubSeed(cfg.MasterSeed+2, idx))
 	tr := perturbTrace(pert, w.Platform.M(), w.Platform.ClassOf)
-	ir, err := sim.Inject(w.Graph, w.Platform, plan.Assignment, plan.Schedule,
-		sim.Options{Faults: tr, Reclaim: cfg.Reclaim})
+	graph, asg, sched := w.Graph, plan.Assignment, plan.Schedule
+	itr, sporadic := tr, cfg.Release.Mode == gen.ReleaseSporadic
+	if sporadic {
+		// Recurring workload: expand the plan over the seeded release
+		// sequence and repeat the per-task estimation error for every
+		// release (the error lives in the estimate, not the draw).
+		eg, easg, es, times, err := sim.ExpandSystem(w.Graph, w.Platform, plan.Assignment, cfg.Release, gcfg.Seed)
+		if err != nil {
+			return o, err
+		}
+		graph, asg, sched = eg, easg, es
+		itr = tr.Tile(w.Graph.NumTasks(), len(times))
+	}
+	ir, err := sim.Inject(graph, w.Platform, asg, sched,
+		sim.Options{Faults: itr, Reclaim: cfg.Reclaim})
 	if err != nil {
 		return o, err
 	}
 	d := ir.Degradation
 	o.success = d.Misses == 0
 	o.missRatio = d.MissRatio()
-	o.outputs = len(w.Graph.Outputs())
+	o.outputs = len(graph.Outputs())
 	if o.outputs > 0 {
 		o.eteMissRatio = float64(d.ETEMisses) / float64(o.outputs)
 	}
 	o.overruns = d.Overruns
 	o.reclamations = d.Reclamations
-	if !o.success && cfg.Reslice.MaxRetries > 0 {
+	if !o.success && !sporadic && cfg.Reslice.MaxRetries > 0 {
 		ropt := cfg.Reslice
 		ropt.Pipe = cfg.Pipe
 		rr, err := robust.ResliceLoopContext(ctx, w.Graph, w.Platform, plan.Estimates, cfg.Metric,

@@ -151,3 +151,32 @@ func TestBreakdownRunAdaptiveBeatsPure(t *testing.T) {
 			adapt.Factor.Mean(), pure.Factor.Mean())
 	}
 }
+
+// Under disjoint releases and a zero error model the sporadic margin
+// study reduces to the nominal one-shot study: every release replays
+// the base schedule, the tiled trace is the identity.
+func TestMarginRunSporadicRelease(t *testing.T) {
+	nominal := Run(smallConfig(slicing.AdaptL()))
+	cfg := smallMarginConfig(slicing.AdaptL(), wcet.ErrorModel{})
+	cfg.Release = gen.Release{Mode: gen.ReleaseSporadic, Count: 3, MinGap: 1 << 20}
+	pt := MarginRun(cfg)
+	if pt.Errors != 0 {
+		t.Fatalf("sporadic margin point errored %d times", pt.Errors)
+	}
+	if pt.Success != nominal.Success {
+		t.Errorf("disjoint sporadic zero-model success %v, nominal %v", pt.Success, nominal.Success)
+	}
+
+	// A real error model runs cleanly over the expanded system and hits
+	// every release: at least as many overruns as the one-shot study.
+	noisyCfg := smallMarginConfig(slicing.AdaptL(), wcet.ErrorModel{Kind: wcet.ErrMultiplicative, Level: 0.5})
+	oneShot := MarginRun(noisyCfg)
+	noisyCfg.Release = gen.Release{Mode: gen.ReleaseSporadic, Count: 3, MinGap: 1 << 20}
+	released := MarginRun(noisyCfg)
+	if released.Errors != 0 {
+		t.Fatalf("noisy sporadic margin point errored %d times", released.Errors)
+	}
+	if released.Overruns < oneShot.Overruns {
+		t.Errorf("released study saw %d overruns, one-shot %d", released.Overruns, oneShot.Overruns)
+	}
+}

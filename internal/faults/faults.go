@@ -203,6 +203,35 @@ func ZeroTrace(n, m int) *Trace {
 	return t
 }
 
+// Tile returns the trace of a release-expanded system: k release-major
+// copies of an n-task base graph (gen.ExpandReleases), where the copy
+// of task i in release k sits at k·n+i. Per-task deviations repeat for
+// every release — an overrun or estimation error is a property of the
+// task, so every instance of it misbehaves the same way — while the
+// per-processor state (slow-downs, failure instants) is shared by all
+// releases, and a message jitter applies to the corresponding arc of
+// every copy. The receiver must be sized for n tasks.
+func (t *Trace) Tile(n, k int) *Trace {
+	if len(t.ExecScale) != n {
+		panic("faults: Tile receiver not sized for the base graph")
+	}
+	out := &Trace{
+		ExecScale: make([]float64, 0, n*k),
+		ExecAdd:   make([]rtime.Time, 0, n*k),
+		Slow:      append([]float64(nil), t.Slow...),
+		DownAt:    append([]rtime.Time(nil), t.DownAt...),
+		MsgExtra:  make(map[[2]int]rtime.Time, len(t.MsgExtra)*k),
+	}
+	for c := 0; c < k; c++ {
+		out.ExecScale = append(out.ExecScale, t.ExecScale...)
+		out.ExecAdd = append(out.ExecAdd, t.ExecAdd...)
+		for arc, extra := range t.MsgExtra {
+			out.MsgExtra[[2]int{c*n + arc[0], c*n + arc[1]}] = extra
+		}
+	}
+	return out
+}
+
 // Exec returns the faulted execution time of task i running a nominal
 // wcet on processor q: scale, slow-down, then the additive term, never
 // below one unit (or below zero for a zero-length nominal).

@@ -181,3 +181,33 @@ func TestTraceProject(t *testing.T) {
 		t.Error("Project mutated its receiver")
 	}
 }
+
+func TestTraceTile(t *testing.T) {
+	tr := ZeroTrace(3, 2)
+	tr.ExecScale[1] = 1.5
+	tr.ExecAdd[2] = 7
+	tr.Slow[0] = 1.25
+	tr.DownAt[1] = 40
+	tr.MsgExtra[[2]int{0, 2}] = 3
+
+	tiled := tr.Tile(3, 2)
+	if len(tiled.ExecScale) != 6 || len(tiled.ExecAdd) != 6 {
+		t.Fatalf("tiled per-task state sized %d/%d, want 6", len(tiled.ExecScale), len(tiled.ExecAdd))
+	}
+	// Per-task deviations repeat in every release copy.
+	if tiled.ExecScale[1] != 1.5 || tiled.ExecScale[4] != 1.5 || tiled.ExecAdd[2] != 7 || tiled.ExecAdd[5] != 7 {
+		t.Errorf("per-task perturbations not tiled: %+v", tiled)
+	}
+	// Per-processor state is shared across releases, not duplicated.
+	if len(tiled.Slow) != 2 || tiled.Slow[0] != 1.25 || tiled.DownAt[1] != 40 {
+		t.Errorf("platform-wide state not carried over: %+v", tiled)
+	}
+	// Message jitter applies to the corresponding arc of every copy.
+	if len(tiled.MsgExtra) != 2 || tiled.MsgExtra[[2]int{0, 2}] != 3 || tiled.MsgExtra[[2]int{3, 5}] != 3 {
+		t.Errorf("MsgExtra = %v, want the arc in both copies", tiled.MsgExtra)
+	}
+	// The original is untouched.
+	if len(tr.ExecScale) != 3 || len(tr.MsgExtra) != 1 {
+		t.Error("Tile mutated its receiver")
+	}
+}

@@ -54,9 +54,12 @@ func (v Violation) String() string {
 	case "resource":
 		return fmt.Sprintf("resource %d: demand %d exceeds capacity %d in %v",
 			v.Resource, v.Demand, v.Capacity, v.Interval)
+	case "processors":
+		return fmt.Sprintf("processors: demand %d exceeds capacity %d in %v",
+			v.Demand, v.Capacity, v.Interval)
 	}
-	return fmt.Sprintf("processors: demand %d exceeds capacity %d in %v",
-		v.Demand, v.Capacity, v.Interval)
+	return fmt.Sprintf("unknown kind %q: demand %d, capacity %d in %v",
+		v.Kind, v.Demand, v.Capacity, v.Interval)
 }
 
 // Check runs all necessary conditions and returns every violation

@@ -178,3 +178,43 @@ func TestCheckValidation(t *testing.T) {
 		t.Error("short assignment accepted")
 	}
 }
+
+func TestViolationStringAllKinds(t *testing.T) {
+	iv := rtime.Window{Arrival: 3, Deadline: 9}
+	cases := []struct {
+		name string
+		v    Violation
+		want string
+	}{
+		{
+			name: "window",
+			v:    Violation{Kind: "window", Task: 4, Resource: -1, Interval: iv, Demand: 8, Capacity: 6},
+			want: "task 4 needs 8 units but its window [3, 9) holds 6",
+		},
+		{
+			name: "processors",
+			v:    Violation{Kind: "processors", Task: -1, Resource: -1, Interval: iv, Demand: 20, Capacity: 12},
+			want: "processors: demand 20 exceeds capacity 12 in [3, 9)",
+		},
+		{
+			name: "resource",
+			v:    Violation{Kind: "resource", Task: -1, Resource: 2, Interval: iv, Demand: 7, Capacity: 6},
+			want: "resource 2: demand 7 exceeds capacity 6 in [3, 9)",
+		},
+		{
+			name: "unknown",
+			v:    Violation{Kind: "bandwidth", Task: -1, Resource: -1, Interval: iv, Demand: 5, Capacity: 4},
+			want: `unknown kind "bandwidth": demand 5, capacity 4 in [3, 9)`,
+		},
+		{
+			name: "empty kind",
+			v:    Violation{Kind: "", Task: -1, Resource: -1, Interval: iv, Demand: 5, Capacity: 4},
+			want: `unknown kind "": demand 5, capacity 4 in [3, 9)`,
+		},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%s: String() = %q, want %q", c.name, got, c.want)
+		}
+	}
+}

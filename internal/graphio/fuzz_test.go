@@ -45,3 +45,51 @@ func FuzzReadWorkload(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadWorkloadRelease hammers the release-aware reader. On top of
+// FuzzReadWorkload's contract, any release policy it accepts must pass
+// gen.Release.Validate (a malformed release block is an error, never a
+// silent single-shot fallback) and must survive an encode/decode
+// round-trip unchanged.
+func FuzzReadWorkloadRelease(f *testing.F) {
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]},{"wcet":[3],"eteDeadline":40}],"arcs":[{"from":0,"to":1,"items":2}]},"release":{"mode":"sporadic","count":4,"minGap":30,"jitter":5}}`))
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]}],"arcs":[]},"release":{"mode":"sporadic","count":2,"minGap":10}}`))
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]}],"arcs":[]},"release":{"mode":"sporadic","count":2,"minGap":10,"jitter":10}}`))
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]}],"arcs":[]},"release":{"mode":"sporadic","count":0,"minGap":10}}`))
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]}],"arcs":[]},"release":{"mode":"every-tuesday"}}`))
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]}],"arcs":[]},"release":{"mode":"single","count":3}}`))
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]}],"arcs":[]},"release":{"mode":"sporadic","count":2,"minGap":-4}}`))
+	f.Add([]byte(`{"graph":{"numClasses":1,"tasks":[{"wcet":[5]}],"arcs":[]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, p, rel, err := ReadWorkloadRelease(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !g.Frozen() {
+			t.Fatal("accepted graph is not frozen")
+		}
+		if err := rel.Validate(); err != nil {
+			t.Fatalf("accepted release does not validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteWorkloadRelease(&buf, g, p, rel); err != nil {
+			t.Fatalf("accepted workload does not re-encode: %v", err)
+		}
+		g2, p2, rel2, err := ReadWorkloadRelease(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded workload does not re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(EncodeGraph(g), EncodeGraph(g2)) {
+			t.Fatal("graph round-trip changed the graph")
+		}
+		if (p == nil) != (p2 == nil) {
+			t.Fatal("platform presence changed in round-trip")
+		}
+		if p != nil && !reflect.DeepEqual(EncodePlatform(p), EncodePlatform(p2)) {
+			t.Fatal("platform round-trip changed the platform")
+		}
+		if rel2 != rel {
+			t.Fatalf("release round-trip changed the policy: %+v vs %+v", rel, rel2)
+		}
+	})
+}

@@ -150,31 +150,73 @@ func WithPolicy(pol sched.Policy) Dispatcher {
 	}
 }
 
-// Verifier is the named optional fourth-stage hook: an extra
-// schedulability verdict on the assignment. The zero value skips the
-// stage. RunScratch, when non-nil, is preferred by pooled builds and
-// must return the same verdict as Run over the supplied scratch.
-type Verifier struct {
-	Name       string
-	Run        func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (infeasible bool, err error)
-	RunScratch func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, sc *feas.Scratch) (infeasible bool, err error)
+// VerifyOutcome is the verifier stage's three-valued verdict. Verifiers
+// are proof procedures, not heuristics: Accepted means every deadline is
+// proven met, Rejected means at least one deadline is proven missed, and
+// Inconclusive means the verifier could prove neither (the assignment
+// may still schedule fine — only a replay can tell).
+type VerifyOutcome int
+
+const (
+	// VerifyNone: no verifier ran on this plan.
+	VerifyNone VerifyOutcome = iota
+	// VerifyAccepted: the verifier proved every deadline met.
+	VerifyAccepted
+	// VerifyRejected: the verifier proved the plan unschedulable.
+	VerifyRejected
+	// VerifyInconclusive: the verifier could not decide either way.
+	VerifyInconclusive
+)
+
+// String implements fmt.Stringer.
+func (o VerifyOutcome) String() string {
+	switch o {
+	case VerifyNone:
+		return "none"
+	case VerifyAccepted:
+		return "accepted"
+	case VerifyRejected:
+		return "rejected"
+	case VerifyInconclusive:
+		return "inconclusive"
+	}
+	return fmt.Sprintf("VerifyOutcome(%d)", int(o))
 }
 
-// FeasVerifier runs the fast necessary feasibility conditions; a true
-// verdict proves the assignment unschedulable by every scheduler (the
-// failure is the metric's fault, not the dispatcher's). Condition-check
-// errors are swallowed — an uncheckable assignment is simply not
-// provably infeasible.
+// Verifier is the named optional fourth-stage hook: an independent
+// schedulability verdict on the assignment. It runs after dispatch, so
+// replay-style verifiers get the concrete schedule; analytic verifiers
+// may ignore it. The zero value skips the stage. RunScratch, when
+// non-nil, is preferred by pooled builds and must return the same
+// verdict as Run over the supplied scratch.
+type Verifier struct {
+	Name       string
+	Run        func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, s *sched.Schedule) (VerifyOutcome, error)
+	RunScratch func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, s *sched.Schedule, sc *feas.Scratch) (VerifyOutcome, error)
+}
+
+// FeasVerifier runs the fast necessary feasibility conditions; a
+// Rejected verdict proves the assignment unschedulable by every
+// scheduler (the failure is the metric's fault, not the dispatcher's).
+// Passing the conditions proves nothing, so the positive outcome is
+// Inconclusive, never Accepted. Condition-check errors are swallowed —
+// an uncheckable assignment is simply not provably infeasible.
 func FeasVerifier() Verifier {
 	return Verifier{
 		Name: "feas",
-		Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment) (bool, error) {
+		Run: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, _ *sched.Schedule) (VerifyOutcome, error) {
 			bad, err := feas.Infeasible(g, p, asg)
-			return err == nil && bad, nil
+			if err == nil && bad {
+				return VerifyRejected, nil
+			}
+			return VerifyInconclusive, nil
 		},
-		RunScratch: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, sc *feas.Scratch) (bool, error) {
+		RunScratch: func(g *taskgraph.Graph, p *arch.Platform, asg *slicing.Assignment, _ *sched.Schedule, sc *feas.Scratch) (VerifyOutcome, error) {
 			bad, err := feas.InfeasibleScratch(g, p, asg, sc)
-			return err == nil && bad, nil
+			if err == nil && bad {
+				return VerifyRejected, nil
+			}
+			return VerifyInconclusive, nil
 		},
 	}
 }
@@ -224,9 +266,14 @@ type Verdict struct {
 	// OverConstrained reports that slicing produced an empty window —
 	// a guaranteed failure.
 	OverConstrained bool
-	// ProvablyInfeasible reports the verifier's verdict (false when no
-	// verifier ran).
+	// ProvablyInfeasible reports that the verifier proved the plan
+	// unschedulable (false when no verifier ran); it is Proof ==
+	// VerifyRejected, kept as a field for wire and API compatibility.
 	ProvablyInfeasible bool
+	// Proof is the verifier's full three-valued outcome (VerifyNone when
+	// no verifier ran). VerifyAccepted is a proof that every deadline is
+	// met — the analytic fast path's positive certificate.
+	Proof VerifyOutcome
 	// MaxLateness is max(fᵢ − Dᵢ) over placed tasks.
 	MaxLateness rtime.Time
 	// MinLaxity is the minimum task laxity of the assignment.
@@ -577,18 +624,19 @@ func (b *Builder) buildCold(ctx context.Context, spec Spec, dist deadline.Distri
 			return nil, err
 		}
 		probe = beginStage(countAllocs)
-		var bad bool
+		var outcome VerifyOutcome
 		if b.Verifier.RunScratch != nil {
-			bad, err = b.Verifier.RunScratch(spec.Graph, spec.Platform, asg, sc.Feas)
+			outcome, err = b.Verifier.RunScratch(spec.Graph, spec.Platform, asg, s, sc.Feas)
 		} else {
-			bad, err = b.Verifier.Run(spec.Graph, spec.Platform, asg)
+			outcome, err = b.Verifier.Run(spec.Graph, spec.Platform, asg, s)
 		}
 		stats.Verify = probe.end()
 		if err != nil {
 			b.Recorder.recordError()
 			return nil, err
 		}
-		verdict.ProvablyInfeasible = bad
+		verdict.Proof = outcome
+		verdict.ProvablyInfeasible = outcome == VerifyRejected
 	}
 
 	plan := &Plan{

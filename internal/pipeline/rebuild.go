@@ -93,6 +93,85 @@ func WorkloadDelta(spec Spec) Delta {
 	return Delta{Kind: DeltaWorkload, Spec: spec}
 }
 
+// WindowError reports a malformed window set produced by a DeltaWindows
+// override: a window the overrides gave negative length, a precedence
+// overlap the overrides introduced (a predecessor's deadline pushed past
+// its successor's arrival when the previous plan had them ordered), or
+// an overridden deadline past the workload's end-to-end horizon. It is
+// returned unwrapped so callers can errors.As on it and surface the
+// offending task instead of retrying the rebuild.
+type WindowError struct {
+	// Reason is "negative-length", "overlap", or "out-of-horizon".
+	Reason string
+	// Task is the offending task (the successor for overlap errors).
+	Task int
+	// Pred is the predecessor task for overlap errors, -1 otherwise.
+	Pred int
+	// Window is the offending merged window. For overlap errors it is
+	// the predecessor's window, whose Deadline exceeds the successor's
+	// arrival.
+	Window rtime.Window
+	// Horizon is the end-to-end deadline bound for out-of-horizon
+	// errors, rtime.Unset otherwise.
+	Horizon rtime.Time
+}
+
+// Error implements error.
+func (e *WindowError) Error() string {
+	switch e.Reason {
+	case "negative-length":
+		return fmt.Sprintf("pipeline: window override gives task %d negative-length window %v", e.Task, e.Window)
+	case "overlap":
+		return fmt.Sprintf("pipeline: window override makes predecessor %d (window %v) overlap successor %d", e.Pred, e.Window, e.Task)
+	case "out-of-horizon":
+		return fmt.Sprintf("pipeline: window override pushes task %d (window %v) past the end-to-end horizon %d", e.Task, e.Window, e.Horizon)
+	}
+	return fmt.Sprintf("pipeline: malformed window override (%s) on task %d", e.Reason, e.Task)
+}
+
+// validateWindows rejects malformed merged windows after a DeltaWindows
+// override. Only damage the overrides introduce is an error: windows the
+// previous plan already held are trusted (UD/ED-style distributions
+// legitimately overlap across independent tasks), so overlap is checked
+// along precedence arcs only and only where the previous plan had the
+// pair ordered, and the length/horizon checks run on overridden tasks
+// only.
+func validateWindows(prev *Plan, delta Delta, arr, dl []rtime.Time) error {
+	overridden := func(i int) bool {
+		return (delta.Arrival != nil && delta.Arrival[i].IsSet()) ||
+			(delta.AbsDeadline != nil && delta.AbsDeadline[i].IsSet())
+	}
+	horizon := rtime.Unset
+	for _, t := range prev.Graph.Tasks() {
+		if t.ETEDeadline.IsSet() && (!horizon.IsSet() || t.ETEDeadline > horizon) {
+			horizon = t.ETEDeadline
+		}
+	}
+	for i := range arr {
+		if !overridden(i) {
+			continue
+		}
+		w := rtime.Window{Arrival: arr[i], Deadline: dl[i]}
+		if dl[i] < arr[i] {
+			return &WindowError{Reason: "negative-length", Task: i, Pred: -1, Window: w, Horizon: rtime.Unset}
+		}
+		if horizon.IsSet() && dl[i] > horizon {
+			return &WindowError{Reason: "out-of-horizon", Task: i, Pred: -1, Window: w, Horizon: horizon}
+		}
+	}
+	pArr, pDl := prev.Assignment.Arrival, prev.Assignment.AbsDeadline
+	for _, a := range prev.Graph.Arcs() {
+		if dl[a.From] > arr[a.To] && pDl[a.From] <= pArr[a.To] {
+			return &WindowError{
+				Reason: "overlap", Task: a.To, Pred: a.From,
+				Window:  rtime.Window{Arrival: arr[a.From], Deadline: dl[a.From]},
+				Horizon: rtime.Unset,
+			}
+		}
+	}
+	return nil
+}
+
 // RebuildOutcome reports how a Rebuild was satisfied.
 type RebuildOutcome int
 
@@ -230,6 +309,9 @@ func (rp *Replanner) RebuildContext(ctx context.Context, prev *Plan, delta Delta
 			if delta.AbsDeadline != nil && delta.AbsDeadline[i].IsSet() {
 				dl[i] = delta.AbsDeadline[i]
 			}
+		}
+		if err := validateWindows(prev, delta, arr, dl); err != nil {
+			return nil, RebuildFull, err
 		}
 		dist = deadline.Fixed{Arrival: arr, AbsDeadline: dl}
 	} else {

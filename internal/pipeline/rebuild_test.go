@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -125,6 +126,99 @@ func TestRebuildMatchesColdBuild(t *testing.T) {
 				prev = got
 			}
 		}
+	}
+}
+
+// Malformed window-override sets must be rejected with a typed
+// *WindowError before any deadline.Fixed replay runs: negative-length
+// windows, precedence overlaps the overrides introduce, and deadlines
+// pushed past the end-to-end horizon. Overlaps the previous plan
+// already held stay legal (UD/ED-style windows overlap by design), so
+// the test only forges overlaps across previously ordered arcs.
+func TestRebuildRejectsMalformedWindows(t *testing.T) {
+	w := workload(t, 11)
+	n := w.Graph.NumTasks()
+	b := &Builder{Verifier: FeasVerifier()}
+	rp := b.NewReplanner()
+	prev, err := b.Build(Spec{Graph: w.Graph, Platform: w.Platform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unset := func() ([]rtime.Time, []rtime.Time) {
+		arr := make([]rtime.Time, n)
+		dl := make([]rtime.Time, n)
+		for i := range arr {
+			arr[i], dl[i] = rtime.Unset, rtime.Unset
+		}
+		return arr, dl
+	}
+	expectWindowError := func(t *testing.T, delta Delta, reason string) *WindowError {
+		t.Helper()
+		_, _, err := rp.Rebuild(prev, delta)
+		var we *WindowError
+		if !errors.As(err, &we) {
+			t.Fatalf("err = %v, want *WindowError", err)
+		}
+		if we.Reason != reason {
+			t.Fatalf("reason = %q (%v), want %q", we.Reason, we, reason)
+		}
+		return we
+	}
+
+	t.Run("negative-length", func(t *testing.T) {
+		arr, dl := unset()
+		arr[0], dl[0] = 10, 9
+		we := expectWindowError(t, WindowsDelta(arr, dl), "negative-length")
+		if we.Task != 0 {
+			t.Fatalf("task = %d, want 0", we.Task)
+		}
+	})
+
+	t.Run("overlap", func(t *testing.T) {
+		// Pick an arc whose windows the previous plan keeps ordered and
+		// push the predecessor's deadline past the successor's arrival.
+		pArr, pDl := prev.Assignment.Arrival, prev.Assignment.AbsDeadline
+		from, to := -1, -1
+		for _, a := range w.Graph.Arcs() {
+			if pDl[a.From] <= pArr[a.To] {
+				from, to = a.From, a.To
+				break
+			}
+		}
+		if from < 0 {
+			t.Skip("workload has no ordered arc to forge an overlap on")
+		}
+		arr, dl := unset()
+		dl[from] = pArr[to] + 1
+		we := expectWindowError(t, WindowsDelta(arr, dl), "overlap")
+		if we.Pred != from || we.Task != to {
+			t.Fatalf("arc = %d->%d, want %d->%d", we.Pred, we.Task, from, to)
+		}
+	})
+
+	t.Run("out-of-horizon", func(t *testing.T) {
+		horizon := rtime.Unset
+		for _, tk := range w.Graph.Tasks() {
+			if tk.ETEDeadline.IsSet() && (!horizon.IsSet() || tk.ETEDeadline > horizon) {
+				horizon = tk.ETEDeadline
+			}
+		}
+		if !horizon.IsSet() {
+			t.Skip("workload sets no end-to-end deadline")
+		}
+		arr, dl := unset()
+		dl[n-1] = horizon + 100
+		we := expectWindowError(t, WindowsDelta(arr, dl), "out-of-horizon")
+		if we.Horizon != horizon {
+			t.Fatalf("horizon = %d, want %d", we.Horizon, horizon)
+		}
+	})
+
+	// Sanity: the same delta shapes with in-bounds values still rebuild.
+	arr, dl := unset()
+	dl[0] = prev.Assignment.AbsDeadline[0] - 1
+	if _, _, err := rp.Rebuild(prev, WindowsDelta(arr, dl)); err != nil {
+		t.Fatalf("well-formed override rejected: %v", err)
 	}
 }
 

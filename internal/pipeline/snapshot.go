@@ -155,11 +155,14 @@ type ScheduleJSON struct {
 
 // VerdictJSON is the serialized verdict.
 type VerdictJSON struct {
-	Feasible           bool       `json:"feasible"`
-	OverConstrained    bool       `json:"overConstrained,omitempty"`
-	ProvablyInfeasible bool       `json:"provablyInfeasible,omitempty"`
-	MaxLateness        rtime.Time `json:"maxLateness"`
-	MinLaxity          rtime.Time `json:"minLaxity"`
+	Feasible           bool `json:"feasible"`
+	OverConstrained    bool `json:"overConstrained,omitempty"`
+	ProvablyInfeasible bool `json:"provablyInfeasible,omitempty"`
+	// Proof is the verifier's three-valued outcome as an int (VerifyNone
+	// is omitted, keeping pre-verifier snapshots byte-identical).
+	Proof       int        `json:"proof,omitempty"`
+	MaxLateness rtime.Time `json:"maxLateness"`
+	MinLaxity   rtime.Time `json:"minLaxity"`
 }
 
 // PlanJSON is the serialized form of one Plan: one snapshot line, or
@@ -213,6 +216,7 @@ func EncodePlan(p *Plan) PlanJSON {
 			Feasible:           p.Verdict.Feasible,
 			OverConstrained:    p.Verdict.OverConstrained,
 			ProvablyInfeasible: p.Verdict.ProvablyInfeasible,
+			Proof:              int(p.Verdict.Proof),
 			MaxLateness:        p.Verdict.MaxLateness,
 			MinLaxity:          p.Verdict.MinLaxity,
 		},
@@ -315,6 +319,7 @@ func DecodePlan(in PlanJSON) (*Plan, error) {
 			Feasible:           in.Verdict.Feasible,
 			OverConstrained:    in.Verdict.OverConstrained,
 			ProvablyInfeasible: in.Verdict.ProvablyInfeasible,
+			Proof:              VerifyOutcome(in.Verdict.Proof),
 			MaxLateness:        in.Verdict.MaxLateness,
 			MinLaxity:          in.Verdict.MinLaxity,
 		},

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"repro/internal/pipeline"
 )
 
 // metric is one exported sample with its HELP/TYPE preamble.
@@ -77,6 +79,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			[]row{{"", queueDelay.Seconds()}}},
 		{"pland_admission_shed_total", "counter", "Requests shed by the AIMD admit coin.",
 			[]row{{"", float64(s.admitShed.Load())}}},
+		{"pland_verify_total", "counter", "Plans served with verification, by mode and verdict.",
+			s.verifyRows()},
 		{"pland_brownout_level", "gauge", "Brownout ladder rung (0 full, 1 cheap builds, 2 cache-only).",
 			[]row{{"", float64(level)}}},
 		{"pland_brownout_transitions_total", "counter", "Brownout ladder moves in either direction.",
@@ -159,6 +163,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = fmt.Fprint(w, sb.String())
+}
+
+// verifyRows renders the pland_verify_total matrix: one sample per
+// verification mode and verifier verdict that has actually occurred
+// (an all-zero matrix renders a single unlabeled zero so the metric
+// family stays visible).
+func (s *Server) verifyRows() []row {
+	var rows []row
+	for m := verifyFeas; int(m) < numVerifyModes; m++ {
+		for o := 0; o < numVerifyOutcomes; o++ {
+			if v := s.verifyTotals[m][o].Load(); v > 0 {
+				rows = append(rows, row{
+					fmt.Sprintf("mode=%q,outcome=%q", m, pipeline.VerifyOutcome(o)),
+					float64(v),
+				})
+			}
+		}
+	}
+	if len(rows) == 0 {
+		rows = []row{{"", 0}}
+	}
+	return rows
 }
 
 func boolGauge(b bool) float64 {

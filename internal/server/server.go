@@ -64,6 +64,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/slicing"
 	"repro/internal/taskgraph"
+	"repro/internal/verify"
 	"repro/internal/wcet"
 )
 
@@ -118,6 +119,11 @@ type Options struct {
 	// MaxBatchItems bounds the items of one POST /plan/batch; 0 means
 	// 256.
 	MaxBatchItems int
+	// DefaultVerify is the verification mode applied when a request
+	// carries no ?verify= parameter: "", "off", "feas", "analytic",
+	// "replay", or "analytic-first" (validate with CheckVerifyMode).
+	// Empty means off.
+	DefaultVerify string
 	// Router, when non-nil, puts the server in fleet mode: requests
 	// owned by other live peers are proxied to them.
 	Router *Router
@@ -203,6 +209,7 @@ type Server struct {
 	// (see admission.go); the counters split its decisions.
 	adm            *admitController
 	admitShed      atomic.Int64 // requests shed by the AIMD admit coin
+	verifyTotals   [numVerifyModes][numVerifyOutcomes]atomic.Int64
 	plansFull      atomic.Int64 // 200s served at full quality
 	plansDegraded  atomic.Int64 // 200s served degraded under brownout
 	cacheOnlyHits  atomic.Int64 // cache-only rung answered from cache
@@ -300,6 +307,10 @@ type PlanResponse struct {
 	ProvablyInfeasible bool  `json:"provablyInfeasible,omitempty"`
 	MaxLateness        int64 `json:"maxLateness"`
 	MinLaxity          int64 `json:"minLaxity"`
+	// Proof is the verifier's verdict on the served plan ("none",
+	// "accepted", "rejected", "inconclusive"); empty when the request
+	// ran without verification.
+	Proof string `json:"proof,omitempty"`
 	// Result carries the per-task assignment and placements in the same
 	// shape cmd/taskgen and cmd/schedview archive.
 	Result graphio.ResultJSON `json:"result"`
@@ -560,12 +571,81 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.writeOutcome(w, s.planOne(r.Context(), cfg, crit, g, p))
 }
 
+// verifyMode selects the verification stage of a plan request.
+type verifyMode int
+
+const (
+	// verifyOff runs no verifier.
+	verifyOff verifyMode = iota
+	// verifyFeas runs the O(n²) necessary-condition checks only
+	// (reject/inconclusive, never accept).
+	verifyFeas
+	// verifyAnalytic proves deadlines analytically (holistic RTA);
+	// three-valued.
+	verifyAnalytic
+	// verifyReplay replays the dispatched schedule through the
+	// simulator; accept/reject, never inconclusive.
+	verifyReplay
+	// verifyAnalyticFirst tries the analytic proof and falls back to
+	// replay when it is inconclusive.
+	verifyAnalyticFirst
+)
+
+// numVerifyModes and numVerifyOutcomes size the pland_verify_total
+// counter matrix.
+const (
+	numVerifyModes    = int(verifyAnalyticFirst) + 1
+	numVerifyOutcomes = int(pipeline.VerifyInconclusive) + 1
+)
+
+// String implements fmt.Stringer.
+func (m verifyMode) String() string {
+	switch m {
+	case verifyOff:
+		return "off"
+	case verifyFeas:
+		return "feas"
+	case verifyAnalytic:
+		return "analytic"
+	case verifyReplay:
+		return "replay"
+	case verifyAnalyticFirst:
+		return "analytic-first"
+	}
+	return fmt.Sprintf("verifyMode(%d)", int(m))
+}
+
+// verifyModeByName resolves the ?verify= parameter; "1"/"true" keep
+// their historical meaning of the feasibility verifier.
+func verifyModeByName(name string) (verifyMode, error) {
+	switch name {
+	case "", "0", "false", "off":
+		return verifyOff, nil
+	case "1", "true", "feas":
+		return verifyFeas, nil
+	case "analytic":
+		return verifyAnalytic, nil
+	case "replay":
+		return verifyReplay, nil
+	case "analytic-first":
+		return verifyAnalyticFirst, nil
+	}
+	return verifyOff, fmt.Errorf("unknown verify mode %q (want off, feas, analytic, replay, or analytic-first)", name)
+}
+
+// CheckVerifyMode validates a verify-mode name (the cmd/pland -verify
+// flag) without resolving it.
+func CheckVerifyMode(name string) error {
+	_, err := verifyModeByName(name)
+	return err
+}
+
 // planConfig is one request's resolved planning configuration.
 type planConfig struct {
 	metric   slicing.Metric
 	strategy wcet.Strategy
 	disp     pipeline.Dispatcher
-	verify   bool
+	verify   verifyMode
 	limit    time.Duration
 }
 
@@ -591,7 +671,19 @@ func (s *Server) parsePlanConfig(q url.Values) (planConfig, error) {
 	if cfg.limit, err = s.budget(q.Get("timeout")); err != nil {
 		return cfg, err
 	}
-	cfg.verify = q.Get("verify") == "1" || q.Get("verify") == "true"
+	mode := q.Get("verify")
+	if mode == "" {
+		mode = s.opt.DefaultVerify
+	}
+	if cfg.verify, err = verifyModeByName(mode); err != nil {
+		return cfg, err
+	}
+	// The analytic proof models the time-driven EDF dispatcher's busy
+	// waits; under any other dispatcher its bounds say nothing.
+	if (cfg.verify == verifyAnalytic || cfg.verify == verifyAnalyticFirst) &&
+		cfg.disp.Name != pipeline.TimeDriven().Name {
+		return cfg, fmt.Errorf("verify=%s requires the time-driven dispatcher (got %s)", cfg.verify, cfg.disp.Name)
+	}
 	return cfg, nil
 }
 
@@ -606,8 +698,15 @@ func (s *Server) builder(cfg planConfig, quality pipeline.Quality) *pipeline.Bui
 		Recorder:    s.rec,
 		Quality:     quality,
 	}
-	if cfg.verify {
+	switch cfg.verify {
+	case verifyFeas:
 		b.Verifier = pipeline.FeasVerifier()
+	case verifyAnalytic:
+		b.Verifier = verify.AnalyticVerifier()
+	case verifyReplay:
+		b.Verifier = verify.ReplayVerifier()
+	case verifyAnalyticFirst:
+		b.Verifier = verify.AnalyticFirstVerifier()
 	}
 	return b
 }
@@ -622,9 +721,9 @@ func cheapen(cfg planConfig) (planConfig, bool) {
 	cheap := cfg
 	cheap.metric = slicing.NORM()
 	cheap.disp = pipeline.TimeDriven()
-	cheap.verify = false
+	cheap.verify = verifyOff
 	downgraded := cfg.metric.Name() != cheap.metric.Name() ||
-		cfg.disp.Name != cheap.disp.Name || cfg.verify
+		cfg.disp.Name != cheap.disp.Name || cfg.verify != verifyOff
 	return cheap, downgraded
 }
 
@@ -802,6 +901,13 @@ func (s *Server) respond(cfg planConfig, plan *pipeline.Plan, quality pipeline.Q
 	// owner missed it (unreachable, or restarted cold): remember to
 	// hand the plan off when it is reachable again.
 	s.maybeHint(plan.Key)
+	proof := ""
+	if cfg.verify != verifyOff {
+		if o := plan.Verdict.Proof; int(o) < numVerifyOutcomes {
+			s.verifyTotals[cfg.verify][o].Add(1)
+		}
+		proof = plan.Verdict.Proof.String()
+	}
 	return planOutcome{
 		code:    http.StatusOK,
 		quality: quality,
@@ -812,6 +918,7 @@ func (s *Server) respond(cfg planConfig, plan *pipeline.Plan, quality pipeline.Q
 			Feasible:           plan.Verdict.Feasible,
 			OverConstrained:    plan.Verdict.OverConstrained,
 			ProvablyInfeasible: plan.Verdict.ProvablyInfeasible,
+			Proof:              proof,
 			MaxLateness:        int64(plan.Verdict.MaxLateness),
 			MinLaxity:          int64(plan.Verdict.MinLaxity),
 			Result:             graphio.EncodeResult(plan.Assignment, plan.Schedule),

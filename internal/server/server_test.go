@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graphio"
+	"repro/internal/pipeline"
+	"repro/internal/slicing"
 )
 
 // workloadBody serializes a generated workload as a request body.
@@ -102,6 +104,116 @@ func TestPlanEndpoint(t *testing.T) {
 	}
 	if len(pr.Result.Proc) != len(pr.Result.Start) || len(pr.Result.Start) != len(pr.Result.Finish) {
 		t.Fatalf("ragged placements: %+v", pr.Result)
+	}
+}
+
+// TestPlanVerifyModes drives one workload through every verification
+// mode: each 200 must carry the verifier's verdict in the proof field,
+// the analytic modes must refuse non-time-driven dispatchers, and the
+// served verdicts must land in pland_verify_total{mode,outcome}.
+func TestPlanVerifyModes(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	body := workloadBody(t, 9)
+
+	allowed := map[string][]string{
+		"feas":           {"rejected", "inconclusive"},
+		"analytic":       {"accepted", "rejected", "inconclusive"},
+		"replay":         {"accepted", "rejected"},
+		"analytic-first": {"accepted", "rejected"},
+	}
+	for mode, verdicts := range allowed {
+		resp, raw := postPlan(t, ts, "verify="+mode, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("verify=%s: status %d: %s", mode, resp.StatusCode, raw)
+		}
+		var pr PlanResponse
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			t.Fatal(err)
+		}
+		ok := false
+		for _, v := range verdicts {
+			ok = ok || pr.Proof == v
+		}
+		if !ok {
+			t.Fatalf("verify=%s: proof %q, want one of %v", mode, pr.Proof, verdicts)
+		}
+		if !strings.Contains(scrape(t, ts),
+			fmt.Sprintf("pland_verify_total{mode=%q,outcome=%q}", mode, pr.Proof)) {
+			t.Fatalf("verify=%s: verdict %q not counted in /metrics", mode, pr.Proof)
+		}
+	}
+
+	// Without verification the proof field stays absent.
+	resp, raw := postPlan(t, ts, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unverified plan: status %d: %s", resp.StatusCode, raw)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Proof != "" {
+		t.Fatalf("unverified plan carries proof %q", pr.Proof)
+	}
+
+	// The analytic proof models the time-driven dispatcher only.
+	for _, q := range []string{"verify=analytic&dispatcher=planner", "verify=analytic-first&dispatcher=insertion", "verify=NOPE"} {
+		if resp, raw := postPlan(t, ts, q, body); resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("%s: status %d, want 422 (%s)", q, resp.StatusCode, raw)
+		}
+	}
+	// Replay needs no such gate.
+	if resp, raw := postPlan(t, ts, "verify=replay&dispatcher=planner", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify=replay&dispatcher=planner: status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestPlanDefaultVerify: Options.DefaultVerify applies when the request
+// omits ?verify= and is overridden when it does not.
+func TestPlanDefaultVerify(t *testing.T) {
+	ts := httptest.NewServer(New(Options{DefaultVerify: "analytic"}).Handler())
+	defer ts.Close()
+	body := workloadBody(t, 9)
+
+	resp, raw := postPlan(t, ts, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Proof == "" {
+		t.Fatal("default verify mode did not run")
+	}
+	resp, raw = postPlan(t, ts, "verify=off", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	pr = PlanResponse{}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Proof != "" {
+		t.Fatalf("verify=off did not override the default (proof %q)", pr.Proof)
+	}
+}
+
+// cheapen must drop any verification mode and count it as a downgrade,
+// so brownout substitutes are honestly labeled degraded.
+func TestCheapenDropsVerifyMode(t *testing.T) {
+	base := planConfig{metric: slicing.NORM(), disp: pipeline.TimeDriven()}
+	if _, down := cheapen(base); down {
+		t.Fatal("already-cheap configuration counted as a downgrade")
+	}
+	for _, m := range []verifyMode{verifyFeas, verifyAnalytic, verifyReplay, verifyAnalyticFirst} {
+		cfg := base
+		cfg.verify = m
+		cheap, down := cheapen(cfg)
+		if cheap.verify != verifyOff || !down {
+			t.Fatalf("mode %v: cheapened verify %v, downgraded %v; want off, true", m, cheap.verify, down)
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pipeline"
+	"repro/internal/rtime"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// The conservativeness contract (DESIGN.md §12): the analytic verifier
+// never accepts a plan the replay simulator rejects, and never rejects
+// a plan the replay accepts. These property tests are the empirical
+// arbiter of that contract over seeded random corpora; `make check`
+// runs them, and any disagreement is a soundness bug in the analysis.
+
+// replayAccepts is the ground truth: the dispatched schedule replays
+// validly with every deadline met under the nominal bus model.
+func replayAccepts(t *testing.T, plan *pipeline.Plan) bool {
+	t.Helper()
+	if !plan.Schedule.Feasible {
+		return false
+	}
+	rep, err := sim.Replay(plan.Graph, plan.Platform, plan.Assignment, plan.Schedule, sim.Options{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return rep.Valid && len(rep.DeadlineMisses) == 0
+}
+
+func TestAnalyticConservativeSingleShot(t *testing.T) {
+	const master = int64(0x5EED5EED)
+	olrs := []float64{0.5, 0.8, 1.2, 2.0, 4.0}
+	graphs := 80
+	if testing.Short() {
+		graphs = 20
+	}
+	accepts, rejects, inconclusive := 0, 0, 0
+	b := &pipeline.Builder{} // defaults: WCET-AVG, ADAPT-L, time-driven EDF
+	for idx := 0; idx < graphs; idx++ {
+		cfg := gen.Default(2 + idx%7)
+		cfg.Seed = gen.SubSeed(master, idx)
+		cfg.OLR = olrs[idx%len(olrs)]
+		if idx%3 == 1 {
+			cfg.PinProb = 0.3
+		}
+		w := gen.MustGenerate(cfg)
+		plan, err := b.Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
+		if err != nil {
+			t.Fatalf("graph %d: build: %v", idx, err)
+		}
+		res, err := verify.Analyze(w.Graph, w.Platform, plan.Assignment)
+		if err != nil {
+			t.Fatalf("graph %d: analyze: %v", idx, err)
+		}
+		ground := replayAccepts(t, plan)
+		switch res.Verdict {
+		case verify.Accept:
+			accepts++
+			if !ground {
+				t.Fatalf("graph %d (seed %d, olr %v): analytic ACCEPT but replay rejects — unsound",
+					idx, cfg.Seed, cfg.OLR)
+			}
+		case verify.Reject:
+			rejects++
+			if ground {
+				t.Fatalf("graph %d (seed %d, olr %v): analytic REJECT (%s) but replay accepts — unsound",
+					idx, cfg.Seed, cfg.OLR, res.Reason)
+			}
+		default:
+			inconclusive++
+		}
+	}
+	t.Logf("single-shot corpus: %d accept / %d reject / %d inconclusive", accepts, rejects, inconclusive)
+	if accepts == 0 {
+		t.Error("corpus produced no analytic accepts — the fast path never fires; retune the corpus")
+	}
+}
+
+func TestAnalyticConservativeSporadic(t *testing.T) {
+	const master = int64(0x0DDB411)
+	graphs := 40
+	if testing.Short() {
+		graphs = 12
+	}
+	accepts, inconclusive := 0, 0
+	b := &pipeline.Builder{}
+	for idx := 0; idx < graphs; idx++ {
+		cfg := gen.Default(2 + idx%4)
+		cfg.Seed = gen.SubSeed(master, idx)
+		cfg.MinTasks, cfg.MaxTasks = 8, 16
+		cfg.MinDepth, cfg.MaxDepth = 3, 5
+		cfg.OLR = []float64{1.0, 2.0, 4.0}[idx%3]
+		w := gen.MustGenerate(cfg)
+		plan, err := b.Build(pipeline.Spec{Graph: w.Graph, Platform: w.Platform})
+		if err != nil {
+			t.Fatalf("graph %d: build: %v", idx, err)
+		}
+		// Spacing from sparse (releases barely interact) to dense
+		// (heavy cross-release interference) relative to the observed
+		// makespan, with and without release jitter.
+		span := plan.Schedule.Makespan
+		if span < 4 {
+			span = 4
+		}
+		gaps := []rtime.Time{span * 2, span, span/2 + 1, span/4 + 1}
+		minGap := gaps[idx%len(gaps)]
+		jitter := rtime.Time(0)
+		if idx%2 == 1 {
+			jitter = minGap / 5
+		}
+		sp := verify.Sporadic{MinGap: minGap, Jitter: jitter}
+		res, err := verify.AnalyzeSporadic(w.Graph, w.Platform, plan.Assignment, sp)
+		if err != nil {
+			t.Fatalf("graph %d: analyze sporadic: %v", idx, err)
+		}
+		rel := gen.Release{Mode: gen.ReleaseSporadic, Count: 8, MinGap: minGap, Jitter: jitter}
+		rep, s, _, err := sim.ReplayReleases(w.Graph, w.Platform, plan.Assignment,
+			rel, cfg.Seed, sim.Options{})
+		if err != nil {
+			t.Fatalf("graph %d: replay releases: %v", idx, err)
+		}
+		ground := s.Feasible && rep.Valid && len(rep.DeadlineMisses) == 0
+		switch res.Verdict {
+		case verify.Accept:
+			accepts++
+			if !ground {
+				t.Fatalf("graph %d (seed %d, gap %d, jitter %d): analytic ACCEPT but sporadic replay rejects — unsound",
+					idx, cfg.Seed, minGap, jitter)
+			}
+		case verify.Reject:
+			if ground {
+				t.Fatalf("graph %d (seed %d, gap %d, jitter %d): analytic REJECT (%s) but sporadic replay accepts — unsound",
+					idx, cfg.Seed, minGap, jitter, res.Reason)
+			}
+		default:
+			inconclusive++
+		}
+	}
+	t.Logf("sporadic corpus: %d accept / %d inconclusive of %d", accepts, inconclusive, graphs)
+	if accepts == 0 {
+		t.Error("sporadic corpus produced no analytic accepts — the fast path never fires; retune the corpus")
+	}
+}
